@@ -1,0 +1,80 @@
+// Ablation study: which ingredient buys BSR's advantage over SR?
+//
+// DESIGN.md calls out three design choices beyond single-directional slack
+// reclamation: (1) the optimized voltage guardband (power reduction factor
+// alpha < 1 on both devices), (2) ABFT-protected overclocking of the
+// critical path, (3) the enhanced slack predictor. Each column disables one
+// of them; "DVFS only" disables guardband *and* overclocking, which reduces
+// BSR to a bi-directional-DVFS variant of SR.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table_printer.hpp"
+#include "core/decomposer.hpp"
+
+using namespace bsr;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 30720);
+  const double r = cli.get_double("r", 0.25);
+  const core::Decomposer dec;
+
+  std::printf("== Ablation: BSR component contributions (n=%lld, r=%.2f) ==\n\n",
+              static_cast<long long>(n), r);
+  for (auto f : {predict::Factorization::Cholesky, predict::Factorization::LU,
+                 predict::Factorization::QR}) {
+    core::RunOptions o;
+    o.factorization = f;
+    o.n = n;
+    o.b = core::tuned_block(n);
+    o.strategy = core::StrategyKind::Original;
+    const core::RunReport org = dec.run(o);
+    o.strategy = core::StrategyKind::SR;
+    const core::RunReport sr = dec.run(o);
+
+    o.strategy = core::StrategyKind::BSR;
+    o.reclamation_ratio = r;
+
+    struct Variant {
+      const char* name;
+      core::ExtendedOptions ext;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"BSR (full)", {}});
+    {
+      core::ExtendedOptions e;
+      e.bsr_use_optimized_guardband = false;
+      variants.push_back({"- guardband", e});
+    }
+    {
+      core::ExtendedOptions e;
+      e.bsr_allow_overclocking = false;
+      variants.push_back({"- overclocking", e});
+    }
+    {
+      core::ExtendedOptions e;
+      e.bsr_use_enhanced_predictor = false;
+      variants.push_back({"- enhanced pred.", e});
+    }
+    {
+      core::ExtendedOptions e;
+      e.bsr_use_optimized_guardband = false;
+      e.bsr_allow_overclocking = false;
+      variants.push_back({"DVFS only", e});
+    }
+
+    TablePrinter t({"Variant", "energy (J)", "saving vs Org", "speedup"});
+    t.add_row({"SR (baseline)", TablePrinter::fmt(sr.total_energy_j(), 0),
+               TablePrinter::pct(sr.energy_saving_vs(org)),
+               TablePrinter::fmt(sr.speedup_vs(org), 2) + "x"});
+    for (const auto& v : variants) {
+      const core::RunReport rep = dec.run(o, v.ext);
+      t.add_row({v.name, TablePrinter::fmt(rep.total_energy_j(), 0),
+                 TablePrinter::pct(rep.energy_saving_vs(org)),
+                 TablePrinter::fmt(rep.speedup_vs(org), 2) + "x"});
+    }
+    std::printf("-- %s --\n%s\n", predict::to_string(f), t.to_string().c_str());
+  }
+  return 0;
+}

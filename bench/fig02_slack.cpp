@@ -1,0 +1,59 @@
+// Reproduces paper Fig. 2: per-iteration slack length while decomposing a
+// 30720 x 30720 matrix (double and single precision), Original schedule.
+// Positive values = slack on the CPU side, negative = GPU side.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table_printer.hpp"
+#include "core/decomposer.hpp"
+
+using namespace bsr;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 30720);
+  const std::int64_t b = cli.get_int("b", core::tuned_block(n));
+
+  std::printf("== Fig. 2: slack per iteration (n=%lld, b=%lld, Original)\n",
+              static_cast<long long>(n), static_cast<long long>(b));
+  std::printf("   positive = CPU-side slack, negative = GPU-side slack\n\n");
+
+  const core::Decomposer dec;
+  for (int elem_bytes : {8, 4}) {
+    TablePrinter table({"iter", "Cholesky (ms)", "LU (ms)", "QR (ms)"});
+    std::vector<std::vector<double>> series;
+    for (auto f : {predict::Factorization::Cholesky, predict::Factorization::LU,
+                   predict::Factorization::QR}) {
+      core::RunOptions o;
+      o.factorization = f;
+      o.n = n;
+      o.b = b;
+      o.strategy = core::StrategyKind::Original;
+      o.elem_bytes = elem_bytes;
+      series.push_back(dec.run(o).trace.slack_seconds());
+    }
+    const int iters = static_cast<int>(series[0].size());
+    const int stride = iters > 20 ? iters / 20 : 1;
+    for (int k = 0; k < iters; k += stride) {
+      table.add_row({std::to_string(k), TablePrinter::fmt(series[0][k] * 1e3, 1),
+                     TablePrinter::fmt(series[1][k] * 1e3, 1),
+                     TablePrinter::fmt(series[2][k] * 1e3, 1)});
+    }
+    std::printf("-- %s precision --\n", elem_bytes == 8 ? "Double" : "Single");
+    std::printf("%s\n", table.to_string().c_str());
+    // The headline shape: slack starts on the CPU side and flips late.
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      int flip = -1;
+      for (std::size_t k = 1; k + 1 < series[s].size(); ++k) {
+        if (series[s][k] > 0 && series[s][k + 1] < 0) {
+          flip = static_cast<int>(k + 1);
+        }
+      }
+      std::printf("   %-8s crossover at iteration %d of %d\n",
+                  predict::to_string(static_cast<predict::Factorization>(s)),
+                  flip, iters);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

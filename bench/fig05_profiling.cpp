@@ -1,0 +1,67 @@
+// Reproduces paper Fig. 5: hardware profiling of the simulated platform.
+//  (a) GPU energy efficiency vs clock, default vs optimized guardband, plus
+//      the power reduction factor alpha(f);
+//  (b) GPU SDC error rates vs clock (0D / 1D / 2D);
+//  (c) CPU energy efficiency vs clock, both guardbands;
+//  (d,e) maximum sustained core temperature vs clock, both guardbands.
+#include <cstdio>
+
+#include "common/table_printer.hpp"
+#include "core/decomposer.hpp"
+
+using namespace bsr;
+using hw::Guardband;
+
+namespace {
+
+void efficiency_table(const hw::DeviceModel& dev, const char* label) {
+  std::printf("-- %s energy efficiency (GFLOP/s per Watt, BLAS-3 kernel) --\n",
+              label);
+  TablePrinter t({"MHz", "default gb", "optimized gb", "alpha(f)", "SDC rate/s"});
+  for (hw::Mhz f = dev.freq.min_mhz; f <= dev.freq.max_oc_mhz;
+       f += dev.freq.step_mhz) {
+    const bool reachable_default = f <= dev.freq.max_default_mhz;
+    const double eff_def =
+        reachable_default ? dev.efficiency_gflops_per_watt(f, Guardband::Default)
+                          : 0.0;
+    const double eff_opt = dev.efficiency_gflops_per_watt(f, Guardband::Optimized);
+    const double alpha = dev.guardband.alpha(f, Guardband::Optimized, dev.freq);
+    const double sdc = dev.errors.rates(f, Guardband::Optimized).total();
+    t.add_row({std::to_string(f),
+               reachable_default ? TablePrinter::fmt(eff_def, 3) : "n/a",
+               TablePrinter::fmt(eff_opt, 3), TablePrinter::fmt(alpha, 3),
+               sdc > 0 ? TablePrinter::fmt(sdc, 4) : "0 (fault-free)"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+}
+
+void thermal_table(const hw::DeviceModel& dev, const char* label) {
+  std::printf("-- %s maximum sustained core temperature (C) --\n", label);
+  TablePrinter t({"MHz", "default gb", "optimized gb"});
+  for (hw::Mhz f = dev.freq.min_mhz; f <= dev.freq.max_oc_mhz;
+       f += 2 * dev.freq.step_mhz) {
+    const double td = dev.thermal.max_sustained_temp(f, Guardband::Default,
+                                                     dev.power, dev.guardband,
+                                                     dev.freq);
+    const double to = dev.thermal.max_sustained_temp(f, Guardband::Optimized,
+                                                     dev.power, dev.guardband,
+                                                     dev.freq);
+    t.add_row({std::to_string(f), TablePrinter::fmt(td, 1),
+               TablePrinter::fmt(to, 1)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const auto p = hw::PlatformProfile::paper_default();
+  std::printf("== Fig. 5: profiling of the simulated CPU and GPU ==\n\n");
+  efficiency_table(p.gpu, "GPU (a,b)");
+  efficiency_table(p.cpu, "CPU (c)");
+  thermal_table(p.gpu, "GPU (d)");
+  thermal_table(p.cpu, "CPU (e)");
+  std::printf("GPU fault-free overclocking limit: %d MHz\n",
+              p.gpu.fault_free_max());
+  return 0;
+}

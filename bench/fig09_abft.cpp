@@ -1,0 +1,97 @@
+// Reproduces paper Fig. 9: overhead and correctness of the ABFT schemes under
+// BSR (r = 0.25) with overclocking-induced SDCs.
+//
+// The paper repeats a 30720^2 LU decomposition 100,000 times on real hardware;
+// we run reduced-size *numeric* decompositions on the numeric_demo platform
+// (paper-scale op durations, real math, real injection, real checksums) for a
+// configurable number of trials per scheme. Overheads come from the timing
+// model; correctness from the actual residuals.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table_printer.hpp"
+#include "core/decomposer.hpp"
+
+using namespace bsr;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 768);
+  const std::int64_t b = cli.get_int("b", 32);
+  const int trials = static_cast<int>(cli.get_int("trials", 40));
+  const double mult = cli.get_double("rate_multiplier", 150.0);
+
+  std::printf(
+      "== Fig. 9: ABFT overhead and correctness, LU numeric runs ==\n"
+      "   n=%lld b=%lld trials=%d/scheme rate_multiplier=%.0f (exposure\n"
+      "   compression, see DESIGN.md), BSR r=0.25 on the numeric_demo platform\n\n",
+      static_cast<long long>(n), static_cast<long long>(b), trials, mult);
+
+  const core::Decomposer dec(hw::PlatformProfile::numeric_demo());
+  core::RunOptions base;
+  base.factorization = predict::Factorization::LU;
+  base.n = n;
+  base.b = b;
+  base.strategy = core::StrategyKind::BSR;
+  base.reclamation_ratio = 0.25;
+  base.fc_desired = 0.999;
+  base.mode = core::ExecutionMode::Numeric;
+  base.error_rate_multiplier = mult;
+
+  // Baseline wall time without any protection, for the overhead column.
+  core::RunOptions timing = base;
+  timing.mode = core::ExecutionMode::TimingOnly;
+  const double t_none =
+      dec.run(timing, core::ExtendedOptions{core::AbftPolicy::ForceNone})
+          .seconds();
+
+  TablePrinter t({"Scheme", "Overhead", "Correct runs (95% CI)", "Injected",
+                  "Corrected", "Uncorrectable", "Recoveries"});
+  const struct {
+    core::AbftPolicy policy;
+    bool recover;
+    const char* name;
+  } schemes[] = {
+      {core::AbftPolicy::ForceNone, false, "No FT"},
+      {core::AbftPolicy::ForceSingle, false, "Single-ABFT"},
+      {core::AbftPolicy::ForceSingle, true, "Single + recovery"},
+      {core::AbftPolicy::ForceFull, false, "Full-ABFT"},
+      {core::AbftPolicy::Adaptive, false, "Adaptive ABFT"},
+  };
+  for (const auto& scheme : schemes) {
+    int correct = 0;
+    long injected = 0;
+    long corrected = 0;
+    long uncorrectable = 0;
+    long recoveries = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      core::RunOptions o = base;
+      o.seed = 1000 + static_cast<std::uint64_t>(trial);
+      o.recover_uncorrectable = scheme.recover;
+      const core::RunReport r =
+          dec.run(o, core::ExtendedOptions{scheme.policy});
+      if (r.numeric_correct) ++correct;
+      injected += r.abft.errors_injected_total();
+      corrected += r.abft.corrected_0d + r.abft.corrected_1d;
+      uncorrectable += r.abft.uncorrectable;
+      recoveries += r.abft.recoveries;
+    }
+    const double overhead =
+        dec.run(timing, core::ExtendedOptions{scheme.policy}).seconds() /
+            t_none -
+        1.0;
+    const stats::Proportion ci = stats::wilson_interval(correct, trials);
+    t.add_row({scheme.name, TablePrinter::pct(overhead),
+               TablePrinter::pct(ci.estimate) + " [" +
+                   TablePrinter::pct(ci.lo, 0) + ", " +
+                   TablePrinter::pct(ci.hi, 0) + "]",
+               std::to_string(injected), std::to_string(corrected),
+               std::to_string(uncorrectable), std::to_string(recoveries)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "(paper, 100k trials at n=30720: No FT 23.28%% correct / 0%% overhead,\n"
+      " Single 76.11%% / 8%%, Full 100%% / 12%%, Adaptive 100%% / 4%%)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces paper Fig. 12: overall energy saving (a) and ED2P reduction (b)
+// of R2H / SR / BSR relative to the Original design, n=30720 dp, r=0.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table_printer.hpp"
+#include "core/decomposer.hpp"
+
+using namespace bsr;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 30720);
+  const std::int64_t b = cli.get_int("b", 512);
+  const core::Decomposer dec;
+
+  std::printf("== Fig. 12: overall energy saving and ED2P reduction, n=%lld ==\n\n",
+              static_cast<long long>(n));
+  TablePrinter ta({"Factorization", "R2H", "SR", "BSR (ours)"});
+  TablePrinter tb({"Factorization", "R2H", "SR", "BSR (ours)"});
+  for (auto f : {predict::Factorization::Cholesky, predict::Factorization::LU,
+                 predict::Factorization::QR}) {
+    core::RunOptions o;
+    o.factorization = f;
+    o.n = n;
+    o.b = b;
+    o.strategy = core::StrategyKind::Original;
+    const core::RunReport org = dec.run(o);
+    o.strategy = core::StrategyKind::R2H;
+    const core::RunReport r2h = dec.run(o);
+    o.strategy = core::StrategyKind::SR;
+    const core::RunReport sr = dec.run(o);
+    o.strategy = core::StrategyKind::BSR;
+    const core::RunReport bsr = dec.run(o);
+    ta.add_row({predict::to_string(f),
+                TablePrinter::pct(r2h.energy_saving_vs(org)),
+                TablePrinter::pct(sr.energy_saving_vs(org)),
+                TablePrinter::pct(bsr.energy_saving_vs(org))});
+    tb.add_row({predict::to_string(f),
+                TablePrinter::pct(r2h.ed2p_reduction_vs(org)),
+                TablePrinter::pct(sr.ed2p_reduction_vs(org)),
+                TablePrinter::pct(bsr.ed2p_reduction_vs(org))});
+  }
+  std::printf("-- (a) energy saving vs Original --\n%s\n", ta.to_string().c_str());
+  std::printf("-- (b) ED2P reduction vs Original --\n%s\n", tb.to_string().c_str());
+  std::printf(
+      "(paper (a): R2H ~13-14%%, SR ~20-21%%, BSR 28.2-30.7%%;\n"
+      " paper (b): BSR 29.3-31.6%% vs Original, 10.8-14.1%% vs SR)\n");
+  return 0;
+}

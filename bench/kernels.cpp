@@ -1,0 +1,124 @@
+// Google Benchmark micro-benchmarks for the numeric substrate: the BLAS-3 and
+// factorization kernels that back the numeric execution mode, plus the ABFT
+// checksum primitives. These are host-side sanity benchmarks (the *simulated*
+// device performance comes from hw::PerfModel, not from these numbers).
+#include <benchmark/benchmark.h>
+
+#include "abft/checksum.hpp"
+#include "abft/update.hpp"
+#include "common/rng.hpp"
+#include "la/lapack.hpp"
+
+using namespace bsr;
+using la::idx;
+using la::Matrix;
+
+namespace {
+
+Matrix<double> random_matrix(idx m, idx n, std::uint64_t seed) {
+  Matrix<double> a(m, n);
+  Rng rng(seed);
+  la::fill_random(a.view(), rng);
+  return a;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const idx n = state.range(0);
+  const Matrix<double> a = random_matrix(n, n, 1);
+  const Matrix<double> b = random_matrix(n, n, 2);
+  Matrix<double> c(n, n);
+  for (auto _ : state) {
+    la::gemm(la::Op::NoTrans, la::Op::NoTrans, 1.0, a.view(), b.view(), 0.0,
+             c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Potrf(benchmark::State& state) {
+  const idx n = state.range(0);
+  Matrix<double> spd(n, n);
+  Rng rng(3);
+  la::fill_spd(spd.view(), rng);
+  for (auto _ : state) {
+    Matrix<double> a = spd;
+    benchmark::DoNotOptimize(la::potrf(a.view(), 64));
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      n * n * n / 3.0 * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Potrf)->Arg(256)->Arg(512);
+
+void BM_Getrf(benchmark::State& state) {
+  const idx n = state.range(0);
+  const Matrix<double> src = random_matrix(n, n, 4);
+  std::vector<idx> ipiv;
+  for (auto _ : state) {
+    Matrix<double> a = src;
+    benchmark::DoNotOptimize(la::getrf(a.view(), 64, ipiv));
+  }
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(2.0 * n * n * n / 3.0 * state.iterations() / 1e9,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Getrf)->Arg(256)->Arg(512);
+
+void BM_Geqrf(benchmark::State& state) {
+  const idx n = state.range(0);
+  const Matrix<double> src = random_matrix(n, n, 5);
+  std::vector<double> tau;
+  for (auto _ : state) {
+    Matrix<double> a = src;
+    benchmark::DoNotOptimize(la::geqrf(a.view(), 64, tau));
+  }
+  state.counters["GFLOP/s"] =
+      benchmark::Counter(4.0 * n * n * n / 3.0 * state.iterations() / 1e9,
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Geqrf)->Arg(256)->Arg(512);
+
+void BM_ChecksumEncode(benchmark::State& state) {
+  const idx n = state.range(0);
+  const Matrix<double> a = random_matrix(n, n, 6);
+  abft::BlockChecksums<double> chk(n, n, 64, abft::ChecksumMode::Full);
+  for (auto _ : state) {
+    chk.encode(a.view());
+    benchmark::DoNotOptimize(chk.col_checksums().data());
+  }
+}
+BENCHMARK(BM_ChecksumEncode)->Arg(256)->Arg(512);
+
+void BM_ChecksumVerify(benchmark::State& state) {
+  const idx n = state.range(0);
+  Matrix<double> a = random_matrix(n, n, 7);
+  abft::BlockChecksums<double> chk(n, n, 64, abft::ChecksumMode::Full);
+  chk.encode(a.view());
+  for (auto _ : state) {
+    const auto r = chk.verify_and_correct(
+        a.view(), abft::BlockChecksums<double>::suggested_tolerance(
+                      a.view(), 64));
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_ChecksumVerify)->Arg(256)->Arg(512);
+
+void BM_ProtectedGemmUpdate(benchmark::State& state) {
+  const idx n = state.range(0);
+  const idx kb = 64;
+  const Matrix<double> l = random_matrix(n, kb, 8);
+  const Matrix<double> u = random_matrix(kb, n, 9);
+  Matrix<double> c0 = random_matrix(n, n, 10);
+  abft::BlockChecksums<double> chk(n, n, 64, abft::ChecksumMode::Full);
+  chk.encode(c0.view());
+  for (auto _ : state) {
+    Matrix<double> c = c0;
+    abft::BlockChecksums<double> k2 = chk;
+    abft::protected_gemm_update(c.view(), l.view(), u.view(), k2);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_ProtectedGemmUpdate)->Arg(256)->Arg(512);
+
+}  // namespace

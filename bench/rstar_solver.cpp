@@ -1,0 +1,41 @@
+// Reproduces the paper's §3.2.3 analysis: the energy-neutral reclamation
+// ratio r* obtained by solving dE_CPU(r) + dE_GPU(r) = 0 per iteration and
+// averaging (paper: 0.28 Cholesky / 0.26 LU / 0.31 QR at n=30720).
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table_printer.hpp"
+#include "core/decomposer.hpp"
+#include "energy/pareto.hpp"
+
+using namespace bsr;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 30720);
+  const core::Decomposer dec;
+
+  std::printf("== Energy-neutral reclamation ratio r* (paper §3.2.3) ==\n\n");
+  TablePrinter t({"Factorization", "analytic r*", "paper r*"});
+  const char* paper_vals[] = {"0.28", "0.26", "0.31"};
+  int i = 0;
+  for (auto f : {predict::Factorization::Cholesky, predict::Factorization::LU,
+                 predict::Factorization::QR}) {
+    core::RunOptions o;
+    o.factorization = f;
+    o.n = n;
+    o.b = core::tuned_block(n);
+    o.strategy = core::StrategyKind::Original;
+    const core::RunReport org = dec.run(o);
+    const double r_star =
+        energy::average_energy_neutral_r(org.trace, dec.platform());
+    t.add_row({predict::to_string(f), TablePrinter::fmt(r_star, 3),
+               paper_vals[i++]});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "(our calibrated guardband alpha is deeper than the authors' measured\n"
+      " curve, which shifts the analytic neutral point upward; the ordering\n"
+      " Cholesky < QR and the existence of an interior optimum reproduce)\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Table 1: theoretical ABFT fault coverage of the TMU
+// operation at the 5th, 10th and 15th iteration of LU (n=30720, b=512) across
+// overclocking frequencies 1800-2200 MHz.
+#include <cstdio>
+#include <string>
+
+#include "abft/coverage.hpp"
+#include "common/cli.hpp"
+#include "common/table_printer.hpp"
+#include "core/decomposer.hpp"
+
+using namespace bsr;
+
+namespace {
+
+std::string label(double fc, bool fault_free) {
+  if (const char* s = abft::coverage_label_static(fc, fault_free)) return s;
+  return TablePrinter::pct(fc, 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 30720);
+  const std::int64_t b = cli.get_int("b", 512);
+  const auto platform = hw::PlatformProfile::paper_default();
+  const predict::WorkloadModel wl{predict::Factorization::LU, n, b, 8};
+  const std::int64_t blocks = (n / b) * (n / b);
+
+  std::printf("== Table 1: ABFT fault coverage, LU TMU, n=%lld b=%lld ==\n\n",
+              static_cast<long long>(n), static_cast<long long>(b));
+  TablePrinter t({"Iter", "ABFT", "1800MHz", "1900MHz", "2000MHz", "2100MHz",
+                  "2200MHz"});
+  for (int iter : {5, 10, 15}) {
+    const double tmu_flops = wl.iteration(iter).tmu_flops;
+    std::vector<std::string> single_row = {std::to_string(iter) + "th", "Single"};
+    std::vector<std::string> full_row = {"", "Full"};
+    for (hw::Mhz f = 1800; f <= 2200; f += 100) {
+      const double t_op =
+          platform.gpu.perf
+              .time_for_flops(tmu_flops, hw::KernelClass::Blas3, f,
+                              platform.gpu.freq)
+              .seconds();
+      const hw::ErrorRates rates =
+          platform.gpu.errors.rates(f, hw::Guardband::Optimized);
+      single_row.push_back(
+          label(abft::fc_single(rates, t_op, blocks), rates.fault_free()));
+      full_row.push_back(
+          label(abft::fc_full(rates, t_op, blocks), rates.fault_free()));
+    }
+    t.add_row(single_row);
+    t.add_row(full_row);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("(\"Full Coverage\" = FC > 99.9999%%, as in the paper)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Energy tuning: pick a BSR operating point on the Pareto front.
+//
+// Scenario: a cluster operator runs nightly 30720^2 Cholesky factorizations
+// (e.g. covariance solves) and wants the fastest configuration that does not
+// exceed the Original design's energy bill — exactly the trade-off the
+// paper's reclamation ratio controls.
+//
+//   ./energy_tuning [--n=30720] [--fact=cholesky] [--budget=1.0]
+//
+// --budget is the allowed energy relative to Original (1.0 = no extra energy).
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table_printer.hpp"
+#include "core/decomposer.hpp"
+#include "energy/pareto.hpp"
+
+using namespace bsr;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  core::RunOptions options;
+  options.n = cli.get_int("n", 30720);
+  options.b = core::tuned_block(options.n);
+  options.factorization =
+      core::factorization_from_string(cli.get("fact", "cholesky"));
+  const double budget = cli.get_double("budget", 1.0);
+
+  const core::Decomposer dec;
+  options.strategy = core::StrategyKind::Original;
+  const core::RunReport original = dec.run(options);
+  std::printf("Baseline (Original): %.2f s, %.0f J\n\n", original.seconds(),
+              original.total_energy_j());
+
+  // The analytic starting point from the paper's closed forms...
+  const double r_star =
+      energy::average_energy_neutral_r(original.trace, dec.platform());
+  std::printf("Analytic energy-neutral r* (paper §3.2.3): %.3f\n\n", r_star);
+
+  // ...refined by an actual sweep of the simulator.
+  options.strategy = core::StrategyKind::BSR;
+  TablePrinter t({"r", "time (s)", "energy (J)", "speedup", "energy vs budget"});
+  double best_r = 0.0;
+  double best_speedup = 0.0;
+  for (double r = 0.0; r <= 0.55; r += 0.05) {
+    options.reclamation_ratio = r;
+    const core::RunReport rep = dec.run(options);
+    const double rel = rep.total_energy_j() / original.total_energy_j();
+    const bool ok = rel <= budget;
+    if (ok && rep.speedup_vs(original) > best_speedup) {
+      best_speedup = rep.speedup_vs(original);
+      best_r = r;
+    }
+    t.add_row({TablePrinter::fmt(r, 2), TablePrinter::fmt(rep.seconds(), 2),
+               TablePrinter::fmt(rep.total_energy_j(), 0),
+               TablePrinter::fmt(rep.speedup_vs(original), 2) + "x",
+               TablePrinter::pct(rel / budget) + (ok ? " ok" : " over")});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("Recommended operating point: r = %.2f (%.2fx faster than the\n"
+              "Original design at <= %.0f%% of its energy)\n",
+              best_r, best_speedup, budget * 100.0);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fault-tolerant solve: a linear system factorized under aggressive
+// overclocking, with SDCs injected into the trailing updates and repaired by
+// adaptive ABFT — the paper's ABFT-OC in action, end to end with real math.
+//
+// Scenario: a time-critical control application (the paper's intro motivates
+// power-grid transient stability and adaptive optics) needs the fastest
+// factorization the hardware can deliver, but silent corruption of the
+// factors would be catastrophic.
+//
+//   ./fault_tolerant_solve [--n=768] [--b=32] [--rate_multiplier=150]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/decomposer.hpp"
+
+using namespace bsr;
+
+namespace {
+
+void report(const char* name, const core::RunReport& r) {
+  std::printf("%-22s residual %.2e  injected %2d  corrected %2d  -> %s\n", name,
+              r.residual, r.abft.errors_injected_total(),
+              r.abft.corrected_0d + r.abft.corrected_1d,
+              r.numeric_correct ? "factors intact" : "FACTORS CORRUPTED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  core::RunOptions options;
+  options.factorization = predict::Factorization::LU;
+  options.n = cli.get_int("n", 768);
+  options.b = cli.get_int("b", 32);
+  options.strategy = core::StrategyKind::BSR;
+  options.reclamation_ratio = 0.25;  // overclock into SDC territory
+  options.fc_desired = 0.999;
+  options.mode = core::ExecutionMode::Numeric;
+  options.error_rate_multiplier = cli.get_double("rate_multiplier", 150.0);
+  options.seed = cli.get_int("seed", 11);
+
+  // numeric_demo: paper-scale op durations at a numerically tractable size.
+  const core::Decomposer dec(hw::PlatformProfile::numeric_demo());
+
+  std::printf("LU factorization of a %lldx%lld system under BSR r=0.25\n"
+              "(GPU overclocked past its fault-free limit in late iterations)\n\n",
+              static_cast<long long>(options.n),
+              static_cast<long long>(options.n));
+
+  const core::RunReport unprotected =
+      dec.run(options, core::ExtendedOptions{core::AbftPolicy::ForceNone});
+  report("No fault tolerance:", unprotected);
+
+  const core::RunReport adaptive = dec.run(options);
+  report("Adaptive ABFT:", adaptive);
+
+  const core::RunReport full =
+      dec.run(options, core::ExtendedOptions{core::AbftPolicy::ForceFull});
+  report("Always-on full ABFT:", full);
+
+  std::printf(
+      "\nAdaptive ABFT protected %d of %zu iterations (%d single-side, %d "
+      "full)\nand spent %.1f%% less GPU time on checksums than always-on "
+      "full.\n",
+      adaptive.abft.iterations_protected_single +
+          adaptive.abft.iterations_protected_full,
+      adaptive.trace.iterations.size(),
+      adaptive.abft.iterations_protected_single,
+      adaptive.abft.iterations_protected_full,
+      100.0 * (1.0 - [&] {
+        double a = 0.0;
+        double f = 0.0;
+        for (const auto& it : adaptive.trace.iterations) {
+          a += it.abft_time.seconds();
+        }
+        for (const auto& it : full.trace.iterations) f += it.abft_time.seconds();
+        return f > 0.0 ? a / f : 1.0;
+      }()));
+  return 0;
+}

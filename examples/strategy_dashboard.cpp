@@ -1,0 +1,56 @@
+// Strategy dashboard: one-screen comparison of all four energy-management
+// strategies across the three factorizations — the library's "evaluation at a
+// glance" (paper Figs. 11-12 condensed).
+//
+//   ./strategy_dashboard [--n=30720]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table_printer.hpp"
+#include "core/decomposer.hpp"
+
+using namespace bsr;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::int64_t n = cli.get_int("n", 30720);
+  const std::int64_t b = core::tuned_block(n);
+  const core::Decomposer dec;
+
+  std::printf("Energy-management dashboard, n=%lld, b=%lld, double precision\n",
+              static_cast<long long>(n), static_cast<long long>(b));
+  std::printf("platform: %s + %s\n\n", dec.platform().cpu.name.c_str(),
+              dec.platform().gpu.name.c_str());
+
+  for (auto f : {predict::Factorization::Cholesky, predict::Factorization::LU,
+                 predict::Factorization::QR}) {
+    core::RunOptions o;
+    o.factorization = f;
+    o.n = n;
+    o.b = b;
+    o.strategy = core::StrategyKind::Original;
+    const core::RunReport org = dec.run(o);
+
+    TablePrinter t({"Strategy", "time (s)", "GFLOP/s", "energy (J)",
+                    "saving", "ED2P cut"});
+    auto add = [&](const char* name, const core::RunReport& r) {
+      t.add_row({name, TablePrinter::fmt(r.seconds(), 2),
+                 TablePrinter::fmt(r.gflops(), 0),
+                 TablePrinter::fmt(r.total_energy_j(), 0),
+                 TablePrinter::pct(r.energy_saving_vs(org)),
+                 TablePrinter::pct(r.ed2p_reduction_vs(org))});
+    };
+    add("Original", org);
+    for (auto s : {core::StrategyKind::R2H, core::StrategyKind::SR}) {
+      o.strategy = s;
+      add(core::to_string(s), dec.run(o));
+    }
+    o.strategy = core::StrategyKind::BSR;
+    o.reclamation_ratio = 0.0;
+    add("BSR (max saving)", dec.run(o));
+    o.reclamation_ratio = 0.25;
+    add("BSR (r=0.25)", dec.run(o));
+    std::printf("-- %s --\n%s\n", predict::to_string(f), t.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "abft/adaptive.hpp"
+
+#include "abft/coverage.hpp"
+
+namespace bsr::abft {
+
+AbftDecision abft_oc(double fc_desired, hw::Mhz f_desired,
+                     const hw::DeviceModel& gpu, double t_base_seconds,
+                     std::int64_t blocks) {
+  AbftDecision d;
+  d.freq = gpu.freq.clamp(f_desired, /*optimized_guardband=*/true);
+  for (;;) {
+    const hw::ErrorRates rates = gpu.errors.rates(d.freq, hw::Guardband::Optimized);
+    if (rates.fault_free()) {
+      d.mode = ChecksumMode::None;
+      d.coverage = 1.0;
+      return d;
+    }
+    const double t_projected =
+        t_base_seconds * static_cast<double>(gpu.freq.base_mhz) /
+        static_cast<double>(d.freq);
+    const double single = fc_single(rates, t_projected, blocks);
+    if (single >= fc_desired) {
+      d.mode = ChecksumMode::SingleSide;
+      d.coverage = single;
+      return d;
+    }
+    const double full = fc_full(rates, t_projected, blocks);
+    if (full >= fc_desired) {
+      d.mode = ChecksumMode::Full;
+      d.coverage = full;
+      return d;
+    }
+    if (d.freq - gpu.freq.step_mhz < gpu.freq.min_mhz) {
+      // Cannot go lower; settle for full checksums at the floor.
+      d.mode = ChecksumMode::Full;
+      d.coverage = full;
+      return d;
+    }
+    d.freq -= gpu.freq.step_mhz;
+  }
+}
+
+}  // namespace bsr::abft

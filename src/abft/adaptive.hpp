@@ -1,0 +1,33 @@
+// Adaptive-ABFT strategy — paper Algorithm 1 (ABFT-OC).
+//
+// Given the desired GPU frequency BSR wants, the predicted operation time and
+// a target fault coverage, pick the cheapest checksum scheme that still covers
+// all expected errors, lowering the frequency step by step when even full
+// checksums cannot reach the target. At fault-free frequencies ABFT is
+// disabled entirely — the paper's key overhead saving over always-on ABFT.
+#pragma once
+
+#include <cstdint>
+
+#include "abft/checksum.hpp"
+#include "hw/platform.hpp"
+
+namespace bsr::abft {
+
+struct AbftDecision {
+  hw::Mhz freq = 0;                          ///< possibly lowered frequency
+  ChecksumMode mode = ChecksumMode::None;    ///< protection to enable
+  double coverage = 1.0;                     ///< estimated FC at the decision
+};
+
+/// Paper Algorithm 1. `t_base_seconds` is the predicted GPU op time at the
+/// base clock; the projected time at a candidate frequency scales inversely
+/// with frequency. (The paper's listing prints the ratio upside down —
+/// F_desired / F_BASE — which would make overclocked intervals *longer*; we
+/// implement the physically meaningful direction and note the deviation.)
+/// `blocks` is S = (n/b)^2.
+AbftDecision abft_oc(double fc_desired, hw::Mhz f_desired,
+                     const hw::DeviceModel& gpu, double t_base_seconds,
+                     std::int64_t blocks);
+
+}  // namespace bsr::abft

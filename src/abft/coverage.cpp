@@ -1,0 +1,71 @@
+#include "abft/coverage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bsr::abft {
+
+namespace {
+
+/// Upper summation bound for a Poisson tail: mean + 10 sqrt(mean) + 16 keeps
+/// the truncation error far below the 1e-6 coverage resolution we report.
+int poisson_cutoff(double mean) {
+  return static_cast<int>(mean + 10.0 * std::sqrt(std::max(mean, 1.0)) + 16.0);
+}
+
+/// prod_{i=0}^{count} (S - i) / S — the paper's distinct-block factor.
+double distinct_block_factor(int count, std::int64_t s) {
+  double prod = 1.0;
+  for (int i = 0; i <= count; ++i) {
+    const double term = static_cast<double>(s - i) / static_cast<double>(s);
+    if (term <= 0.0) return 0.0;
+    prod *= term;
+  }
+  return prod;
+}
+
+double poisson_pmf(int k, double mean) {
+  // exp(-m) m^k / k! computed in log space for robustness.
+  double log_p = -mean + k * std::log(std::max(mean, 1e-300));
+  for (int i = 2; i <= k; ++i) log_p -= std::log(static_cast<double>(i));
+  return std::exp(log_p);
+}
+
+}  // namespace
+
+double fc_single(const hw::ErrorRates& rates, double t_seconds,
+                 std::int64_t blocks) {
+  if (rates.fault_free()) return 1.0;
+  const double m0 = rates.d0 * t_seconds;
+  double sum = 0.0;
+  const int kmax = std::min<int>(poisson_cutoff(m0), static_cast<int>(blocks));
+  for (int k = 0; k <= kmax; ++k) {
+    sum += poisson_pmf(k, m0) * distinct_block_factor(k, blocks);
+  }
+  return sum * std::exp(-rates.d1 * t_seconds) * std::exp(-rates.d2 * t_seconds);
+}
+
+double fc_full(const hw::ErrorRates& rates, double t_seconds,
+               std::int64_t blocks) {
+  if (rates.fault_free()) return 1.0;
+  const double m0 = rates.d0 * t_seconds;
+  const double m1 = rates.d1 * t_seconds;
+  const int kmax = std::min<int>(poisson_cutoff(m0), static_cast<int>(blocks));
+  const int jmax = std::min<int>(poisson_cutoff(m1), static_cast<int>(blocks));
+  double sum = 0.0;
+  for (int k = 0; k <= kmax; ++k) {
+    const double pk = poisson_pmf(k, m0);
+    for (int j = 0; j <= jmax && k + j <= blocks; ++j) {
+      sum += pk * poisson_pmf(j, m1) * distinct_block_factor(k + j, blocks);
+    }
+  }
+  return sum * std::exp(-rates.d2 * t_seconds);
+}
+
+const char* coverage_label_static(double fc, bool fault_free) {
+  if (fault_free) return "Fault-free";
+  if (fc > kFullCoverageThreshold) return "Full Coverage";
+  return nullptr;  // caller formats the percentage
+}
+
+}  // namespace bsr::abft

@@ -1,0 +1,36 @@
+// Fault-coverage estimation — paper §3.1.2 closed forms.
+//
+// Errors of each propagation degree arrive as independent Poisson processes
+// with rates lambda(f, type). Per-block checksums tolerate at most one strike
+// per block per detection interval (one decomposition iteration), so coverage
+// is the probability that every strike lands in a distinct block and that no
+// error class beyond the scheme's strength occurs:
+//
+//   FC_single(f,T) = [ sum_k P(k; l0 T) prod_{i=0..k} (S-i)/S ] e^{-l1 T} e^{-l2 T}
+//   FC_full(f,T)   = [ sum_{k,j} P(k; l0 T) P(j; l1 T) prod_{i=0..k+j} (S-i)/S ] e^{-l2 T}
+//
+// with S = (n/b)^2 blocks. The paper calls FC > 99.9999% "Full Coverage".
+#pragma once
+
+#include <cstdint>
+
+#include "hw/error_model.hpp"
+
+namespace bsr::abft {
+
+inline constexpr double kFullCoverageThreshold = 0.999999;
+
+/// Probability single-side checksum ABFT detects and corrects everything in
+/// one interval of length t_seconds with `blocks` = S protected blocks.
+double fc_single(const hw::ErrorRates& rates, double t_seconds,
+                 std::int64_t blocks);
+
+/// Same for full-checksum ABFT (tolerates 0D and 1D).
+double fc_full(const hw::ErrorRates& rates, double t_seconds,
+               std::int64_t blocks);
+
+/// Human-readable label used by the Table-1 bench ("Full Coverage",
+/// "Fault-free", or a percentage).
+const char* coverage_label_static(double fc, bool fault_free);
+
+}  // namespace bsr::abft

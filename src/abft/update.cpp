@@ -1,0 +1,21 @@
+#include "abft/update.hpp"
+
+namespace bsr::abft {
+
+template <typename T>
+void protected_gemm_update(la::MatrixView<T> c, la::ConstMatrixView<T> l,
+                           la::ConstMatrixView<T> u, BlockChecksums<T>& chk) {
+  la::gemm(la::Op::NoTrans, la::Op::NoTrans, T(-1), l, u, T(1), c);
+  chk.update_gemm(l, u);
+}
+
+template void protected_gemm_update<float>(la::MatrixView<float>,
+                                           la::ConstMatrixView<float>,
+                                           la::ConstMatrixView<float>,
+                                           BlockChecksums<float>&);
+template void protected_gemm_update<double>(la::MatrixView<double>,
+                                            la::ConstMatrixView<double>,
+                                            la::ConstMatrixView<double>,
+                                            BlockChecksums<double>&);
+
+}  // namespace bsr::abft

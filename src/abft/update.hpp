@@ -1,0 +1,29 @@
+// ABFT-protected trailing-matrix operations.
+//
+// Thin compositions of a numeric kernel with the matching checksum
+// propagation, so the pipeline performs "operation + checksum update" as one
+// step (the cost the paper's Table 2 charges to the Computation & Checksum
+// Update column).
+#pragma once
+
+#include "abft/checksum.hpp"
+#include "la/blas.hpp"
+
+namespace bsr::abft {
+
+/// c := c - l * u, with the column/row checksums of c propagated through the
+/// update (no re-encode needed afterwards).
+template <typename T>
+void protected_gemm_update(la::MatrixView<T> c, la::ConstMatrixView<T> l,
+                           la::ConstMatrixView<T> u, BlockChecksums<T>& chk);
+
+extern template void protected_gemm_update<float>(la::MatrixView<float>,
+                                                  la::ConstMatrixView<float>,
+                                                  la::ConstMatrixView<float>,
+                                                  BlockChecksums<float>&);
+extern template void protected_gemm_update<double>(la::MatrixView<double>,
+                                                   la::ConstMatrixView<double>,
+                                                   la::ConstMatrixView<double>,
+                                                   BlockChecksums<double>&);
+
+}  // namespace bsr::abft

@@ -1,0 +1,10 @@
+#include "abft/verify.hpp"
+
+namespace bsr::abft {
+
+template VerifyResult scrub<float>(const BlockChecksums<float>&,
+                                   la::MatrixView<float>);
+template VerifyResult scrub<double>(const BlockChecksums<double>&,
+                                    la::MatrixView<double>);
+
+}  // namespace bsr::abft

@@ -1,0 +1,44 @@
+// Verification conveniences and run-level ABFT statistics.
+#pragma once
+
+#include "abft/checksum.hpp"
+
+namespace bsr::abft {
+
+/// Accumulated over a whole decomposition run (reported in Fig. 9 / RunReport).
+struct AbftStats {
+  int iterations_protected_single = 0;
+  int iterations_protected_full = 0;
+  int iterations_unprotected = 0;
+  int errors_injected_0d = 0;
+  int errors_injected_1d = 0;
+  int errors_injected_2d = 0;
+  int corrected_0d = 0;
+  int corrected_1d = 0;
+  int uncorrectable = 0;
+  int recoveries = 0;  ///< iterations redone after an uncorrectable detection
+
+  void merge_verify(const VerifyResult& r) {
+    corrected_0d += r.corrected_0d;
+    corrected_1d += r.corrected_1d;
+    uncorrectable += r.uncorrectable;
+  }
+  [[nodiscard]] int errors_injected_total() const {
+    return errors_injected_0d + errors_injected_1d + errors_injected_2d;
+  }
+  [[nodiscard]] bool all_corrected() const { return uncorrectable == 0; }
+};
+
+/// Runs verify-and-correct with the suggested tolerance for the region.
+template <typename T>
+VerifyResult scrub(const BlockChecksums<T>& chk, la::MatrixView<T> a) {
+  return chk.verify_and_correct(
+      a, BlockChecksums<T>::suggested_tolerance(a.as_const(), chk.block()));
+}
+
+extern template VerifyResult scrub<float>(const BlockChecksums<float>&,
+                                          la::MatrixView<float>);
+extern template VerifyResult scrub<double>(const BlockChecksums<double>&,
+                                           la::MatrixView<double>);
+
+}  // namespace bsr::abft

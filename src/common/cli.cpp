@@ -1,0 +1,48 @@
+#include "common/cli.hpp"
+
+#include <stdexcept>
+
+namespace bsr {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // Google Benchmark flags pass through untouched.
+    if (arg.rfind("--benchmark", 0) == 0) continue;
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags_[arg] = "1";
+    } else {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::stod(it->second);
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+}  // namespace bsr

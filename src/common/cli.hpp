@@ -1,0 +1,26 @@
+// Minimal --key=value flag parsing shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bsr {
+
+class Cli {
+ public:
+  /// Parses argv of the form --name=value (or bare --name, treated as "1").
+  /// Unrecognized positional arguments throw.
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name, const std::string& def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace bsr

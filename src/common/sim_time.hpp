@@ -1,0 +1,50 @@
+// Simulated-time primitives.
+//
+// The whole platform simulator advances an integer nanosecond clock instead of
+// reading wall time, so every experiment is deterministic and independent of
+// container noise. Durations are produced by the performance model
+// (hw::PerfModel) and consumed by the scheduler timelines and energy meter.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace bsr {
+
+/// Simulated duration / timestamp in integer nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  /// Construct from seconds, rounding to the nearest nanosecond.
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr SimTime from_millis(double ms) { return from_seconds(ms * 1e-3); }
+  static constexpr SimTime from_micros(double us) { return from_seconds(us * 1e-6); }
+  static constexpr SimTime zero() { return SimTime(0); }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr SimTime& operator+=(SimTime o) { ns_ += o.ns_; return *this; }
+  constexpr SimTime& operator-=(SimTime o) { ns_ -= o.ns_; return *this; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime(a.ns_ + b.ns_); }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime(a.ns_ - b.ns_); }
+  friend constexpr SimTime operator*(SimTime a, double k) {
+    return from_seconds(a.seconds() * k);
+  }
+  friend constexpr SimTime operator*(double k, SimTime a) { return a * k; }
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+inline constexpr SimTime max(SimTime a, SimTime b) { return a < b ? b : a; }
+inline constexpr SimTime min(SimTime a, SimTime b) { return a < b ? a : b; }
+
+}  // namespace bsr

@@ -1,0 +1,56 @@
+// Small statistics helpers used by benches and the slack predictor tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bsr::stats {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // sample variance (n-1)
+double stddev(std::span<const double> xs);
+double median(std::span<const double> xs);
+
+/// p in [0,1]; linear interpolation between order statistics.
+double percentile(std::span<const double> xs, double p);
+
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Least-squares fit y = a + b*x; returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Geometric mean (all inputs must be > 0).
+double geomean(std::span<const double> xs);
+
+/// Wilson score interval for a binomial proportion (successes out of trials)
+/// at ~95% confidence — used by the correctness-percentage benches to show
+/// how much the reduced trial counts widen the estimate vs the paper's 1e5.
+struct Proportion {
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+Proportion wilson_interval(int successes, int trials, double z = 1.96);
+
+/// Running mean/variance accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace bsr::stats

@@ -1,0 +1,32 @@
+// Fixed-width table output used by the benchmark harnesses so every
+// table/figure reproduction prints paper-style rows.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bsr {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row of already-formatted cells; missing cells print empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format helpers.
+  static std::string fmt(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);  // 0.283 -> "28.3%"
+
+  /// Render with a header rule and column alignment.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bsr

@@ -1,0 +1,373 @@
+#include "core/decomposer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "abft/update.hpp"
+#include "energy/baselines.hpp"
+#include "energy/bsr_strategy.hpp"
+#include "energy/sr.hpp"
+#include "fault/injector.hpp"
+#include "la/lapack.hpp"
+#include "la/verify.hpp"
+
+namespace bsr::core {
+
+using la::idx;
+
+const char* to_string(AbftPolicy p) {
+  switch (p) {
+    case AbftPolicy::Adaptive: return "Adaptive";
+    case AbftPolicy::ForceNone: return "ForceNone";
+    case AbftPolicy::ForceSingle: return "ForceSingle";
+    case AbftPolicy::ForceFull: return "ForceFull";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Relative residual above which a numeric result counts as corrupted. Clean
+/// double-precision runs land around 1e-13 (single precision around 1e-5); a
+/// single surviving SDC of our injected magnitude pushes the residual many
+/// orders of magnitude higher either way.
+template <typename T>
+constexpr double residual_threshold() {
+  return sizeof(T) == 8 ? 1e-6 : 1e-2;
+}
+
+class NumericRunnerBase {
+ public:
+  virtual ~NumericRunnerBase() = default;
+  /// Returns the number of recovery recomputations performed.
+  virtual int run_iteration(const sched::IterationOutcome& o,
+                            abft::AbftStats& stats) = 0;
+  [[nodiscard]] virtual double final_residual() const = 0;
+  [[nodiscard]] virtual double threshold() const = 0;
+};
+
+/// Executes the real factorization iteration-by-iteration, mirroring the
+/// simulated pipeline's schedule: the strategy's frequency choice determines
+/// the SDC rates, the simulated GPU busy time determines the exposure window,
+/// and the chosen checksum mode determines what gets detected and repaired.
+template <typename T>
+class NumericRunner final : public NumericRunnerBase {
+ public:
+  NumericRunner(const RunOptions& opts, const hw::DeviceModel& gpu)
+      : opts_(opts), gpu_(gpu), injector_(Rng(opts.seed ^ 0xFA17FA17ull)) {
+    Rng rng(opts.seed);
+    a_ = la::Matrix<T>(opts.n, opts.n);
+    if (opts.factorization == predict::Factorization::Cholesky) {
+      la::fill_spd(a_.view(), rng);
+    } else {
+      la::fill_random(a_.view(), rng);
+    }
+    a0_ = a_;
+    if (opts.factorization == predict::Factorization::LU) {
+      ipiv_.assign(opts.n, 0);
+    }
+    if (opts.factorization == predict::Factorization::QR) {
+      tau_.assign(opts.n, T(0));
+    }
+  }
+
+  int run_iteration(const sched::IterationOutcome& o,
+                    abft::AbftStats& stats) override {
+    recoveries_ = 0;
+    switch (opts_.factorization) {
+      case predict::Factorization::Cholesky: iterate_cholesky(o, stats); break;
+      case predict::Factorization::LU: iterate_lu(o, stats); break;
+      case predict::Factorization::QR: iterate_qr(o, stats); break;
+    }
+    return recoveries_;
+  }
+
+  [[nodiscard]] double threshold() const override {
+    return residual_threshold<T>();
+  }
+
+  [[nodiscard]] double final_residual() const override {
+    switch (opts_.factorization) {
+      case predict::Factorization::Cholesky:
+        return la::cholesky_residual(a0_.view(), a_.view());
+      case predict::Factorization::LU:
+        return la::lu_residual(a0_.view(), a_.view(), ipiv_);
+      case predict::Factorization::QR:
+        return la::qr_residual(a0_.view(), a_.view(), tau_);
+    }
+    return 0.0;
+  }
+
+ private:
+  /// Injects SDCs into the GPU-written region per the iteration's clock and
+  /// busy time, then (if protected) scrubs with the checksums. Returns the
+  /// number of mismatched blocks the checksums could not repair.
+  int expose_and_scrub(la::MatrixView<T> region, abft::BlockChecksums<T>* chk,
+                       const sched::IterationOutcome& o,
+                       abft::AbftStats& stats) {
+    const hw::ErrorRates rates =
+        gpu_.errors.rates(o.gpu_freq, hw::Guardband::Optimized);
+    const fault::InjectionCounts counts =
+        injector_.inject(region, rates, o.pu_tmu);
+    stats.errors_injected_0d += counts.d0;
+    stats.errors_injected_1d += counts.d1;
+    stats.errors_injected_2d += counts.d2;
+    if (chk == nullptr) return 0;
+    const abft::VerifyResult r = abft::scrub(*chk, region);
+    stats.merge_verify(r);
+    return r.uncorrectable;
+  }
+
+  void iterate_lu(const sched::IterationOutcome& o, abft::AbftStats& stats) {
+    const idx n = opts_.n;
+    const idx j0 = static_cast<idx>(o.k) * opts_.b;
+    const idx m = n - j0;
+    const idx bb = std::min<idx>(opts_.b, m);
+    const idx mt = m - bb;
+
+    std::vector<idx> piv;
+    la::getf2(a_.block(j0, j0, m, bb), piv);
+    for (idx i = 0; i < bb; ++i) {
+      const idx r = j0 + i;
+      const idx p = piv[i] + j0;
+      ipiv_[r] = p;
+      if (p != r) {
+        // The panel already swapped its own columns; swap the rest.
+        if (j0 > 0) la::swap(j0, &a_(r, 0), n, &a_(p, 0), n);
+        if (j0 + bb < n) {
+          la::swap(n - j0 - bb, &a_(r, j0 + bb), n, &a_(p, j0 + bb), n);
+        }
+      }
+    }
+    if (mt <= 0) return;
+
+    la::trsm(la::Side::Left, la::Uplo::Lower, la::Op::NoTrans, la::Diag::Unit,
+             T(1), a_.block(j0, j0, bb, bb).as_const(),
+             a_.block(j0, j0 + bb, bb, mt));
+    auto l21 = a_.block(j0 + bb, j0, mt, bb).as_const();
+    auto u12 = a_.block(j0, j0 + bb, bb, mt).as_const();
+    auto c = a_.block(j0 + bb, j0 + bb, mt, mt);
+
+    if (o.abft_mode == abft::ChecksumMode::None) {
+      la::gemm(la::Op::NoTrans, la::Op::NoTrans, T(-1), l21, u12, T(1), c);
+      expose_and_scrub(c, nullptr, o, stats);
+      return;
+    }
+    // Genuine ABFT flow: encode the pre-update trailing matrix, propagate the
+    // checksums *through* the GEMM (no re-encode), then detect/correct.
+    la::Matrix<T> snapshot;
+    if (opts_.recover_uncorrectable) snapshot = la::to_matrix(c.as_const());
+    abft::BlockChecksums<T> chk(mt, mt, bb, o.abft_mode);
+    chk.encode(c.as_const());
+    abft::protected_gemm_update(c, l21, u12, chk);
+    if (expose_and_scrub(c, &chk, o, stats) > 0 && opts_.recover_uncorrectable) {
+      // Roll back and recompute the trailing update at a safe clock.
+      la::copy_into(snapshot.view().as_const(), c);
+      la::gemm(la::Op::NoTrans, la::Op::NoTrans, T(-1), l21, u12, T(1), c);
+      ++stats.recoveries;
+      ++recoveries_;
+    }
+  }
+
+  void iterate_cholesky(const sched::IterationOutcome& o,
+                        abft::AbftStats& stats) {
+    const idx n = opts_.n;
+    const idx j0 = static_cast<idx>(o.k) * opts_.b;
+    const idx m = n - j0;
+    const idx bb = std::min<idx>(opts_.b, m);
+    const idx mt = m - bb;
+
+    auto akk = a_.block(j0, j0, bb, bb);
+    if (la::potf2(akk) != 0) {
+      throw std::runtime_error("Cholesky: matrix lost positive definiteness");
+    }
+    if (mt <= 0) return;
+
+    la::trsm(la::Side::Right, la::Uplo::Lower, la::Op::Trans, la::Diag::NonUnit,
+             T(1), akk.as_const(), a_.block(j0 + bb, j0, mt, bb));
+    auto l21 = a_.block(j0 + bb, j0, mt, bb).as_const();
+    // TMU kept as a full (symmetric) GEMM so checksum propagation applies; the
+    // factorization itself only ever reads the lower triangle.
+    la::Matrix<T> l21t(bb, mt);
+    for (idx j = 0; j < mt; ++j) {
+      for (idx i = 0; i < bb; ++i) l21t(i, j) = l21(j, i);
+    }
+    auto c = a_.block(j0 + bb, j0 + bb, mt, mt);
+    if (o.abft_mode == abft::ChecksumMode::None) {
+      la::gemm(la::Op::NoTrans, la::Op::NoTrans, T(-1), l21,
+               l21t.view().as_const(), T(1), c);
+      expose_and_scrub(c, nullptr, o, stats);
+      return;
+    }
+    la::Matrix<T> snapshot;
+    if (opts_.recover_uncorrectable) snapshot = la::to_matrix(c.as_const());
+    abft::BlockChecksums<T> chk(mt, mt, bb, o.abft_mode);
+    chk.encode(c.as_const());
+    abft::protected_gemm_update(c, l21, l21t.view().as_const(), chk);
+    if (expose_and_scrub(c, &chk, o, stats) > 0 && opts_.recover_uncorrectable) {
+      la::copy_into(snapshot.view().as_const(), c);
+      la::gemm(la::Op::NoTrans, la::Op::NoTrans, T(-1), l21,
+               l21t.view().as_const(), T(1), c);
+      ++stats.recoveries;
+      ++recoveries_;
+    }
+  }
+
+  void iterate_qr(const sched::IterationOutcome& o, abft::AbftStats& stats) {
+    const idx n = opts_.n;
+    const idx j0 = static_cast<idx>(o.k) * opts_.b;
+    const idx m = n - j0;
+    const idx bb = std::min<idx>(opts_.b, m);
+    const idx tc = n - j0 - bb;
+
+    std::vector<T> ptau;
+    la::geqr2(a_.block(j0, j0, m, bb), ptau);
+    std::copy(ptau.begin(), ptau.end(), tau_.begin() + j0);
+    if (tc <= 0) return;
+
+    auto v = a_.block(j0, j0, m, bb).as_const();
+    la::Matrix<T> t(bb, bb);
+    la::larft(v, ptau.data(), t.view());
+    auto c = a_.block(j0, j0 + bb, m, tc);
+    la::Matrix<T> snapshot;
+    if (opts_.recover_uncorrectable && o.abft_mode != abft::ChecksumMode::None) {
+      snapshot = la::to_matrix(c.as_const());
+    }
+    la::larfb_left_trans(v, t.view().as_const(), c);
+
+    if (o.abft_mode == abft::ChecksumMode::None) {
+      expose_and_scrub(c, nullptr, o, stats);
+      return;
+    }
+    // Block reflectors are not a plain GEMM from the checksums' viewpoint, so
+    // the trailing region is re-encoded from the computed result each
+    // iteration (detection interval unchanged; cost charged via Table 2).
+    abft::BlockChecksums<T> chk(m, tc, bb, o.abft_mode);
+    chk.encode(c.as_const());
+    if (expose_and_scrub(c, &chk, o, stats) > 0 && opts_.recover_uncorrectable) {
+      la::copy_into(snapshot.view().as_const(), c);
+      la::larfb_left_trans(v, t.view().as_const(), c);
+      ++stats.recoveries;
+      ++recoveries_;
+    }
+  }
+
+  RunOptions opts_;
+  const hw::DeviceModel& gpu_;
+  fault::Injector injector_;
+  int recoveries_ = 0;
+  la::Matrix<T> a_;
+  la::Matrix<T> a0_;
+  std::vector<idx> ipiv_;
+  std::vector<T> tau_;
+};
+
+}  // namespace
+
+Decomposer::Decomposer(hw::PlatformProfile platform)
+    : platform_(std::move(platform)) {}
+
+std::unique_ptr<energy::Strategy> Decomposer::make_strategy(
+    StrategyKind kind, const predict::WorkloadModel& wl, const RunOptions& opts,
+    const ExtendedOptions& ext) {
+  switch (kind) {
+    case StrategyKind::Original:
+      return std::make_unique<energy::OriginalStrategy>();
+    case StrategyKind::R2H:
+      return std::make_unique<energy::RaceToHaltStrategy>();
+    case StrategyKind::SR:
+      return std::make_unique<energy::SlackReclamationStrategy>(wl);
+    case StrategyKind::BSR: {
+      energy::BsrConfig cfg;
+      cfg.reclamation_ratio = opts.reclamation_ratio;
+      cfg.fc_desired = opts.fc_desired;
+      cfg.use_optimized_guardband = ext.bsr_use_optimized_guardband;
+      cfg.allow_overclocking = ext.bsr_allow_overclocking;
+      cfg.use_enhanced_predictor = ext.bsr_use_enhanced_predictor;
+      return std::make_unique<energy::BsrStrategy>(wl, cfg);
+    }
+  }
+  throw std::invalid_argument("unknown strategy kind");
+}
+
+RunReport Decomposer::run(const RunOptions& opts, const ExtendedOptions& ext) const {
+  if (opts.n <= 0 || opts.b <= 0 || opts.b > opts.n) {
+    throw std::invalid_argument("RunOptions: need 0 < b <= n");
+  }
+  const predict::WorkloadModel wl = opts.workload();
+  sched::PipelineConfig cfg;
+  cfg.workload = wl;
+  cfg.noise.enabled = opts.noise_enabled;
+  cfg.seed = opts.seed;
+  // The error-rate multiplier rescales the *platform* so the coverage math,
+  // the BSR/ABFT-OC frequency policy, and the fault injector all observe the
+  // same world (DESIGN.md: exposure compression for reduced-size numerics).
+  hw::PlatformProfile platform = platform_;
+  if (opts.error_rate_multiplier != 1.0) {
+    platform.gpu.errors = platform.gpu.errors.scaled(opts.error_rate_multiplier);
+  }
+  sched::HybridPipeline pipe(platform, cfg);
+  const auto strategy = make_strategy(opts.strategy, wl, opts, ext);
+
+  RunReport report;
+  report.options = opts;
+
+  std::unique_ptr<NumericRunnerBase> numeric;
+  if (opts.mode == ExecutionMode::Numeric) {
+    if (opts.elem_bytes == 4) {
+      numeric = std::make_unique<NumericRunner<float>>(opts, platform.gpu);
+    } else {
+      numeric = std::make_unique<NumericRunner<double>>(opts, platform.gpu);
+    }
+    report.numeric_executed = true;
+  }
+
+  for (int k = 0; k < pipe.num_iterations(); ++k) {
+    sched::IterationDecision d = strategy->decide(k, pipe);
+    switch (ext.abft_policy) {
+      case AbftPolicy::Adaptive: break;
+      case AbftPolicy::ForceNone: d.abft_mode = abft::ChecksumMode::None; break;
+      case AbftPolicy::ForceSingle:
+        d.abft_mode = abft::ChecksumMode::SingleSide;
+        break;
+      case AbftPolicy::ForceFull: d.abft_mode = abft::ChecksumMode::Full; break;
+    }
+    const sched::IterationOutcome o = pipe.run_iteration(k, d);
+    strategy->observe(k, o);
+    report.trace.add(o);
+    switch (o.abft_mode) {
+      case abft::ChecksumMode::None: ++report.abft.iterations_unprotected; break;
+      case abft::ChecksumMode::SingleSide:
+        ++report.abft.iterations_protected_single;
+        break;
+      case abft::ChecksumMode::Full: ++report.abft.iterations_protected_full; break;
+    }
+    if (numeric) {
+      const int recoveries = numeric->run_iteration(o, report.abft);
+      if (recoveries > 0) {
+        // The redo runs the GPU op again at the base clock (safe, fault-free)
+        // with the verification pass repeated.
+        const sched::TaskDurations redo = sched::compute_durations(
+            wl, k, platform, platform.cpu.freq.base_mhz,
+            platform.gpu.freq.base_mhz, d.abft_mode);
+        const SimTime penalty =
+            (redo.pu + redo.tmu + redo.chk_update + redo.chk_verify) *
+            static_cast<double>(recoveries);
+        report.recovery_time += penalty;
+        report.recovery_energy_j +=
+            platform.gpu.busy_power(platform.gpu.freq.base_mhz,
+                                    d.gpu_guardband) *
+            penalty.seconds();
+      }
+    }
+  }
+
+  if (numeric) {
+    report.residual = numeric->final_residual();
+    report.numeric_correct = report.residual < numeric->threshold();
+  }
+  return report;
+}
+
+}  // namespace bsr::core

@@ -1,0 +1,64 @@
+// Public facade: run {Cholesky, LU, QR} under an energy-saving strategy on the
+// simulated CPU-GPU platform, optionally executing the real numerics with real
+// ABFT protection and fault injection.
+//
+// Quickstart:
+//   bsr::core::Decomposer dec;                       // paper-default platform
+//   bsr::core::RunOptions opt;
+//   opt.factorization = bsr::predict::Factorization::LU;
+//   opt.strategy = bsr::core::StrategyKind::BSR;
+//   opt.reclamation_ratio = 0.0;                     // max energy saving
+//   auto report = dec.run(opt);
+//   std::cout << report.total_energy_j() << " J\n";
+#pragma once
+
+#include <memory>
+
+#include "core/report.hpp"
+#include "energy/strategy.hpp"
+#include "hw/platform.hpp"
+
+namespace bsr::core {
+
+/// How the ABFT protection level is chosen each iteration. Adaptive is the
+/// paper's Algorithm 1; the Force* policies reproduce the always-on baselines
+/// of Fig. 9.
+enum class AbftPolicy { Adaptive, ForceNone, ForceSingle, ForceFull };
+
+const char* to_string(AbftPolicy p);
+
+struct ExtendedOptions {
+  AbftPolicy abft_policy = AbftPolicy::Adaptive;
+
+  // BSR ablation switches (bench_ablation; all on = the paper's BSR).
+  bool bsr_use_optimized_guardband = true;
+  bool bsr_allow_overclocking = true;
+  bool bsr_use_enhanced_predictor = true;
+};
+
+class Decomposer {
+ public:
+  explicit Decomposer(
+      hw::PlatformProfile platform = hw::PlatformProfile::paper_default());
+
+  [[nodiscard]] const hw::PlatformProfile& platform() const { return platform_; }
+
+  /// Runs one factorization under the options; see RunReport for outputs.
+  [[nodiscard]] RunReport run(const RunOptions& opts) const {
+    return run(opts, ExtendedOptions{});
+  }
+  [[nodiscard]] RunReport run(const RunOptions& opts,
+                              const ExtendedOptions& ext) const;
+
+  /// Builds the strategy object for a kind (exposed for tests and benches).
+  static std::unique_ptr<energy::Strategy> make_strategy(
+      StrategyKind kind, const predict::WorkloadModel& wl,
+      const RunOptions& opts, const ExtendedOptions& ext = ExtendedOptions{});
+
+ private:
+  hw::PlatformProfile platform_;
+};
+
+std::string summarize(const RunReport& r);
+
+}  // namespace bsr::core

@@ -1,0 +1,52 @@
+#include "core/options.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bsr::core {
+
+std::int64_t tuned_block(std::int64_t n) {
+  const std::int64_t raw = (n / 60 + 32) / 64 * 64;
+  return std::clamp<std::int64_t>(raw, 64, 512);
+}
+
+const char* to_string(StrategyKind s) {
+  switch (s) {
+    case StrategyKind::Original: return "Original";
+    case StrategyKind::R2H: return "R2H";
+    case StrategyKind::SR: return "SR";
+    case StrategyKind::BSR: return "BSR";
+  }
+  return "?";
+}
+
+const char* to_string(ExecutionMode m) {
+  return m == ExecutionMode::TimingOnly ? "TimingOnly" : "Numeric";
+}
+
+namespace {
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+}  // namespace
+
+StrategyKind strategy_from_string(const std::string& s) {
+  const std::string v = lower(s);
+  if (v == "original" || v == "org") return StrategyKind::Original;
+  if (v == "r2h") return StrategyKind::R2H;
+  if (v == "sr") return StrategyKind::SR;
+  if (v == "bsr") return StrategyKind::BSR;
+  throw std::invalid_argument("unknown strategy: " + s);
+}
+
+predict::Factorization factorization_from_string(const std::string& s) {
+  const std::string v = lower(s);
+  if (v == "cholesky" || v == "cho") return predict::Factorization::Cholesky;
+  if (v == "lu") return predict::Factorization::LU;
+  if (v == "qr") return predict::Factorization::QR;
+  throw std::invalid_argument("unknown factorization: " + s);
+}
+
+}  // namespace bsr::core

@@ -1,0 +1,61 @@
+// Public run options for the BSR decomposition framework.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "predict/workload.hpp"
+
+namespace bsr::core {
+
+enum class StrategyKind { Original, R2H, SR, BSR };
+
+/// TimingOnly runs the full scheduling/strategy/prediction machinery against
+/// the platform model (paper-scale inputs in milliseconds); Numeric
+/// additionally executes the real factorization with real ABFT and real fault
+/// injection (bounded input sizes).
+enum class ExecutionMode { TimingOnly, Numeric };
+
+struct RunOptions {
+  predict::Factorization factorization = predict::Factorization::LU;
+  std::int64_t n = 30720;
+  std::int64_t b = 512;
+  StrategyKind strategy = StrategyKind::BSR;
+  double reclamation_ratio = 0.0;   ///< BSR's r
+  double fc_desired = 0.999999;     ///< target ABFT fault coverage
+  ExecutionMode mode = ExecutionMode::TimingOnly;
+  std::uint64_t seed = 42;
+  /// Scales the platform's entire SDC-rate table for this run, so the
+  /// coverage estimators, the BSR/ABFT-OC frequency policy, and the fault
+  /// injector all observe one consistent (compressed-exposure) world —
+  /// reduced-size numeric runs then see paper-scale fault counts. See
+  /// DESIGN.md on exposure compression.
+  double error_rate_multiplier = 1.0;
+  bool noise_enabled = true;
+  int elem_bytes = 8;  ///< 8 = double precision, 4 = single
+  /// Numeric mode: when ABFT *detects* an error pattern it cannot correct,
+  /// roll the trailing update back and recompute it at a safe clock instead
+  /// of letting the corruption propagate. The redo's time and energy are
+  /// charged to the run (the "recovery with high overhead" the paper
+  /// mentions as the alternative to sufficient checksum strength).
+  bool recover_uncorrectable = false;
+
+  [[nodiscard]] predict::WorkloadModel workload() const {
+    return predict::WorkloadModel{factorization, n, b, elem_bytes};
+  }
+};
+
+/// Performance-tuned block size for a given matrix order, mirroring the
+/// paper's "block size tuned for performance": roughly n/60 blocks rounded to
+/// the 64-grid and clamped to [64, 512] (512 at the paper's n = 30720).
+std::int64_t tuned_block(std::int64_t n);
+
+const char* to_string(StrategyKind s);
+const char* to_string(ExecutionMode m);
+
+/// Parses "original" / "r2h" / "sr" / "bsr" (case-insensitive); throws on
+/// anything else.
+StrategyKind strategy_from_string(const std::string& s);
+predict::Factorization factorization_from_string(const std::string& s);
+
+}  // namespace bsr::core

@@ -1,0 +1,54 @@
+// Run report: everything a caller (or bench) wants to know about one run.
+#pragma once
+
+#include "abft/verify.hpp"
+#include "core/options.hpp"
+#include "sched/timeline.hpp"
+
+namespace bsr::core {
+
+struct RunReport {
+  RunOptions options;
+  sched::RunTrace trace;
+  abft::AbftStats abft;
+
+  bool numeric_executed = false;
+  double residual = 0.0;         ///< relative factorization residual (numeric)
+  bool numeric_correct = true;   ///< residual below threshold
+
+  /// Cost of redoing trailing updates after uncorrectable detections
+  /// (RunOptions::recover_uncorrectable); included in seconds()/energy.
+  SimTime recovery_time;
+  double recovery_energy_j = 0.0;
+
+  [[nodiscard]] double seconds() const {
+    return (trace.total_time + recovery_time).seconds();
+  }
+  [[nodiscard]] double total_energy_j() const {
+    return trace.total_energy_j() + recovery_energy_j;
+  }
+  [[nodiscard]] double cpu_energy_j() const { return trace.cpu_energy_j; }
+  [[nodiscard]] double gpu_energy_j() const {
+    return trace.gpu_energy_j + recovery_energy_j;
+  }
+  [[nodiscard]] double ed2p() const {
+    return total_energy_j() * seconds() * seconds();
+  }
+  [[nodiscard]] double gflops() const {
+    const double t = seconds();
+    return t <= 0.0 ? 0.0 : options.workload().total_flops() / t / 1e9;
+  }
+
+  /// Fraction of energy saved relative to a baseline run (positive = better).
+  [[nodiscard]] double energy_saving_vs(const RunReport& baseline) const {
+    return 1.0 - total_energy_j() / baseline.total_energy_j();
+  }
+  [[nodiscard]] double ed2p_reduction_vs(const RunReport& baseline) const {
+    return 1.0 - ed2p() / baseline.ed2p();
+  }
+  [[nodiscard]] double speedup_vs(const RunReport& baseline) const {
+    return baseline.seconds() / seconds();
+  }
+};
+
+}  // namespace bsr::core

@@ -1,0 +1,35 @@
+#include "core/trace_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace bsr::core {
+
+std::string write_trace_csv(const RunReport& report, std::ostream& os) {
+  const std::string header =
+      "iter,cpu_mhz,gpu_mhz,abft_mode,pd_ms,transfer_ms,pu_tmu_ms,abft_ms,"
+      "dvfs_ms,cpu_lane_ms,gpu_lane_ms,span_ms,slack_ms,cpu_energy_j,"
+      "gpu_energy_j";
+  os << header << '\n';
+  for (const auto& it : report.trace.iterations) {
+    os << it.k << ',' << it.cpu_freq << ',' << it.gpu_freq << ','
+       << abft::to_string(it.abft_mode) << ',' << it.pd.millis() << ','
+       << it.transfer.millis() << ',' << it.pu_tmu.millis() << ','
+       << it.abft_time.millis() << ',' << (it.cpu_dvfs + it.gpu_dvfs).millis()
+       << ',' << it.cpu_lane.millis() << ',' << it.gpu_lane.millis() << ','
+       << it.span.millis() << ',' << it.slack.millis() << ','
+       << it.cpu_energy_j << ',' << it.gpu_energy_j << '\n';
+  }
+  return header;
+}
+
+void write_trace_csv(const RunReport& report, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("write_trace_csv: cannot open " + path);
+  }
+  write_trace_csv(report, os);
+}
+
+}  // namespace bsr::core

@@ -1,0 +1,20 @@
+// Trace export: dump a run's per-iteration schedule to CSV so the figures can
+// be re-plotted outside the repo (gnuplot / matplotlib / spreadsheets).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/report.hpp"
+
+namespace bsr::core {
+
+/// Writes one row per iteration: k, clocks, lane times, slack, energies, ABFT
+/// mode. Returns the header written (useful for tests).
+std::string write_trace_csv(const RunReport& report, std::ostream& os);
+
+/// Convenience overload writing to a file; throws std::runtime_error when the
+/// file cannot be opened.
+void write_trace_csv(const RunReport& report, const std::string& path);
+
+}  // namespace bsr::core

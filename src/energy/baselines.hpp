@@ -1,0 +1,28 @@
+// Baseline strategies: Original (fixed clocks) and Race-to-Halt.
+#pragma once
+
+#include "energy/strategy.hpp"
+
+namespace bsr::energy {
+
+/// The MAGMA-style original: both clocks pinned at their defaults (autoboost
+/// disabled), default guardband, no ABFT. Idle time burns idle power at the
+/// default clock.
+class OriginalStrategy final : public Strategy {
+ public:
+  [[nodiscard]] const char* name() const override { return "Original"; }
+  sched::IterationDecision decide(int k,
+                                  const sched::HybridPipeline& pipe) override;
+};
+
+/// Race-to-Halt: autoboost races busy work at the highest default-guardband
+/// clock and the hardware drops to the floor state the moment the lane goes
+/// idle (paper Fig. 3(a)). Transitions are hardware-managed, i.e. free.
+class RaceToHaltStrategy final : public Strategy {
+ public:
+  [[nodiscard]] const char* name() const override { return "R2H"; }
+  sched::IterationDecision decide(int k,
+                                  const sched::HybridPipeline& pipe) override;
+};
+
+}  // namespace bsr::energy

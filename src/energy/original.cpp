@@ -1,0 +1,17 @@
+#include "energy/baselines.hpp"
+
+namespace bsr::energy {
+
+sched::IterationDecision OriginalStrategy::decide(
+    int k, const sched::HybridPipeline& pipe) {
+  sched::IterationDecision d;
+  d.cpu_freq = pipe.platform().cpu.freq.base_mhz;
+  d.gpu_freq = pipe.platform().gpu.freq.base_mhz;
+  // Clocks are already at base after construction; only "adjust" once so the
+  // DVFS controllers report zero transitions afterwards.
+  d.adjust_cpu = (k == 0);
+  d.adjust_gpu = (k == 0);
+  return d;
+}
+
+}  // namespace bsr::energy

@@ -1,0 +1,82 @@
+#include "energy/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bsr::energy {
+
+namespace {
+// Dynamic energy scales as time * power ∝ t * f^2.4 with f ∝ 1/t, i.e. t^-1.4.
+double time_pow(double t_old, double t_new, double exponent) {
+  return std::pow(t_old / t_new, exponent - 1.0);
+}
+}  // namespace
+
+double delta_e_cpu(const EnergyDeltaParams& p, double r) {
+  const double t_new = p.t_cpu_s + p.slack_s * (1.0 - r);
+  if (t_new <= 0.0 || p.t_cpu_s <= 0.0) return 0.0;
+  const double dyn =
+      (1.0 - p.alpha_cpu * time_pow(p.t_cpu_s, t_new, p.exponent)) * p.d_cpu *
+      p.p_cpu_total_w * p.t_cpu_s;
+  const double stat = (p.t_cpu_s - p.alpha_cpu * t_new) * (1.0 - p.d_cpu) *
+                      p.p_cpu_total_w;
+  return dyn + stat;
+}
+
+double delta_e_gpu(const EnergyDeltaParams& p, double r) {
+  const double t_new = p.t_gpu_s - p.slack_s * r;
+  if (t_new <= 0.0 || p.t_gpu_s <= 0.0) return 0.0;
+  const double dyn =
+      (1.0 - p.alpha_gpu * time_pow(p.t_gpu_s, t_new, p.exponent)) * p.d_gpu *
+      p.p_gpu_total_w * p.t_gpu_s;
+  const double stat = (p.t_gpu_s - p.alpha_gpu * t_new) * (1.0 - p.d_gpu) *
+                      p.p_gpu_total_w;
+  return dyn + stat;
+}
+
+double solve_energy_neutral_r(const EnergyDeltaParams& p) {
+  auto total = [&](double r) { return delta_e_cpu(p, r) + delta_e_gpu(p, r); };
+  if (total(0.0) <= 0.0) return 0.0;
+  if (total(1.0) >= 0.0) return 1.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (total(mid) >= 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double average_energy_neutral_r(const sched::RunTrace& original_trace,
+                                const hw::PlatformProfile& platform) {
+  const hw::DeviceModel& cpu = platform.cpu;
+  const hw::DeviceModel& gpu = platform.gpu;
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& o : original_trace.iterations) {
+    const double slack = o.slack.seconds();
+    if (slack <= 0.0) continue;  // GPU-side slack handled symmetrically by BSR
+    EnergyDeltaParams p;
+    p.t_cpu_s = o.pd.seconds();
+    p.t_gpu_s = o.pu_tmu.seconds();
+    p.slack_s = slack;
+    p.alpha_cpu = cpu.guardband.alpha(cpu.freq.base_mhz,
+                                      hw::Guardband::Optimized, cpu.freq);
+    p.alpha_gpu = gpu.guardband.alpha(gpu.freq.base_mhz,
+                                      hw::Guardband::Optimized, gpu.freq);
+    p.d_cpu = cpu.power.dynamic_fraction;
+    p.d_gpu = gpu.power.dynamic_fraction;
+    p.p_cpu_total_w = cpu.power.total_power_base_w;
+    p.p_gpu_total_w = gpu.power.total_power_base_w;
+    p.exponent = gpu.power.exponent;
+    sum += solve_energy_neutral_r(p);
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace bsr::energy

@@ -1,0 +1,46 @@
+// Analytical energy-delta model and the energy-neutral reclamation ratio r*
+// — paper §3.2.3.
+//
+// For an iteration whose slack sits on the CPU side, BSR slows the CPU into
+// the remaining (1-r) fraction of the slack and speeds the GPU by the r
+// fraction. The resulting per-iteration energy deltas (positive = saving,
+// relative to the Original design) are the closed forms printed in the paper;
+// solving dE_CPU(r) + dE_GPU(r) = 0 yields the largest r that still costs no
+// extra energy — the knee of the Pareto front (≈0.26-0.31 in the paper).
+#pragma once
+
+#include "hw/platform.hpp"
+#include "sched/timeline.hpp"
+
+namespace bsr::energy {
+
+struct EnergyDeltaParams {
+  double t_cpu_s = 0.0;   ///< original CPU task time in the iteration
+  double t_gpu_s = 0.0;   ///< original GPU task time
+  double slack_s = 0.0;   ///< positive slack (CPU-side)
+  double alpha_cpu = 1.0; ///< guardband power-reduction factors
+  double alpha_gpu = 1.0;
+  double d_cpu = 0.7;     ///< dynamic power fractions
+  double d_gpu = 0.7;
+  double p_cpu_total_w = 0.0;  ///< total power at default guardband/base clock
+  double p_gpu_total_w = 0.0;
+  double exponent = 2.4;  ///< dynamic-power exponent (energy scales with ^1.4)
+};
+
+/// dE_CPU(r): slowing the CPU into (1-r) of the slack.
+double delta_e_cpu(const EnergyDeltaParams& p, double r);
+
+/// dE_GPU(r): speeding the GPU by r of the slack.
+double delta_e_gpu(const EnergyDeltaParams& p, double r);
+
+/// Largest r in [0, 1] with dE_CPU + dE_GPU >= 0 (bisection; the delta is
+/// monotonically decreasing in r). Returns 0 when even r=0 loses energy.
+double solve_energy_neutral_r(const EnergyDeltaParams& p);
+
+/// Builds per-iteration params from an Original-strategy trace and averages
+/// the per-iteration r* over CPU-side-slack iterations (the paper reports
+/// 0.28 / 0.26 / 0.31 for Cholesky / LU / QR at n=30720).
+double average_energy_neutral_r(const sched::RunTrace& original_trace,
+                                const hw::PlatformProfile& platform);
+
+}  // namespace bsr::energy

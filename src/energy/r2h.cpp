@@ -1,0 +1,22 @@
+#include "energy/baselines.hpp"
+
+namespace bsr::energy {
+
+sched::IterationDecision RaceToHaltStrategy::decide(
+    int k, const sched::HybridPipeline& pipe) {
+  sched::IterationDecision d;
+  // Race at the default clocks (autoboost keeps the busy lanes at their rated
+  // speed; boosting the CPU beyond base burns f^2.4 dynamic power for little
+  // wall-clock gain on the panel, which is why the paper's R2H is MAGMA with
+  // autoboost rather than a fixed manual overclock).
+  d.cpu_freq = pipe.platform().cpu.freq.base_mhz;
+  d.gpu_freq = pipe.platform().gpu.freq.base_mhz;
+  d.adjust_cpu = (k == 0);
+  d.adjust_gpu = (k == 0);
+  // Halt: hardware power management parks the idle lane at the floor clock.
+  d.halt_idle_cpu = true;
+  d.halt_idle_gpu = true;
+  return d;
+}
+
+}  // namespace bsr::energy

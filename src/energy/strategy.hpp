@@ -1,0 +1,41 @@
+// Strategy interface + shared frequency/time arithmetic.
+//
+// A strategy is consulted at the top of every pipeline iteration (exactly
+// where paper Algorithm 2 runs) and returns the DVFS/guardband/ABFT decision;
+// after the iteration it observes the measured outcome to feed its predictor.
+#pragma once
+
+#include <memory>
+
+#include "sched/pipeline.hpp"
+
+namespace bsr::energy {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  virtual sched::IterationDecision decide(int k,
+                                          const sched::HybridPipeline& pipe) = 0;
+  virtual void observe(int k, const sched::IterationOutcome& outcome) {
+    (void)k;
+    (void)outcome;
+  }
+};
+
+/// Runs the whole factorization under `strategy` and returns the trace.
+sched::RunTrace run_under_strategy(sched::HybridPipeline& pipe, Strategy& strategy);
+
+// ---- shared helpers ---------------------------------------------------------
+
+/// Projected duration at frequency f of a task measured at base clock,
+/// using the device's perf-scaling exponent (time ∝ (f_base/f)^eta).
+double time_at_freq(double t_base_s, hw::Mhz f, const hw::DeviceModel& dev);
+
+/// Smallest on-grid frequency whose projected time meets t_desired (i.e. the
+/// paper's Roundup(F_BASE * T'/T_desired, 100 MHz), generalized to the
+/// device's scaling exponent), clamped to the reachable range.
+hw::Mhz freq_for_time(double t_base_s, double t_desired_s,
+                      const hw::DeviceModel& dev, bool optimized_guardband);
+
+}  // namespace bsr::energy

@@ -1,0 +1,96 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+namespace bsr::fault {
+
+using la::idx;
+
+InjectionCounts Injector::sample(const hw::ErrorRates& rates, SimTime busy) {
+  InjectionCounts c;
+  const double t = busy.seconds();
+  if (t <= 0.0 || rates.fault_free()) return c;
+  c.d0 = static_cast<int>(rng_.poisson(rates.d0 * t));
+  c.d1 = static_cast<int>(rng_.poisson(rates.d1 * t));
+  c.d2 = static_cast<int>(rng_.poisson(rates.d2 * t));
+  return c;
+}
+
+template <typename T>
+T Injector::corrupt_value(T old) {
+  // Large multiplicative + additive perturbation: the magnitude regime of a
+  // high-order mantissa/exponent bit flip, always detectable above checksum
+  // tolerance and never an accidental no-op.
+  const double scale = rng_.uniform(16.0, 4096.0);
+  const double sign = rng_.next_double() < 0.5 ? -1.0 : 1.0;
+  return static_cast<T>(static_cast<double>(old) * scale * sign +
+                        sign * rng_.uniform(1.0, 64.0));
+}
+
+template <typename T>
+void Injector::inject_0d(la::MatrixView<T> a) {
+  if (a.empty()) return;
+  const idx i = static_cast<idx>(rng_.next_below(static_cast<std::uint64_t>(a.rows())));
+  const idx j = static_cast<idx>(rng_.next_below(static_cast<std::uint64_t>(a.cols())));
+  a(i, j) = corrupt_value(a(i, j));
+}
+
+template <typename T>
+void Injector::inject_1d(la::MatrixView<T> a) {
+  if (a.empty()) return;
+  const idx j = static_cast<idx>(rng_.next_below(static_cast<std::uint64_t>(a.cols())));
+  // Corrupt a contiguous run covering at least a quarter of the column.
+  const idx len = std::max<idx>(2, a.rows() / 4 +
+                                       static_cast<idx>(rng_.next_below(
+                                           static_cast<std::uint64_t>(
+                                               std::max<idx>(1, a.rows() / 2)))));
+  const idx start = static_cast<idx>(rng_.next_below(static_cast<std::uint64_t>(
+      std::max<idx>(1, a.rows() - len + 1))));
+  for (idx i = start; i < std::min(a.rows(), start + len); ++i) {
+    a(i, j) = corrupt_value(a(i, j));
+  }
+}
+
+template <typename T>
+void Injector::inject_2d(la::MatrixView<T> a) {
+  if (a.empty()) return;
+  // A patch covering multiple columns (propagation beyond one row/column).
+  const idx pc = std::min<idx>(a.cols(), 2 + static_cast<idx>(rng_.next_below(6)));
+  const idx pr = std::min<idx>(a.rows(), 2 + static_cast<idx>(rng_.next_below(6)));
+  const idx j0 = static_cast<idx>(rng_.next_below(
+      static_cast<std::uint64_t>(std::max<idx>(1, a.cols() - pc + 1))));
+  const idx i0 = static_cast<idx>(rng_.next_below(
+      static_cast<std::uint64_t>(std::max<idx>(1, a.rows() - pr + 1))));
+  for (idx j = j0; j < j0 + pc; ++j) {
+    for (idx i = i0; i < i0 + pr; ++i) a(i, j) = corrupt_value(a(i, j));
+  }
+}
+
+template <typename T>
+InjectionCounts Injector::inject_impl(la::MatrixView<T> a,
+                                      const hw::ErrorRates& rates, SimTime busy) {
+  const InjectionCounts c = sample(rates, busy);
+  for (int i = 0; i < c.d0; ++i) inject_0d(a);
+  for (int i = 0; i < c.d1; ++i) inject_1d(a);
+  for (int i = 0; i < c.d2; ++i) inject_2d(a);
+  return c;
+}
+
+InjectionCounts Injector::inject(la::MatrixView<double> a,
+                                 const hw::ErrorRates& rates, SimTime busy) {
+  return inject_impl(a, rates, busy);
+}
+
+InjectionCounts Injector::inject(la::MatrixView<float> a,
+                                 const hw::ErrorRates& rates, SimTime busy) {
+  return inject_impl(a, rates, busy);
+}
+
+template void Injector::inject_0d<float>(la::MatrixView<float>);
+template void Injector::inject_0d<double>(la::MatrixView<double>);
+template void Injector::inject_1d<float>(la::MatrixView<float>);
+template void Injector::inject_1d<double>(la::MatrixView<double>);
+template void Injector::inject_2d<float>(la::MatrixView<float>);
+template void Injector::inject_2d<double>(la::MatrixView<double>);
+
+}  // namespace bsr::fault

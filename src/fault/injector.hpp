@@ -1,0 +1,65 @@
+// SDC fault injection — the simulator's stand-in for physically induced
+// silent data corruption at overclocked frequencies.
+//
+// Fault counts are sampled from the Poisson processes of the device's
+// ErrorRateModel over the (simulated) busy interval of a GPU operation, then
+// materialized as real corruption of the output matrix:
+//   0D — one element perturbed;
+//   1D — a (partial) column perturbed (the natural propagation shape of a
+//        faulty column-major GEMM output);
+//   2D — a rectangular patch spanning multiple block rows/columns.
+// Injected magnitudes are large (bit-flip-like), so detection is about
+// checksum mechanics, not numerical-noise discrimination.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "hw/error_model.hpp"
+#include "la/matrix.hpp"
+
+namespace bsr::fault {
+
+struct InjectionCounts {
+  int d0 = 0;
+  int d1 = 0;
+  int d2 = 0;
+  [[nodiscard]] int total() const { return d0 + d1 + d2; }
+};
+
+class Injector {
+ public:
+  explicit Injector(Rng rng) : rng_(rng) {}
+
+  /// Samples how many errors of each class strike during `busy` at rates
+  /// `rates` (no matrix touched — used by timing-only mode).
+  InjectionCounts sample(const hw::ErrorRates& rates, SimTime busy);
+
+  /// Samples and physically corrupts `a` (numeric mode). Returns the counts.
+  InjectionCounts inject(la::MatrixView<double> a, const hw::ErrorRates& rates,
+                         SimTime busy);
+  InjectionCounts inject(la::MatrixView<float> a, const hw::ErrorRates& rates,
+                         SimTime busy);
+
+  /// Deterministic primitives (also used directly by tests).
+  template <typename T>
+  void inject_0d(la::MatrixView<T> a);
+  template <typename T>
+  void inject_1d(la::MatrixView<T> a);
+  template <typename T>
+  void inject_2d(la::MatrixView<T> a);
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  template <typename T>
+  InjectionCounts inject_impl(la::MatrixView<T> a, const hw::ErrorRates& rates,
+                              SimTime busy);
+  template <typename T>
+  T corrupt_value(T old);
+
+  Rng rng_;
+};
+
+}  // namespace bsr::fault

@@ -1,0 +1,21 @@
+#include "hw/dvfs.hpp"
+
+namespace bsr::hw {
+
+DvfsController::DvfsController(const FrequencyDomain& dom, SimTime latency)
+    : dom_(dom), latency_(latency), current_(dom.base_mhz) {}
+
+void DvfsController::set_guardband(Guardband g) {
+  guardband_ = g;
+  current_ = dom_.clamp(current_, g == Guardband::Optimized);
+}
+
+SimTime DvfsController::set_frequency(Mhz f) {
+  const Mhz clamped = dom_.clamp(f, guardband_ == Guardband::Optimized);
+  if (clamped == current_) return SimTime::zero();
+  current_ = clamped;
+  ++transitions_;
+  return latency_;
+}
+
+}  // namespace bsr::hw

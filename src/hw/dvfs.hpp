@@ -1,0 +1,41 @@
+// DVFS controller: tracks a device's current clock and guardband and charges
+// the paper's per-adjustment latency (L^CPU / L^GPU in Algorithm 2).
+#pragma once
+
+#include "common/sim_time.hpp"
+#include "hw/frequency.hpp"
+#include "hw/guardband.hpp"
+
+namespace bsr::hw {
+
+class DvfsController {
+ public:
+  DvfsController() = default;
+  DvfsController(const FrequencyDomain& dom, SimTime latency);
+
+  [[nodiscard]] Mhz current() const { return current_; }
+  [[nodiscard]] Guardband guardband() const { return guardband_; }
+  [[nodiscard]] SimTime latency() const { return latency_; }
+
+  /// Applies a guardband (a software installation step in the paper; no
+  /// per-iteration cost).
+  void set_guardband(Guardband g);
+
+  /// Requests frequency f (clamped to the domain under the active guardband).
+  /// Returns the transition latency actually incurred (zero when unchanged).
+  SimTime set_frequency(Mhz f);
+
+  /// Number of frequency transitions performed so far.
+  [[nodiscard]] int transitions() const { return transitions_; }
+
+  [[nodiscard]] const FrequencyDomain& domain() const { return dom_; }
+
+ private:
+  FrequencyDomain dom_;
+  SimTime latency_;
+  Mhz current_ = 0;
+  Guardband guardband_ = Guardband::Default;
+  int transitions_ = 0;
+};
+
+}  // namespace bsr::hw

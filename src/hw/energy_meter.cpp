@@ -1,0 +1,31 @@
+#include "hw/energy_meter.hpp"
+
+namespace bsr::hw {
+
+void EnergyMeter::record(DeviceId dev, SimTime start, SimTime duration,
+                         double power_w, std::string tag) {
+  if (duration <= SimTime::zero()) return;
+  const double joules = power_w * duration.seconds();
+  totals_[static_cast<int>(dev)] += joules;
+  by_tag_[{static_cast<int>(dev), tag}] += joules;
+  segments_.push_back({dev, start, duration, power_w, std::move(tag)});
+}
+
+double EnergyMeter::total_joules() const { return totals_[0] + totals_[1]; }
+
+double EnergyMeter::joules(DeviceId dev) const {
+  return totals_[static_cast<int>(dev)];
+}
+
+double EnergyMeter::joules(DeviceId dev, const std::string& tag) const {
+  const auto it = by_tag_.find({static_cast<int>(dev), tag});
+  return it == by_tag_.end() ? 0.0 : it->second;
+}
+
+void EnergyMeter::clear() {
+  segments_.clear();
+  totals_[0] = totals_[1] = 0.0;
+  by_tag_.clear();
+}
+
+}  // namespace bsr::hw

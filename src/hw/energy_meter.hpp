@@ -1,0 +1,46 @@
+// Energy accounting over the simulated timeline.
+//
+// Substitutes for the paper's CPU-package / GPU-device energy instrumentation:
+// strategies record (device, power, duration, tag) segments and the meter
+// integrates joules, keeping busy/idle/overhead breakdowns for the
+// per-iteration figures (paper Fig. 10).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace bsr::hw {
+
+enum class DeviceId { Cpu = 0, Gpu = 1 };
+
+struct EnergySegment {
+  DeviceId device = DeviceId::Cpu;
+  SimTime start;
+  SimTime duration;
+  double power_w = 0.0;
+  std::string tag;  ///< e.g. "PD", "TMU", "idle", "abft", "dvfs"
+};
+
+class EnergyMeter {
+ public:
+  void record(DeviceId dev, SimTime start, SimTime duration, double power_w,
+              std::string tag);
+
+  [[nodiscard]] double total_joules() const;
+  [[nodiscard]] double joules(DeviceId dev) const;
+  [[nodiscard]] double joules(DeviceId dev, const std::string& tag) const;
+  [[nodiscard]] const std::vector<EnergySegment>& segments() const {
+    return segments_;
+  }
+  void clear();
+
+ private:
+  std::vector<EnergySegment> segments_;
+  double totals_[2] = {0.0, 0.0};
+  std::map<std::pair<int, std::string>, double> by_tag_;
+};
+
+}  // namespace bsr::hw

@@ -1,0 +1,32 @@
+#include "hw/frequency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bsr::hw {
+
+Mhz FrequencyDomain::clamp(Mhz f, bool optimized_guardband) const {
+  const Mhz hi = optimized_guardband ? max_oc_mhz : max_default_mhz;
+  return std::clamp(f, min_mhz, hi);
+}
+
+Mhz FrequencyDomain::round_up_from_ratio(double ratio, bool optimized_guardband) const {
+  const double target = static_cast<double>(base_mhz) * ratio;
+  const auto stepped = static_cast<Mhz>(
+      std::ceil(target / static_cast<double>(step_mhz)) * step_mhz);
+  return clamp(stepped, optimized_guardband);
+}
+
+std::vector<Mhz> FrequencyDomain::levels(bool optimized_guardband) const {
+  std::vector<Mhz> out;
+  const Mhz hi = optimized_guardband ? max_oc_mhz : max_default_mhz;
+  for (Mhz f = min_mhz; f <= hi; f += step_mhz) out.push_back(f);
+  return out;
+}
+
+bool FrequencyDomain::valid(Mhz f, bool optimized_guardband) const {
+  const Mhz hi = optimized_guardband ? max_oc_mhz : max_default_mhz;
+  return f >= min_mhz && f <= hi && (f - min_mhz) % step_mhz == 0;
+}
+
+}  // namespace bsr::hw

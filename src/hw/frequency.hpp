@@ -1,0 +1,38 @@
+// Clock-frequency domains.
+//
+// Frequencies are integer MHz on a fixed step grid (100 MHz in the paper's
+// testbed, Table 3). A domain distinguishes the *default-guardband* range from
+// the extended range reachable only with the optimized guardband
+// (overclocking), mirroring the paper's i7-9700K / RTX 2080 Ti configuration.
+#pragma once
+
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace bsr::hw {
+
+using Mhz = int;
+
+struct FrequencyDomain {
+  Mhz min_mhz = 0;           ///< lowest DVFS state
+  Mhz base_mhz = 0;          ///< default clock (autoboost disabled)
+  Mhz max_default_mhz = 0;   ///< highest state with the default guardband
+  Mhz max_oc_mhz = 0;        ///< highest state with the optimized guardband
+  Mhz step_mhz = 100;
+
+  /// Clamp to [min, max] where max depends on whether the optimized guardband
+  /// (and therefore the overclocked range) is available.
+  [[nodiscard]] Mhz clamp(Mhz f, bool optimized_guardband) const;
+
+  /// Paper Algorithm 2 line 12-13: round *up* to the next step multiple, then
+  /// clamp. `ratio` is T'/T_desired (>1 speeds up, <1 slows down).
+  [[nodiscard]] Mhz round_up_from_ratio(double ratio, bool optimized_guardband) const;
+
+  /// All selectable states in ascending order.
+  [[nodiscard]] std::vector<Mhz> levels(bool optimized_guardband) const;
+
+  [[nodiscard]] bool valid(Mhz f, bool optimized_guardband) const;
+};
+
+}  // namespace bsr::hw

@@ -1,0 +1,17 @@
+#include "hw/guardband.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bsr::hw {
+
+double GuardbandModel::alpha(Mhz f, Guardband g, const FrequencyDomain& dom) const {
+  if (g == Guardband::Default) return 1.0;
+  const double span = static_cast<double>(dom.max_oc_mhz - dom.min_mhz);
+  if (span <= 0.0) return alpha_floor;
+  const double x =
+      std::clamp(static_cast<double>(f - dom.min_mhz) / span, 0.0, 1.0);
+  return alpha_floor + (alpha_ceiling - alpha_floor) * std::pow(x, shape);
+}
+
+}  // namespace bsr::hw

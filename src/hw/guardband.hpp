@@ -1,0 +1,33 @@
+// Voltage-guardband model.
+//
+// The paper's guardband optimization (CPU Vcore offset -150 mV, GPU clock
+// offset +200, Table 3) has two effects that the rest of the stack consumes:
+//   1. a *power reduction factor* alpha(f) < 1 — the same clock runs at lower
+//      voltage and therefore lower dynamic power (paper Fig. 5(a));
+//   2. an *extended reliable-frequency range* — overclocked states become
+//      reachable, at the price of SDCs above the fault-free limit (Fig. 5(b)).
+// Effect (2) is expressed through FrequencyDomain::max_oc_mhz and the
+// ErrorRateModel; this class models effect (1).
+#pragma once
+
+#include "hw/frequency.hpp"
+
+namespace bsr::hw {
+
+enum class Guardband { Default, Optimized };
+
+struct GuardbandModel {
+  /// alpha at the low end of the frequency range (deepest undervolt headroom).
+  double alpha_floor = 0.78;
+  /// alpha approached at max_oc_mhz, where voltage must be restored.
+  double alpha_ceiling = 1.0;
+  /// Shape exponent of the rise from floor to ceiling.
+  double shape = 2.0;
+
+  /// Power reduction factor at frequency f. Default guardband is 1 by
+  /// definition; the optimized curve rises from alpha_floor toward
+  /// alpha_ceiling as f approaches the overclocking limit.
+  [[nodiscard]] double alpha(Mhz f, Guardband g, const FrequencyDomain& dom) const;
+};
+
+}  // namespace bsr::hw

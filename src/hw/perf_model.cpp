@@ -1,0 +1,40 @@
+#include "hw/perf_model.hpp"
+
+#include <cmath>
+
+namespace bsr::hw {
+
+namespace {
+constexpr double kVerifyBandwidthFreqExponent = 0.2;
+}
+
+double PerfModel::gflops(KernelClass k, Mhz f, const FrequencyDomain& dom) const {
+  double base = 0.0;
+  switch (k) {
+    case KernelClass::Blas3: base = blas3_gflops_base; break;
+    case KernelClass::Panel: base = panel_gflops_base; break;
+    case KernelClass::ChecksumUpdate: base = checksum_gflops_base; break;
+  }
+  const double ratio =
+      static_cast<double>(f) / static_cast<double>(dom.base_mhz);
+  return base * std::pow(ratio, freq_exponent);
+}
+
+SimTime PerfModel::time_for_flops(double flops, KernelClass k, Mhz f,
+                                  const FrequencyDomain& dom) const {
+  if (flops <= 0.0) return SimTime::zero();
+  const double rate = gflops(k, f, dom) * 1e9;
+  return SimTime::from_seconds(flops / rate);
+}
+
+SimTime PerfModel::time_for_bytes(double bytes, Mhz f,
+                                  const FrequencyDomain& dom) const {
+  if (bytes <= 0.0) return SimTime::zero();
+  const double ratio =
+      static_cast<double>(f) / static_cast<double>(dom.base_mhz);
+  const double bw = mem_bandwidth_gbs * 1e9 *
+                    std::pow(ratio, kVerifyBandwidthFreqExponent);
+  return SimTime::from_seconds(bytes / bw);
+}
+
+}  // namespace bsr::hw

@@ -1,0 +1,41 @@
+// Throughput model: how long a kernel takes at a given clock.
+//
+// Each device advertises an effective GFLOP/s rate per kernel class at its
+// base clock; rates scale as (f / f_base)^eta with eta ≈ 1 for compute-bound
+// GPU BLAS-3 and slightly below 1 for the partially memory-bound CPU panel.
+// Checksum maintenance runs as skinny GEMV-like kernels at a (much) lower
+// rate, and checksum verification is a bandwidth-bound pass — this is what
+// makes ABFT overhead non-trivial, as the paper measures (Fig. 9).
+#pragma once
+
+#include "common/sim_time.hpp"
+#include "hw/frequency.hpp"
+
+namespace bsr::hw {
+
+enum class KernelClass {
+  Blas3,           ///< TMU / PU: gemm, syrk, trsm on large blocks
+  Panel,           ///< PD: getf2 / potf2 / geqr2 panel factorization
+  ChecksumUpdate,  ///< skinny checksum-row GEMMs
+};
+
+struct PerfModel {
+  double blas3_gflops_base = 0.0;
+  double panel_gflops_base = 0.0;
+  double checksum_gflops_base = 0.0;
+  double mem_bandwidth_gbs = 0.0;  ///< for verification passes
+  double freq_exponent = 1.0;      ///< eta: rate ∝ (f/f_base)^eta
+
+  [[nodiscard]] double gflops(KernelClass k, Mhz f, const FrequencyDomain& dom) const;
+
+  /// Duration of `flops` floating-point operations of class k at clock f.
+  [[nodiscard]] SimTime time_for_flops(double flops, KernelClass k, Mhz f,
+                                       const FrequencyDomain& dom) const;
+
+  /// Duration of a bandwidth-bound pass over `bytes` (verification); bandwidth
+  /// scales weakly with clock (memory system is mostly independent).
+  [[nodiscard]] SimTime time_for_bytes(double bytes, Mhz f,
+                                       const FrequencyDomain& dom) const;
+};
+
+}  // namespace bsr::hw

@@ -1,0 +1,22 @@
+#include "hw/power_model.hpp"
+
+#include <cmath>
+
+namespace bsr::hw {
+
+double PowerModel::frequency_scale(Mhz f, Mhz base) const {
+  return std::pow(static_cast<double>(f) / static_cast<double>(base), exponent);
+}
+
+double PowerModel::busy_power(Mhz f, Guardband g, const GuardbandModel& gb,
+                              const FrequencyDomain& dom) const {
+  return static_power() + gb.alpha(f, g, dom) * dynamic_power_base() *
+                              frequency_scale(f, dom.base_mhz);
+}
+
+double PowerModel::idle_power(Mhz f, const FrequencyDomain& dom) const {
+  return static_power() +
+         idle_activity * dynamic_power_base() * frequency_scale(f, dom.base_mhz);
+}
+
+}  // namespace bsr::hw

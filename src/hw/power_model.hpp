@@ -1,0 +1,41 @@
+// Processor power model.
+//
+// The paper's energy analysis (§3.2.3) models total power as a static part
+// plus a dynamic part with P_dynamic ∝ f^2.4 [Efraim et al.], scaled by the
+// guardband power-reduction factor alpha. We implement exactly that:
+//
+//   P_busy(f, g) = P_static + alpha(f, g) * P_dyn_base * (f / f_base)^2.4
+//   P_idle(f)    = P_static + idle_activity * P_dyn_base * (f / f_base)^2.4
+//
+// where d = P_dyn_base / P_total_base is the dynamic fraction the paper calls
+// d^{CPU/GPU}. Idle retains a small clock-dependent activity factor (clock
+// tree, caches), which is what makes Race-to-Halt's drop-to-minimum worthwhile.
+#pragma once
+
+#include "hw/frequency.hpp"
+#include "hw/guardband.hpp"
+
+namespace bsr::hw {
+
+struct PowerModel {
+  double total_power_base_w = 0.0;  ///< busy power at base clock, default guardband
+  double dynamic_fraction = 0.7;    ///< d in the paper's equations
+  double idle_activity = 0.15;      ///< fraction of dynamic power drawn when idle
+  double exponent = 2.4;            ///< paper's frequency exponent
+
+  [[nodiscard]] double static_power() const {
+    return total_power_base_w * (1.0 - dynamic_fraction);
+  }
+  [[nodiscard]] double dynamic_power_base() const {
+    return total_power_base_w * dynamic_fraction;
+  }
+
+  /// (f / f_base)^exponent — exposed for the analytical energy formulas.
+  [[nodiscard]] double frequency_scale(Mhz f, Mhz base) const;
+
+  [[nodiscard]] double busy_power(Mhz f, Guardband g, const GuardbandModel& gb,
+                                  const FrequencyDomain& dom) const;
+  [[nodiscard]] double idle_power(Mhz f, const FrequencyDomain& dom) const;
+};
+
+}  // namespace bsr::hw

@@ -1,0 +1,184 @@
+#include "hw/profile_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bsr::hw {
+
+namespace {
+
+void save_device(const DeviceModel& d, const char* prefix, std::ostream& os) {
+  os << prefix << ".name = " << d.name << '\n';
+  os << prefix << ".freq.min_mhz = " << d.freq.min_mhz << '\n';
+  os << prefix << ".freq.base_mhz = " << d.freq.base_mhz << '\n';
+  os << prefix << ".freq.max_default_mhz = " << d.freq.max_default_mhz << '\n';
+  os << prefix << ".freq.max_oc_mhz = " << d.freq.max_oc_mhz << '\n';
+  os << prefix << ".freq.step_mhz = " << d.freq.step_mhz << '\n';
+  os << prefix << ".guardband.alpha_floor = " << d.guardband.alpha_floor << '\n';
+  os << prefix << ".guardband.alpha_ceiling = " << d.guardband.alpha_ceiling
+     << '\n';
+  os << prefix << ".guardband.shape = " << d.guardband.shape << '\n';
+  os << prefix << ".power.total_w = " << d.power.total_power_base_w << '\n';
+  os << prefix << ".power.dynamic_fraction = " << d.power.dynamic_fraction
+     << '\n';
+  os << prefix << ".power.idle_activity = " << d.power.idle_activity << '\n';
+  os << prefix << ".power.exponent = " << d.power.exponent << '\n';
+  os << prefix << ".perf.blas3_gflops = " << d.perf.blas3_gflops_base << '\n';
+  os << prefix << ".perf.panel_gflops = " << d.perf.panel_gflops_base << '\n';
+  os << prefix << ".perf.checksum_gflops = " << d.perf.checksum_gflops_base
+     << '\n';
+  os << prefix << ".perf.mem_bandwidth_gbs = " << d.perf.mem_bandwidth_gbs
+     << '\n';
+  os << prefix << ".perf.freq_exponent = " << d.perf.freq_exponent << '\n';
+  os << prefix << ".thermal.ambient_c = " << d.thermal.ambient_c << '\n';
+  os << prefix << ".thermal.r_th_c_per_w = " << d.thermal.r_th_c_per_w << '\n';
+  os << prefix << ".dvfs_latency_us = " << d.dvfs_latency.seconds() * 1e6
+     << '\n';
+  // Error table: one line per grid point.
+  for (Mhz f = d.freq.min_mhz; f <= d.freq.max_oc_mhz; f += d.freq.step_mhz) {
+    const ErrorRates r = d.errors.rates(f, Guardband::Optimized);
+    if (!r.fault_free()) {
+      os << prefix << ".errors." << f << " = " << r.d0 << ' ' << r.d1 << ' '
+         << r.d2 << '\n';
+    }
+  }
+}
+
+/// Applies one key/value pair to the device; returns false on unknown key.
+bool apply_device_key(DeviceModel& d, std::map<Mhz, ErrorRates>& errors,
+                      const std::string& key, const std::string& value) {
+  auto as_double = [&] { return std::stod(value); };
+  auto as_int = [&] { return std::stoi(value); };
+  if (key == "name") {
+    d.name = value;
+  } else if (key == "freq.min_mhz") {
+    d.freq.min_mhz = as_int();
+  } else if (key == "freq.base_mhz") {
+    d.freq.base_mhz = as_int();
+  } else if (key == "freq.max_default_mhz") {
+    d.freq.max_default_mhz = as_int();
+  } else if (key == "freq.max_oc_mhz") {
+    d.freq.max_oc_mhz = as_int();
+  } else if (key == "freq.step_mhz") {
+    d.freq.step_mhz = as_int();
+  } else if (key == "guardband.alpha_floor") {
+    d.guardband.alpha_floor = as_double();
+  } else if (key == "guardband.alpha_ceiling") {
+    d.guardband.alpha_ceiling = as_double();
+  } else if (key == "guardband.shape") {
+    d.guardband.shape = as_double();
+  } else if (key == "power.total_w") {
+    d.power.total_power_base_w = as_double();
+  } else if (key == "power.dynamic_fraction") {
+    d.power.dynamic_fraction = as_double();
+  } else if (key == "power.idle_activity") {
+    d.power.idle_activity = as_double();
+  } else if (key == "power.exponent") {
+    d.power.exponent = as_double();
+  } else if (key == "perf.blas3_gflops") {
+    d.perf.blas3_gflops_base = as_double();
+  } else if (key == "perf.panel_gflops") {
+    d.perf.panel_gflops_base = as_double();
+  } else if (key == "perf.checksum_gflops") {
+    d.perf.checksum_gflops_base = as_double();
+  } else if (key == "perf.mem_bandwidth_gbs") {
+    d.perf.mem_bandwidth_gbs = as_double();
+  } else if (key == "perf.freq_exponent") {
+    d.perf.freq_exponent = as_double();
+  } else if (key == "thermal.ambient_c") {
+    d.thermal.ambient_c = as_double();
+  } else if (key == "thermal.r_th_c_per_w") {
+    d.thermal.r_th_c_per_w = as_double();
+  } else if (key == "dvfs_latency_us") {
+    d.dvfs_latency = SimTime::from_micros(as_double());
+  } else if (key.rfind("errors.", 0) == 0) {
+    const Mhz f = std::stoi(key.substr(7));
+    std::istringstream vs(value);
+    ErrorRates r;
+    if (!(vs >> r.d0 >> r.d1 >> r.d2)) return false;
+    errors[f] = r;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void save_profile(const PlatformProfile& p, std::ostream& os) {
+  os << "# bsr platform profile\n";
+  save_device(p.cpu, "cpu", os);
+  save_device(p.gpu, "gpu", os);
+  os << "link.bandwidth_gbs = " << p.link.bandwidth_gbs << '\n';
+  os << "link.latency_us = " << p.link.latency.seconds() * 1e6 << '\n';
+}
+
+void save_profile(const PlatformProfile& p, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_profile: cannot open " + path);
+  save_profile(p, os);
+}
+
+PlatformProfile load_profile(std::istream& is) {
+  PlatformProfile p = PlatformProfile::paper_default();
+  std::map<Mhz, ErrorRates> cpu_errors;
+  std::map<Mhz, ErrorRates> gpu_errors;
+  bool cpu_errors_touched = false;
+  bool gpu_errors_touched = false;
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim.
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("load_profile: missing '=' at line " +
+                               std::to_string(lineno));
+    }
+    auto trim = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t");
+      const auto e = s.find_last_not_of(" \t");
+      return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+
+    bool ok = false;
+    if (key.rfind("cpu.", 0) == 0) {
+      ok = apply_device_key(p.cpu, cpu_errors, key.substr(4), value);
+      cpu_errors_touched |= key.rfind("cpu.errors.", 0) == 0;
+    } else if (key.rfind("gpu.", 0) == 0) {
+      ok = apply_device_key(p.gpu, gpu_errors, key.substr(4), value);
+      gpu_errors_touched |= key.rfind("gpu.errors.", 0) == 0;
+    } else if (key == "link.bandwidth_gbs") {
+      p.link.bandwidth_gbs = std::stod(value);
+      ok = true;
+    } else if (key == "link.latency_us") {
+      p.link.latency = SimTime::from_micros(std::stod(value));
+      ok = true;
+    }
+    if (!ok) {
+      throw std::runtime_error("load_profile: unknown key '" + key +
+                               "' at line " + std::to_string(lineno));
+    }
+  }
+  if (cpu_errors_touched) p.cpu.errors = ErrorRateModel(std::move(cpu_errors));
+  if (gpu_errors_touched) p.gpu.errors = ErrorRateModel(std::move(gpu_errors));
+  return p;
+}
+
+PlatformProfile load_profile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_profile: cannot open " + path);
+  return load_profile(is);
+}
+
+}  // namespace bsr::hw

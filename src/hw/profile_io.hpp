@@ -1,0 +1,31 @@
+// Platform profile (de)serialization: a simple `section.key = value` text
+// format so users can model their own CPU-GPU systems without recompiling.
+//
+// Example (abridged):
+//   cpu.name = i7-9700K
+//   cpu.freq.min_mhz = 800
+//   cpu.power.total_w = 110
+//   gpu.errors.1800 = 0.01 0 0        # d0 d1 d2 at 1800 MHz
+//   link.bandwidth_gbs = 12
+//
+// Unknown keys are rejected (typos should fail loudly); omitted keys keep the
+// paper-default value, so a profile file only needs the deltas.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hw/platform.hpp"
+
+namespace bsr::hw {
+
+/// Serializes every model parameter of `p`.
+void save_profile(const PlatformProfile& p, std::ostream& os);
+void save_profile(const PlatformProfile& p, const std::string& path);
+
+/// Loads a profile, starting from paper_default() and applying the file's
+/// overrides. Throws std::runtime_error on unknown keys or malformed lines.
+PlatformProfile load_profile(std::istream& is);
+PlatformProfile load_profile(const std::string& path);
+
+}  // namespace bsr::hw

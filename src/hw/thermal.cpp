@@ -1,0 +1,12 @@
+#include "hw/thermal.hpp"
+
+namespace bsr::hw {
+
+double ThermalModel::max_sustained_temp(Mhz f, Guardband g,
+                                        const PowerModel& power,
+                                        const GuardbandModel& gb,
+                                        const FrequencyDomain& dom) const {
+  return ambient_c + r_th_c_per_w * power.busy_power(f, g, gb, dom);
+}
+
+}  // namespace bsr::hw

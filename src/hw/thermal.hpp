@@ -1,0 +1,22 @@
+// Steady-state thermal model — reproduces the shape of paper Fig. 5(d,e).
+//
+// The paper stabilizes core temperature with external cooling; temperature is
+// reported, never fed back into the control loop. We model the maximum
+// sustained core temperature as ambient plus thermal resistance times power.
+#pragma once
+
+#include "hw/power_model.hpp"
+
+namespace bsr::hw {
+
+struct ThermalModel {
+  double ambient_c = 28.0;
+  double r_th_c_per_w = 0.2;  ///< effective junction-to-ambient resistance
+
+  [[nodiscard]] double max_sustained_temp(Mhz f, Guardband g,
+                                          const PowerModel& power,
+                                          const GuardbandModel& gb,
+                                          const FrequencyDomain& dom) const;
+};
+
+}  // namespace bsr::hw

@@ -1,0 +1,10 @@
+#include "hw/transfer.hpp"
+
+namespace bsr::hw {
+
+SimTime TransferModel::time_for_bytes(double bytes) const {
+  if (bytes <= 0.0) return SimTime::zero();
+  return latency + SimTime::from_seconds(bytes / (bandwidth_gbs * 1e9));
+}
+
+}  // namespace bsr::hw

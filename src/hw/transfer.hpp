@@ -1,0 +1,15 @@
+// Host<->device transfer model (PCIe-like link).
+#pragma once
+
+#include "common/sim_time.hpp"
+
+namespace bsr::hw {
+
+struct TransferModel {
+  double bandwidth_gbs = 12.0;  ///< sustained PCIe 3.0 x16
+  SimTime latency = SimTime::from_micros(10.0);
+
+  [[nodiscard]] SimTime time_for_bytes(double bytes) const;
+};
+
+}  // namespace bsr::hw

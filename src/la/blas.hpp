@@ -1,0 +1,94 @@
+// From-scratch BLAS subset used by the factorization kernels.
+//
+// Level-3 kernels (gemm / trsm / syrk) are cache-blocked and parallelized on
+// the shared thread pool; level-1/2 kernels are straightforward loops. The
+// interfaces mirror standard BLAS semantics but take typed views instead of
+// raw pointer + dimension tuples.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace bsr::la {
+
+enum class Op { NoTrans, Trans };
+enum class Side { Left, Right };
+enum class Uplo { Upper, Lower };
+enum class Diag { Unit, NonUnit };
+
+// ---- Level 1 --------------------------------------------------------------
+
+template <typename T>
+void axpy(idx n, T alpha, const T* x, idx incx, T* y, idx incy);
+
+template <typename T>
+void scal(idx n, T alpha, T* x, idx incx);
+
+template <typename T>
+T dot(idx n, const T* x, idx incx, const T* y, idx incy);
+
+template <typename T>
+T nrm2(idx n, const T* x, idx incx);
+
+/// Index of the element with maximum |value| (0-based); -1 when n == 0.
+template <typename T>
+idx iamax(idx n, const T* x, idx incx);
+
+template <typename T>
+void swap(idx n, T* x, idx incx, T* y, idx incy);
+
+// ---- Level 2 --------------------------------------------------------------
+
+/// y = alpha * op(A) * x + beta * y
+template <typename T>
+void gemv(Op op, T alpha, ConstMatrixView<T> a, const T* x, T beta, T* y);
+
+/// A += alpha * x * y^T (incx/incy are the element strides of x and y).
+template <typename T>
+void ger(T alpha, const T* x, idx incx, const T* y, idx incy, MatrixView<T> a);
+
+/// Solve op(A) * x = b in place, A triangular.
+template <typename T>
+void trsv(Uplo uplo, Op op, Diag diag, ConstMatrixView<T> a, T* x);
+
+// ---- Level 3 --------------------------------------------------------------
+
+/// C = alpha * op(A) * op(B) + beta * C.
+template <typename T>
+void gemm(Op opa, Op opb, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
+          T beta, MatrixView<T> c);
+
+/// Solve op(A) * X = alpha * B (Side::Left) or X * op(A) = alpha * B
+/// (Side::Right) in place over B; A triangular.
+template <typename T>
+void trsm(Side side, Uplo uplo, Op op, Diag diag, T alpha, ConstMatrixView<T> a,
+          MatrixView<T> b);
+
+/// C = alpha * A * A^T + beta * C (Op::NoTrans) or alpha * A^T * A + beta * C
+/// (Op::Trans); only the `uplo` triangle of C is referenced/updated.
+template <typename T>
+void syrk(Uplo uplo, Op op, T alpha, ConstMatrixView<T> a, T beta,
+          MatrixView<T> c);
+
+// Explicit instantiation declarations ---------------------------------------
+
+#define BSR_LA_DECLARE_BLAS(T)                                                       \
+  extern template void axpy<T>(idx, T, const T*, idx, T*, idx);                      \
+  extern template void scal<T>(idx, T, T*, idx);                                     \
+  extern template T dot<T>(idx, const T*, idx, const T*, idx);                       \
+  extern template T nrm2<T>(idx, const T*, idx);                                     \
+  extern template idx iamax<T>(idx, const T*, idx);                                  \
+  extern template void swap<T>(idx, T*, idx, T*, idx);                               \
+  extern template void gemv<T>(Op, T, ConstMatrixView<T>, const T*, T, T*);          \
+  extern template void ger<T>(T, const T*, idx, const T*, idx, MatrixView<T>);       \
+  extern template void trsv<T>(Uplo, Op, Diag, ConstMatrixView<T>, T*);              \
+  extern template void gemm<T>(Op, Op, T, ConstMatrixView<T>, ConstMatrixView<T>, T, \
+                               MatrixView<T>);                                       \
+  extern template void trsm<T>(Side, Uplo, Op, Diag, T, ConstMatrixView<T>,          \
+                               MatrixView<T>);                                       \
+  extern template void syrk<T>(Uplo, Op, T, ConstMatrixView<T>, T, MatrixView<T>);
+
+BSR_LA_DECLARE_BLAS(float)
+BSR_LA_DECLARE_BLAS(double)
+#undef BSR_LA_DECLARE_BLAS
+
+}  // namespace bsr::la

@@ -1,0 +1,74 @@
+#include <cmath>
+
+#include "la/blas.hpp"
+
+namespace bsr::la {
+
+template <typename T>
+void axpy(idx n, T alpha, const T* x, idx incx, T* y, idx incy) {
+  for (idx i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
+}
+
+template <typename T>
+void scal(idx n, T alpha, T* x, idx incx) {
+  for (idx i = 0; i < n; ++i) x[i * incx] *= alpha;
+}
+
+template <typename T>
+T dot(idx n, const T* x, idx incx, const T* y, idx incy) {
+  T s = 0;
+  for (idx i = 0; i < n; ++i) s += x[i * incx] * y[i * incy];
+  return s;
+}
+
+template <typename T>
+T nrm2(idx n, const T* x, idx incx) {
+  // Scaled accumulation for overflow safety (netlib-style).
+  T scale = 0;
+  T ssq = 1;
+  for (idx i = 0; i < n; ++i) {
+    const T v = std::abs(x[i * incx]);
+    if (v == T(0)) continue;
+    if (scale < v) {
+      ssq = T(1) + ssq * (scale / v) * (scale / v);
+      scale = v;
+    } else {
+      ssq += (v / scale) * (v / scale);
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+template <typename T>
+idx iamax(idx n, const T* x, idx incx) {
+  if (n <= 0) return -1;
+  idx best = 0;
+  T best_abs = std::abs(x[0]);
+  for (idx i = 1; i < n; ++i) {
+    const T v = std::abs(x[i * incx]);
+    if (v > best_abs) {
+      best_abs = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+template <typename T>
+void swap(idx n, T* x, idx incx, T* y, idx incy) {
+  for (idx i = 0; i < n; ++i) std::swap(x[i * incx], y[i * incy]);
+}
+
+#define BSR_LA_INSTANTIATE(T)                                  \
+  template void axpy<T>(idx, T, const T*, idx, T*, idx);       \
+  template void scal<T>(idx, T, T*, idx);                      \
+  template T dot<T>(idx, const T*, idx, const T*, idx);        \
+  template T nrm2<T>(idx, const T*, idx);                      \
+  template idx iamax<T>(idx, const T*, idx);                   \
+  template void swap<T>(idx, T*, idx, T*, idx);
+
+BSR_LA_INSTANTIATE(float)
+BSR_LA_INSTANTIATE(double)
+#undef BSR_LA_INSTANTIATE
+
+}  // namespace bsr::la

@@ -1,0 +1,82 @@
+#include "la/blas.hpp"
+
+namespace bsr::la {
+
+template <typename T>
+void gemv(Op op, T alpha, ConstMatrixView<T> a, const T* x, T beta, T* y) {
+  const idx m = a.rows();
+  const idx n = a.cols();
+  if (op == Op::NoTrans) {
+    for (idx i = 0; i < m; ++i) y[i] *= beta;
+    for (idx j = 0; j < n; ++j) {
+      const T xj = alpha * x[j];
+      const T* col = a.col(j);
+      for (idx i = 0; i < m; ++i) y[i] += xj * col[i];
+    }
+  } else {
+    for (idx j = 0; j < n; ++j) {
+      const T* col = a.col(j);
+      T s = 0;
+      for (idx i = 0; i < m; ++i) s += col[i] * x[i];
+      y[j] = beta * y[j] + alpha * s;
+    }
+  }
+}
+
+template <typename T>
+void ger(T alpha, const T* x, idx incx, const T* y, idx incy, MatrixView<T> a) {
+  const idx m = a.rows();
+  const idx n = a.cols();
+  for (idx j = 0; j < n; ++j) {
+    const T yj = alpha * y[j * incy];
+    T* col = a.col(j);
+    for (idx i = 0; i < m; ++i) col[i] += x[i * incx] * yj;
+  }
+}
+
+template <typename T>
+void trsv(Uplo uplo, Op op, Diag diag, ConstMatrixView<T> a, T* x) {
+  const idx n = a.rows();
+  const bool unit = diag == Diag::Unit;
+  if (op == Op::NoTrans) {
+    if (uplo == Uplo::Lower) {
+      for (idx i = 0; i < n; ++i) {
+        T s = x[i];
+        for (idx k = 0; k < i; ++k) s -= a(i, k) * x[k];
+        x[i] = unit ? s : s / a(i, i);
+      }
+    } else {
+      for (idx i = n - 1; i >= 0; --i) {
+        T s = x[i];
+        for (idx k = i + 1; k < n; ++k) s -= a(i, k) * x[k];
+        x[i] = unit ? s : s / a(i, i);
+      }
+    }
+  } else {
+    // Solve A^T x = b.
+    if (uplo == Uplo::Lower) {
+      for (idx i = n - 1; i >= 0; --i) {
+        T s = x[i];
+        for (idx k = i + 1; k < n; ++k) s -= a(k, i) * x[k];
+        x[i] = unit ? s : s / a(i, i);
+      }
+    } else {
+      for (idx i = 0; i < n; ++i) {
+        T s = x[i];
+        for (idx k = 0; k < i; ++k) s -= a(k, i) * x[k];
+        x[i] = unit ? s : s / a(i, i);
+      }
+    }
+  }
+}
+
+#define BSR_LA_INSTANTIATE(T)                                          \
+  template void gemv<T>(Op, T, ConstMatrixView<T>, const T*, T, T*);   \
+  template void ger<T>(T, const T*, idx, const T*, idx, MatrixView<T>); \
+  template void trsv<T>(Uplo, Op, Diag, ConstMatrixView<T>, T*);
+
+BSR_LA_INSTANTIATE(float)
+BSR_LA_INSTANTIATE(double)
+#undef BSR_LA_INSTANTIATE
+
+}  // namespace bsr::la

@@ -1,0 +1,148 @@
+#include <algorithm>
+
+#include "la/lapack.hpp"
+
+namespace bsr::la {
+
+template <typename T>
+idx potrf(MatrixView<T> a, idx nb) {
+  const idx n = a.rows();
+  if (nb <= 0) nb = 64;
+  for (idx k = 0; k < n; k += nb) {
+    const idx b = std::min(nb, n - k);
+    auto akk = a.block(k, k, b, b);
+    const idx info = potf2(akk);
+    if (info != 0) return k + info;
+    const idx rest = n - k - b;
+    if (rest > 0) {
+      // L21 = A21 * L11^{-T}
+      trsm(Side::Right, Uplo::Lower, Op::Trans, Diag::NonUnit, T(1),
+           akk.as_const(), a.block(k + b, k, rest, b));
+      // A22 -= L21 * L21^T
+      syrk(Uplo::Lower, Op::NoTrans, T(-1), a.block(k + b, k, rest, b).as_const(), T(1),
+           a.block(k + b, k + b, rest, rest));
+    }
+  }
+  return 0;
+}
+
+template <typename T>
+idx getrf(MatrixView<T> a, idx nb, std::vector<idx>& ipiv) {
+  const idx m = a.rows();
+  const idx n = a.cols();
+  const idx k = std::min(m, n);
+  if (nb <= 0) nb = 64;
+  ipiv.assign(k, 0);
+  idx info = 0;
+  for (idx j = 0; j < k; j += nb) {
+    const idx b = std::min(nb, k - j);
+    // Factor the panel A(j:m, j:j+b).
+    std::vector<idx> piv;
+    const idx pinfo = getf2(a.block(j, j, m - j, b), piv);
+    if (pinfo != 0 && info == 0) info = j + pinfo;
+    for (idx i = 0; i < b; ++i) ipiv[j + i] = piv[i] + j;
+    // Apply the panel's interchanges to the columns left and right of it.
+    if (j > 0) laswp(a.block(0, 0, m, j), ipiv, j, j + b);
+    if (j + b < n) {
+      laswp(a.block(0, j + b, m, n - j - b), ipiv, j, j + b);
+      // U12 = L11^{-1} A12
+      trsm(Side::Left, Uplo::Lower, Op::NoTrans, Diag::Unit, T(1),
+           a.block(j, j, b, b).as_const(), a.block(j, j + b, b, n - j - b));
+      // A22 -= L21 * U12
+      if (j + b < m) {
+        gemm(Op::NoTrans, Op::NoTrans, T(-1),
+             a.block(j + b, j, m - j - b, b).as_const(),
+             a.block(j, j + b, b, n - j - b).as_const(), T(1),
+             a.block(j + b, j + b, m - j - b, n - j - b));
+      }
+    }
+  }
+  return info;
+}
+
+template <typename T>
+void larfb_left_trans(ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T> c) {
+  // c := (I - V T V^T)^T c = c - V T^T V^T c, V m x k unit lower trapezoidal.
+  const idx m = c.rows();
+  const idx n = c.cols();
+  const idx k = v.cols();
+  if (m == 0 || n == 0 || k == 0) return;
+
+  // W = V^T C (k x n) with the unit-lower-trapezoidal structure made explicit.
+  Matrix<T> vexp(m, k);
+  for (idx j = 0; j < k; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      if (i < j) {
+        vexp(i, j) = T(0);
+      } else if (i == j) {
+        vexp(i, j) = T(1);
+      } else {
+        vexp(i, j) = v(i, j);
+      }
+    }
+  }
+  Matrix<T> w(k, n);
+  gemm(Op::Trans, Op::NoTrans, T(1), vexp.view().as_const(), c.as_const(), T(0),
+       w.view());
+  // W := T^T W
+  Matrix<T> tw(k, n);
+  gemm(Op::Trans, Op::NoTrans, T(1), t, w.view().as_const(), T(0), tw.view());
+  // C -= V * W
+  gemm(Op::NoTrans, Op::NoTrans, T(-1), vexp.view().as_const(),
+       tw.view().as_const(), T(1), c);
+}
+
+template <typename T>
+idx geqrf(MatrixView<T> a, idx nb, std::vector<T>& tau) {
+  const idx m = a.rows();
+  const idx n = a.cols();
+  const idx k = std::min(m, n);
+  if (nb <= 0) nb = 64;
+  tau.assign(k, T(0));
+  Matrix<T> t(nb, nb);
+  for (idx j = 0; j < k; j += nb) {
+    const idx b = std::min(nb, k - j);
+    std::vector<T> panel_tau;
+    geqr2(a.block(j, j, m - j, b), panel_tau);
+    std::copy(panel_tau.begin(), panel_tau.end(), tau.begin() + j);
+    if (j + b < n) {
+      auto vpanel = ConstMatrixView<T>(a.block(j, j, m - j, b));
+      auto tview = t.block(0, 0, b, b);
+      larft(vpanel, panel_tau.data(), tview);
+      larfb_left_trans(vpanel, ConstMatrixView<T>(tview),
+                       a.block(j, j + b, m - j, n - j - b));
+    }
+  }
+  return 0;
+}
+
+template <typename T>
+Matrix<T> form_q(ConstMatrixView<T> qr, const std::vector<T>& tau) {
+  const idx m = qr.rows();
+  const idx k = static_cast<idx>(tau.size());
+  Matrix<T> q(m, m);
+  fill_identity(q.view());
+  // Q = H_0 H_1 ... H_{k-1}; apply in reverse to the identity from the left.
+  std::vector<T> v(m);
+  std::vector<T> work(m);
+  for (idx j = k - 1; j >= 0; --j) {
+    v[0] = T(1);
+    for (idx i = 1; i < m - j; ++i) v[i] = qr(j + i, j);
+    larf_left(v.data(), tau[j], q.block(j, 0, m - j, m), work.data());
+  }
+  return q;
+}
+
+#define BSR_LA_INSTANTIATE(T)                                                  \
+  template idx potrf<T>(MatrixView<T>, idx);                                   \
+  template idx getrf<T>(MatrixView<T>, idx, std::vector<idx>&);                \
+  template void larfb_left_trans<T>(ConstMatrixView<T>, ConstMatrixView<T>,    \
+                                    MatrixView<T>);                            \
+  template idx geqrf<T>(MatrixView<T>, idx, std::vector<T>&);                  \
+  template Matrix<T> form_q<T>(ConstMatrixView<T>, const std::vector<T>&);
+
+BSR_LA_INSTANTIATE(float)
+BSR_LA_INSTANTIATE(double)
+#undef BSR_LA_INSTANTIATE
+
+}  // namespace bsr::la

@@ -1,0 +1,26 @@
+#include "la/matrix.hpp"
+
+namespace bsr::la {
+
+template <typename T>
+void fill_spd(MatrixView<T> a, Rng& rng) {
+  assert(a.rows() == a.cols());
+  const idx n = a.rows();
+  // A = B * B^T + n * I computed directly (O(n^3)); fine for test sizes.
+  Matrix<T> b(n, n);
+  fill_random(b.view(), rng);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j; i < n; ++i) {
+      T s = 0;
+      for (idx k = 0; k < n; ++k) s += b(i, k) * b(j, k);
+      if (i == j) s += static_cast<T>(n);
+      a(i, j) = s;
+      a(j, i) = s;
+    }
+  }
+}
+
+template void fill_spd<float>(MatrixView<float>, Rng&);
+template void fill_spd<double>(MatrixView<double>, Rng&);
+
+}  // namespace bsr::la

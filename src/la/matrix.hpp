@@ -1,0 +1,193 @@
+// Dense column-major matrix storage and views.
+//
+// The substrate mirrors LAPACK conventions: column-major layout with an
+// explicit leading dimension so sub-matrix views (panels, trailing matrices,
+// blocks) alias the parent storage without copies. Element type is a template
+// parameter; the library instantiates float and double.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace bsr::la {
+
+using idx = std::int64_t;
+
+template <typename T>
+class ConstMatrixView;
+
+/// Non-owning mutable view of a column-major matrix block.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, idx rows, idx cols, idx ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    assert(ld >= rows || rows == 0);
+  }
+
+  [[nodiscard]] idx rows() const { return rows_; }
+  [[nodiscard]] idx cols() const { return cols_; }
+  [[nodiscard]] idx ld() const { return ld_; }
+  [[nodiscard]] T* data() const { return data_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(idx i, idx j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+
+  /// Sub-block view rooted at (i, j) of size r x c.
+  [[nodiscard]] MatrixView block(idx i, idx j, idx r, idx c) const {
+    assert(i >= 0 && j >= 0 && i + r <= rows_ && j + c <= cols_);
+    return MatrixView(data_ + i + j * ld_, r, c, ld_);
+  }
+
+  [[nodiscard]] T* col(idx j) const { return data_ + j * ld_; }
+
+  /// Explicit const view; template argument deduction does not consider the
+  /// implicit conversion, so call sites passing a mutable view to a
+  /// ConstMatrixView parameter use this.
+  [[nodiscard]] ConstMatrixView<T> as_const() const;
+
+ private:
+  T* data_ = nullptr;
+  idx rows_ = 0;
+  idx cols_ = 0;
+  idx ld_ = 0;
+};
+
+/// Non-owning read-only view.
+template <typename T>
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const T* data, idx rows, idx cols, idx ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {}
+  ConstMatrixView(MatrixView<T> v)  // NOLINT: implicit by design
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()), ld_(v.ld()) {}
+
+  [[nodiscard]] idx rows() const { return rows_; }
+  [[nodiscard]] idx cols() const { return cols_; }
+  [[nodiscard]] idx ld() const { return ld_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  const T& operator()(idx i, idx j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i + j * ld_];
+  }
+
+  [[nodiscard]] ConstMatrixView block(idx i, idx j, idx r, idx c) const {
+    assert(i >= 0 && j >= 0 && i + r <= rows_ && j + c <= cols_);
+    return ConstMatrixView(data_ + i + j * ld_, r, c, ld_);
+  }
+
+  [[nodiscard]] const T* col(idx j) const { return data_ + j * ld_; }
+
+  /// No-op, for symmetry with MatrixView::as_const() in generic code.
+  [[nodiscard]] ConstMatrixView as_const() const { return *this; }
+
+ private:
+  const T* data_ = nullptr;
+  idx rows_ = 0;
+  idx cols_ = 0;
+  idx ld_ = 0;
+};
+
+template <typename T>
+ConstMatrixView<T> MatrixView<T>::as_const() const {
+  return ConstMatrixView<T>(data_, rows_, cols_, ld_);
+}
+
+/// Owning column-major matrix.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(idx rows, idx cols) : rows_(rows), cols_(cols), store_(rows * cols, T(0)) {}
+
+  [[nodiscard]] idx rows() const { return rows_; }
+  [[nodiscard]] idx cols() const { return cols_; }
+  [[nodiscard]] idx ld() const { return rows_; }
+  [[nodiscard]] T* data() { return store_.data(); }
+  [[nodiscard]] const T* data() const { return store_.data(); }
+
+  T& operator()(idx i, idx j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return store_[i + j * rows_];
+  }
+  const T& operator()(idx i, idx j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return store_[i + j * rows_];
+  }
+
+  [[nodiscard]] MatrixView<T> view() {
+    return MatrixView<T>(store_.data(), rows_, cols_, rows_);
+  }
+  [[nodiscard]] ConstMatrixView<T> view() const {
+    return ConstMatrixView<T>(store_.data(), rows_, cols_, rows_);
+  }
+  [[nodiscard]] MatrixView<T> block(idx i, idx j, idx r, idx c) {
+    return view().block(i, j, r, c);
+  }
+  [[nodiscard]] ConstMatrixView<T> block(idx i, idx j, idx r, idx c) const {
+    return view().block(i, j, r, c);
+  }
+
+  void fill(T value) { store_.assign(store_.size(), value); }
+
+ private:
+  idx rows_ = 0;
+  idx cols_ = 0;
+  std::vector<T> store_;
+};
+
+/// Deep-copies a (possibly strided) view into an owning matrix.
+template <typename T>
+Matrix<T> to_matrix(ConstMatrixView<T> v) {
+  Matrix<T> out(v.rows(), v.cols());
+  for (idx j = 0; j < v.cols(); ++j) {
+    for (idx i = 0; i < v.rows(); ++i) out(i, j) = v(i, j);
+  }
+  return out;
+}
+
+template <typename T>
+void copy_into(ConstMatrixView<T> src, MatrixView<T> dst) {
+  assert(src.rows() == dst.rows() && src.cols() == dst.cols());
+  for (idx j = 0; j < src.cols(); ++j) {
+    for (idx i = 0; i < src.rows(); ++i) dst(i, j) = src(i, j);
+  }
+}
+
+/// Fills with uniform [-1, 1) entries.
+template <typename T>
+void fill_random(MatrixView<T> a, Rng& rng) {
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      a(i, j) = static_cast<T>(rng.uniform(-1.0, 1.0));
+    }
+  }
+}
+
+/// Fills a symmetric positive-definite matrix: random B, A = B*B^T + n*I.
+template <typename T>
+void fill_spd(MatrixView<T> a, Rng& rng);
+
+/// Identity.
+template <typename T>
+void fill_identity(MatrixView<T> a) {
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) a(i, j) = (i == j) ? T(1) : T(0);
+  }
+}
+
+extern template void fill_spd<float>(MatrixView<float>, Rng&);
+extern template void fill_spd<double>(MatrixView<double>, Rng&);
+
+}  // namespace bsr::la

@@ -1,0 +1,42 @@
+// Solvers on top of the factorizations: what a downstream application calls
+// after potrf / getrf / geqrf to actually use the factors.
+#pragma once
+
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace bsr::la {
+
+/// Solves A X = B from a potrf-factored lower Cholesky factor, in place on b.
+template <typename T>
+void potrs(ConstMatrixView<T> l, MatrixView<T> b);
+
+/// Solves A X = B from a getrf-factored packed LU and its pivots, in place.
+template <typename T>
+void getrs(ConstMatrixView<T> lu, const std::vector<idx>& ipiv, MatrixView<T> b);
+
+/// Applies Q^T (from a geqrf factorization) to b in place: b := Q^T b.
+template <typename T>
+void apply_qt(ConstMatrixView<T> qr, const std::vector<T>& tau, MatrixView<T> b);
+
+/// Least-squares solve min ||A x - b|| from a geqrf factorization of the
+/// m x n (m >= n) matrix: b(0:n, :) receives x on exit.
+template <typename T>
+void geqrs(ConstMatrixView<T> qr, const std::vector<T>& tau, MatrixView<T> b);
+
+#define BSR_LA_DECLARE_SOLVE(T)                                                 \
+  extern template void potrs<T>(ConstMatrixView<T>, MatrixView<T>);             \
+  extern template void getrs<T>(ConstMatrixView<T>, const std::vector<idx>&,    \
+                                MatrixView<T>);                                 \
+  extern template void apply_qt<T>(ConstMatrixView<T>, const std::vector<T>&,   \
+                                   MatrixView<T>);                              \
+  extern template void geqrs<T>(ConstMatrixView<T>, const std::vector<T>&,      \
+                                MatrixView<T>);
+
+BSR_LA_DECLARE_SOLVE(float)
+BSR_LA_DECLARE_SOLVE(double)
+#undef BSR_LA_DECLARE_SOLVE
+
+}  // namespace bsr::la

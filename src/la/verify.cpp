@@ -1,0 +1,125 @@
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/lapack.hpp"
+#include "la/verify.hpp"
+
+namespace bsr::la {
+
+template <typename T>
+double norm_fro(ConstMatrixView<T> a) {
+  double s = 0.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      const double v = static_cast<double>(a(i, j));
+      s += v * v;
+    }
+  }
+  return std::sqrt(s);
+}
+
+template <typename T>
+double norm_max(ConstMatrixView<T> a) {
+  double m = 0.0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      m = std::max(m, std::abs(static_cast<double>(a(i, j))));
+    }
+  }
+  return m;
+}
+
+template <typename T>
+double cholesky_residual(ConstMatrixView<T> original, ConstMatrixView<T> factored) {
+  const idx n = original.rows();
+  Matrix<T> l(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j; i < n; ++i) l(i, j) = factored(i, j);
+  }
+  Matrix<T> rec(n, n);
+  gemm(Op::NoTrans, Op::Trans, T(1), l.view().as_const(), l.view().as_const(),
+       T(0), rec.view());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) rec(i, j) -= original(i, j);
+  }
+  const double denom = norm_fro(original);
+  return denom == 0.0 ? norm_fro(rec.view().as_const())
+                      : norm_fro(rec.view().as_const()) / denom;
+}
+
+template <typename T>
+double lu_residual(ConstMatrixView<T> original, ConstMatrixView<T> factored,
+                   const std::vector<idx>& ipiv) {
+  const idx m = original.rows();
+  const idx n = original.cols();
+  const idx k = std::min(m, n);
+  Matrix<T> l(m, k);
+  Matrix<T> u(k, n);
+  for (idx j = 0; j < k; ++j) {
+    l(j, j) = T(1);
+    for (idx i = j + 1; i < m; ++i) l(i, j) = factored(i, j);
+  }
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i <= std::min(j, k - 1); ++i) u(i, j) = factored(i, j);
+  }
+  Matrix<T> rec(m, n);
+  gemm(Op::NoTrans, Op::NoTrans, T(1), l.view().as_const(), u.view().as_const(),
+       T(0), rec.view());
+  // Compare against P*A: apply the same interchanges to a copy of A.
+  Matrix<T> pa = to_matrix(original);
+  laswp(pa.view(), ipiv, 0, static_cast<idx>(ipiv.size()));
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) rec(i, j) -= pa(i, j);
+  }
+  const double denom = norm_fro(original);
+  return denom == 0.0 ? norm_fro(rec.view().as_const())
+                      : norm_fro(rec.view().as_const()) / denom;
+}
+
+template <typename T>
+double qr_residual(ConstMatrixView<T> original, ConstMatrixView<T> factored,
+                   const std::vector<T>& tau) {
+  const idx m = original.rows();
+  const idx n = original.cols();
+  const idx k = std::min(m, n);
+  Matrix<T> q = form_q(factored, tau);
+  Matrix<T> r(m, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i <= std::min(j, k - 1); ++i) r(i, j) = factored(i, j);
+  }
+  Matrix<T> rec(m, n);
+  gemm(Op::NoTrans, Op::NoTrans, T(1), q.view().as_const(), r.view().as_const(),
+       T(0), rec.view());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) rec(i, j) -= original(i, j);
+  }
+  const double denom = norm_fro(original);
+  return denom == 0.0 ? norm_fro(rec.view().as_const())
+                      : norm_fro(rec.view().as_const()) / denom;
+}
+
+template <typename T>
+double orthogonality_error(ConstMatrixView<T> q) {
+  const idx m = q.cols();
+  Matrix<T> qtq(m, m);
+  gemm(Op::Trans, Op::NoTrans, T(1), q, q, T(0), qtq.view());
+  for (idx i = 0; i < m; ++i) qtq(i, i) -= T(1);
+  return norm_fro(qtq.view().as_const());
+}
+
+#define BSR_LA_INSTANTIATE(T)                                              \
+  template double norm_fro<T>(ConstMatrixView<T>);                         \
+  template double norm_max<T>(ConstMatrixView<T>);                         \
+  template double cholesky_residual<T>(ConstMatrixView<T>,                 \
+                                       ConstMatrixView<T>);                \
+  template double lu_residual<T>(ConstMatrixView<T>, ConstMatrixView<T>,   \
+                                 const std::vector<idx>&);                 \
+  template double qr_residual<T>(ConstMatrixView<T>, ConstMatrixView<T>,   \
+                                 const std::vector<T>&);                   \
+  template double orthogonality_error<T>(ConstMatrixView<T>);
+
+BSR_LA_INSTANTIATE(float)
+BSR_LA_INSTANTIATE(double)
+#undef BSR_LA_INSTANTIATE
+
+}  // namespace bsr::la

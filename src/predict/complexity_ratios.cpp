@@ -1,0 +1,58 @@
+#include "predict/complexity_ratios.hpp"
+
+namespace bsr::predict {
+
+std::optional<double> paper_table2_ratio(Factorization fact, OpKind op,
+                                         Table2Column col, int k,
+                                         std::int64_t n, std::int64_t b) {
+  const double nd = static_cast<double>(n);
+  const double bd = static_cast<double>(b);
+  const double kd = static_cast<double>(k);
+  const double m = nd - kd * bd;  // n - kb
+
+  switch (fact) {
+    case Factorization::Cholesky:
+      if (op == OpKind::PD) return 1.0;  // all three columns are 1
+      if (op == OpKind::TMU) {
+        if (col == Table2Column::DataTransfer) return std::nullopt;  // N/A
+        const double base = 1.0 - bd / (m - bd);
+        if (col == Table2Column::ChecksumVerification) return base;
+        // Printed as (1+k)(1 - b/(n-kb-b)); we reproduce it verbatim even
+        // though the exact syrk flop ratio differs (see bench_table2).
+        return (1.0 + kd) * base;
+      }
+      return std::nullopt;
+    case Factorization::LU:
+      if (op == OpKind::PD) {
+        if (col == Table2Column::ComputationAndChecksumUpdate) {
+          return 1.0 - 6.0 * bd / (3.0 * nd - (3.0 * kd - 1.0) * bd);
+        }
+        return 1.0 - 1.0 / m;  // printed as 1 - 1/(n-kb) for both other cols
+      }
+      if (op == OpKind::PU) {
+        if (col == Table2Column::DataTransfer) return std::nullopt;
+        return 1.0 - bd / (m - bd);
+      }
+      if (op == OpKind::TMU) {
+        if (col == Table2Column::DataTransfer) return std::nullopt;
+        return 1.0 - 2.0 * bd / m;
+      }
+      return std::nullopt;
+    case Factorization::QR:
+      if (op == OpKind::PD) {
+        if (col == Table2Column::ComputationAndChecksumUpdate) {
+          return 1.0 - bd / (6.0 * nd - (6.0 * kd + 1.0) * bd);
+        }
+        return 1.0 - bd / (m - bd);
+      }
+      if (op == OpKind::TMU) {
+        if (col == Table2Column::DataTransfer) return std::nullopt;
+        return 1.0 - bd / (m - bd) - bd / (m + bd) +
+               bd * bd / ((m - bd) * (m + bd));
+      }
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bsr::predict

@@ -1,0 +1,24 @@
+// The paper's Table 2: closed-form ratios of time complexity between
+// iteration k and k+1 for the key operations of Cholesky, LU, and QR.
+//
+// We reproduce the printed formulas verbatim so the bench can compare them
+// against the exact flop-count ratios computed by WorkloadModel (which is what
+// the predictor actually uses). Entries the paper marks N/A return nullopt.
+#pragma once
+
+#include <optional>
+
+#include "predict/workload.hpp"
+
+namespace bsr::predict {
+
+/// Which Table 2 column.
+enum class Table2Column { ComputationAndChecksumUpdate, DataTransfer, ChecksumVerification };
+
+/// The Table 2 row is identified by (factorization, op); valid ops per the
+/// paper are PD/TMU for Cholesky, PD/PU/TMU for LU, PD/TMU for QR.
+std::optional<double> paper_table2_ratio(Factorization fact, OpKind op,
+                                         Table2Column col, int k,
+                                         std::int64_t n, std::int64_t b);
+
+}  // namespace bsr::predict

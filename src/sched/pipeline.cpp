@@ -1,0 +1,131 @@
+#include "sched/pipeline.hpp"
+
+#include <cmath>
+
+namespace bsr::sched {
+
+HybridPipeline::HybridPipeline(const hw::PlatformProfile& platform,
+                               PipelineConfig config)
+    : platform_(platform),
+      config_(std::move(config)),
+      cpu_dvfs_(platform_.cpu.make_dvfs()),
+      gpu_dvfs_(platform_.gpu.make_dvfs()) {
+  const int iters = num_iterations();
+  cpu_noise_.resize(iters, 1.0);
+  gpu_noise_.resize(iters, 1.0);
+  if (config_.noise.enabled && iters > 1) {
+    Rng rng(config_.seed);
+    for (int k = 0; k < iters; ++k) {
+      const double progress =
+          static_cast<double>(k) / static_cast<double>(iters - 1);
+      const double jitter_cpu = std::exp(rng.normal(0.0, config_.noise.sigma));
+      const double jitter_gpu = std::exp(rng.normal(0.0, config_.noise.sigma));
+      cpu_noise_[k] =
+          (1.0 + config_.noise.cpu_drift * progress * progress) * jitter_cpu;
+      gpu_noise_[k] =
+          (1.0 + config_.noise.gpu_drift * progress * progress) * jitter_gpu;
+    }
+  }
+}
+
+double HybridPipeline::noise_factor(hw::DeviceId dev, int k) const {
+  return dev == hw::DeviceId::Cpu ? cpu_noise_[k] : gpu_noise_[k];
+}
+
+IterationOutcome HybridPipeline::run_iteration(int k, const IterationDecision& d) {
+  cpu_dvfs_.set_guardband(d.cpu_guardband);
+  gpu_dvfs_.set_guardband(d.gpu_guardband);
+
+  SimTime cpu_dvfs_lat;
+  SimTime gpu_dvfs_lat;
+  if (d.adjust_cpu && d.cpu_freq > 0) {
+    cpu_dvfs_lat = cpu_dvfs_.set_frequency(d.cpu_freq);
+  }
+  if (d.adjust_gpu && d.gpu_freq > 0) {
+    gpu_dvfs_lat = gpu_dvfs_.set_frequency(d.gpu_freq);
+  }
+  const hw::Mhz fc = cpu_dvfs_.current();
+  const hw::Mhz fg = gpu_dvfs_.current();
+
+  TaskDurations t = compute_durations(config_.workload, k, platform_, fc, fg,
+                                      d.abft_mode);
+  // Efficiency drift + noise on the compute lanes (the link is steady).
+  t.pd = t.pd * cpu_noise_[k];
+  t.pu = t.pu * gpu_noise_[k];
+  t.tmu = t.tmu * gpu_noise_[k];
+  t.chk_update = t.chk_update * gpu_noise_[k];
+  t.chk_verify = t.chk_verify * gpu_noise_[k];
+
+  IterationOutcome o;
+  o.k = k;
+  o.cpu_freq = fc;
+  o.gpu_freq = fg;
+  o.abft_mode = d.abft_mode;
+  o.pd = t.pd;
+  o.pu_tmu = t.pu + t.tmu;
+  o.transfer = t.transfer;
+  o.abft_time = t.chk_update + t.chk_verify;
+  o.cpu_dvfs = cpu_dvfs_lat;
+  o.gpu_dvfs = gpu_dvfs_lat;
+  o.cpu_lane = cpu_dvfs_lat + t.transfer + t.pd;
+  o.gpu_lane = gpu_dvfs_lat + o.pu_tmu + o.abft_time;
+  o.span = max(o.cpu_lane, o.gpu_lane);
+  o.slack = o.gpu_lane - o.cpu_lane;
+
+  // --- Energy integration ----------------------------------------------------
+  const hw::DeviceModel& cpu = platform_.cpu;
+  const hw::DeviceModel& gpu = platform_.gpu;
+  const double cpu_busy_p = cpu.power.busy_power(fc, d.cpu_guardband,
+                                                 cpu.guardband, cpu.freq);
+  const double gpu_busy_p = gpu.power.busy_power(fg, d.gpu_guardband,
+                                                 gpu.guardband, gpu.freq);
+  // Race-to-Halt's drop to the floor state is hardware-governed: the
+  // governor needs to observe idleness and step the clock down, so a fraction
+  // of every slack period still burns current-clock idle power. Explicit DVFS
+  // (SR/BSR) does not pay this, which is one reason slack reclamation beats
+  // R2H in the paper's measurements.
+  constexpr double kGovernorReactionFraction = 0.35;
+  auto halted_idle = [&](const hw::DeviceModel& dev, hw::Mhz f) {
+    return kGovernorReactionFraction * dev.idle_power(f) +
+           (1.0 - kGovernorReactionFraction) * dev.idle_power(dev.freq.min_mhz);
+  };
+  const double cpu_idle_p =
+      d.halt_idle_cpu ? halted_idle(cpu, fc) : cpu.idle_power(fc);
+  const double gpu_idle_p =
+      d.halt_idle_gpu ? halted_idle(gpu, fg) : gpu.idle_power(fg);
+
+  SimTime at = now_;
+  auto rec = [&](hw::DeviceId dev, SimTime dur, double p, const char* tag,
+                 double& sink) {
+    meter_.record(dev, at, dur, p, tag);
+    sink += p * dur.seconds();
+  };
+
+  // CPU lane: dvfs -> transfer (DMA; CPU effectively idle) -> PD -> idle.
+  rec(hw::DeviceId::Cpu, cpu_dvfs_lat, cpu_idle_p, "dvfs", o.cpu_energy_j);
+  rec(hw::DeviceId::Cpu, t.transfer, cpu_idle_p, "transfer", o.cpu_energy_j);
+  rec(hw::DeviceId::Cpu, t.pd, cpu_busy_p, "PD", o.cpu_energy_j);
+  rec(hw::DeviceId::Cpu, o.span - o.cpu_lane, cpu_idle_p, "idle", o.cpu_energy_j);
+
+  // GPU lane: dvfs -> PU+TMU -> ABFT -> idle.
+  rec(hw::DeviceId::Gpu, gpu_dvfs_lat, gpu_idle_p, "dvfs", o.gpu_energy_j);
+  rec(hw::DeviceId::Gpu, o.pu_tmu, gpu_busy_p, "TMU+PU", o.gpu_energy_j);
+  rec(hw::DeviceId::Gpu, o.abft_time, gpu_busy_p, "abft", o.gpu_energy_j);
+  rec(hw::DeviceId::Gpu, o.span - o.gpu_lane, gpu_idle_p, "idle", o.gpu_energy_j);
+
+  // --- Base-clock-normalized profiles for the predictors ----------------------
+  const double cpu_scale = std::pow(
+      static_cast<double>(fc) / static_cast<double>(cpu.freq.base_mhz),
+      cpu.perf.freq_exponent);
+  const double gpu_scale = std::pow(
+      static_cast<double>(fg) / static_cast<double>(gpu.freq.base_mhz),
+      gpu.perf.freq_exponent);
+  o.pd_base_s = t.pd.seconds() * cpu_scale;
+  o.pu_tmu_base_s = o.pu_tmu.seconds() * gpu_scale;
+  o.transfer_s = t.transfer.seconds();
+
+  now_ += o.span;
+  return o;
+}
+
+}  // namespace bsr::sched

@@ -1,0 +1,78 @@
+// Per-iteration task durations and scheduling records.
+//
+// The pipeline models one iteration of the look-ahead blocked factorization
+// (paper Fig. 1(b)): the CPU lane receives the next panel, factorizes it (PD)
+// and ships it back, while the GPU lane runs the panel update (PU), the
+// trailing-matrix update (TMU), and — when ABFT is active — checksum
+// maintenance. The two lanes synchronize at the iteration boundary; the lane
+// that finishes first idles, producing the slack the strategies reclaim.
+#pragma once
+
+#include "abft/checksum.hpp"
+#include "common/sim_time.hpp"
+#include "hw/platform.hpp"
+#include "predict/workload.hpp"
+
+namespace bsr::sched {
+
+/// What a strategy decides before an iteration runs (paper Algorithm 2 output).
+struct IterationDecision {
+  hw::Mhz cpu_freq = 0;       ///< requested CPU clock (0 = keep current)
+  hw::Mhz gpu_freq = 0;       ///< requested GPU clock (0 = keep current)
+  bool adjust_cpu = false;    ///< actually perform the CPU DVFS transition
+  bool adjust_gpu = false;
+  hw::Guardband cpu_guardband = hw::Guardband::Default;
+  hw::Guardband gpu_guardband = hw::Guardband::Default;
+  abft::ChecksumMode abft_mode = abft::ChecksumMode::None;
+  bool halt_idle_cpu = false;  ///< R2H: drop to the floor clock during slack
+  bool halt_idle_gpu = false;
+};
+
+/// Raw (noise-free model) durations of the iteration's tasks at given clocks.
+struct TaskDurations {
+  SimTime pd;
+  SimTime pu;
+  SimTime tmu;
+  SimTime transfer;
+  SimTime chk_update;
+  SimTime chk_verify;
+};
+
+/// Everything measured about one executed iteration.
+struct IterationOutcome {
+  int k = 0;
+  hw::Mhz cpu_freq = 0;
+  hw::Mhz gpu_freq = 0;
+  abft::ChecksumMode abft_mode = abft::ChecksumMode::None;
+
+  // Lane composition (already noise-inflated).
+  SimTime pd;
+  SimTime pu_tmu;       ///< PU + TMU busy time on the GPU
+  SimTime transfer;
+  SimTime abft_time;    ///< checksum update + verification
+  SimTime cpu_dvfs;     ///< transition latency charged to the CPU lane
+  SimTime gpu_dvfs;
+
+  SimTime cpu_lane;     ///< transfer + PD (+ dvfs)
+  SimTime gpu_lane;     ///< PU + TMU + ABFT (+ dvfs)
+  SimTime span;         ///< max of the lanes; iteration wall time
+  SimTime slack;        ///< gpu_lane - cpu_lane; >0 means the CPU idles
+
+  double cpu_energy_j = 0.0;
+  double gpu_energy_j = 0.0;
+
+  // Base-clock-normalized measured durations for the predictors.
+  double pd_base_s = 0.0;
+  double pu_tmu_base_s = 0.0;
+  double transfer_s = 0.0;
+
+  [[nodiscard]] double energy_j() const { return cpu_energy_j + gpu_energy_j; }
+};
+
+/// Computes model durations for iteration k at the given clocks.
+TaskDurations compute_durations(const predict::WorkloadModel& wl, int k,
+                                const hw::PlatformProfile& platform,
+                                hw::Mhz cpu_f, hw::Mhz gpu_f,
+                                abft::ChecksumMode abft_mode);
+
+}  // namespace bsr::sched

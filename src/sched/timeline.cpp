@@ -1,0 +1,29 @@
+#include "sched/timeline.hpp"
+
+namespace bsr::sched {
+
+void RunTrace::add(const IterationOutcome& o) {
+  iterations.push_back(o);
+  total_time += o.span;
+  cpu_energy_j += o.cpu_energy_j;
+  gpu_energy_j += o.gpu_energy_j;
+}
+
+double RunTrace::ed2p() const {
+  const double t = total_time.seconds();
+  return total_energy_j() * t * t;
+}
+
+double RunTrace::gflops(double total_flops) const {
+  const double t = total_time.seconds();
+  return t <= 0.0 ? 0.0 : total_flops / t / 1e9;
+}
+
+std::vector<double> RunTrace::slack_seconds() const {
+  std::vector<double> out;
+  out.reserve(iterations.size());
+  for (const auto& o : iterations) out.push_back(o.slack.seconds());
+  return out;
+}
+
+}  // namespace bsr::sched

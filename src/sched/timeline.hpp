@@ -1,0 +1,30 @@
+// Run-level trace: the sequence of iteration outcomes plus aggregates.
+#pragma once
+
+#include <vector>
+
+#include "sched/tasks.hpp"
+
+namespace bsr::sched {
+
+struct RunTrace {
+  std::vector<IterationOutcome> iterations;
+  SimTime total_time;
+  double cpu_energy_j = 0.0;
+  double gpu_energy_j = 0.0;
+
+  void add(const IterationOutcome& o);
+
+  [[nodiscard]] double total_energy_j() const {
+    return cpu_energy_j + gpu_energy_j;
+  }
+  /// Energy x Delay^2 (paper's ED2P metric), in J*s^2.
+  [[nodiscard]] double ed2p() const;
+  /// Overall throughput given the factorization's total flops.
+  [[nodiscard]] double gflops(double total_flops) const;
+
+  /// Signed slack series in seconds (positive = CPU-side, paper Fig. 2).
+  [[nodiscard]] std::vector<double> slack_seconds() const;
+};
+
+}  // namespace bsr::sched

@@ -1,0 +1,78 @@
+#include "abft/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "abft/coverage.hpp"
+
+namespace bsr::abft {
+namespace {
+
+hw::DeviceModel gpu() { return hw::PlatformProfile::paper_default().gpu; }
+
+TEST(AdaptiveAbft, FaultFreeFrequencyDisablesAbft) {
+  const AbftDecision d = abft_oc(0.999999, 1700, gpu(), 2.0, 3600);
+  EXPECT_EQ(d.mode, ChecksumMode::None);
+  EXPECT_EQ(d.freq, 1700);
+  EXPECT_DOUBLE_EQ(d.coverage, 1.0);
+}
+
+TEST(AdaptiveAbft, BaseClockNeedsNothing) {
+  const AbftDecision d = abft_oc(0.999999, 1300, gpu(), 2.0, 3600);
+  EXPECT_EQ(d.mode, ChecksumMode::None);
+}
+
+TEST(AdaptiveAbft, Mild0DOverclockUsesSingleSide) {
+  // 1800-1900 MHz: 0D-only regime, cheap single-side checksums suffice.
+  const AbftDecision d = abft_oc(0.999, 1900, gpu(), 1.0, 3600);
+  EXPECT_EQ(d.freq, 1900);
+  EXPECT_EQ(d.mode, ChecksumMode::SingleSide);
+  EXPECT_GE(d.coverage, 0.999);
+}
+
+TEST(AdaptiveAbft, D1RegimeRequiresFull) {
+  // At 2200 MHz 1D errors appear; single-side cannot reach the target.
+  const AbftDecision d = abft_oc(0.99, 2200, gpu(), 1.0, 3600);
+  EXPECT_EQ(d.freq, 2200);
+  EXPECT_EQ(d.mode, ChecksumMode::Full);
+  EXPECT_GE(d.coverage, 0.99);
+}
+
+TEST(AdaptiveAbft, ImpossibleTargetLowersFrequency) {
+  // Demanding ~certainty with a long exposure: Algorithm 1 walks the clock
+  // down until the rates vanish (fault-free), disabling ABFT.
+  const AbftDecision d = abft_oc(0.99999999, 2200, gpu(), 1000.0, 3600);
+  EXPECT_LE(d.freq, 1700);
+  EXPECT_EQ(d.mode, ChecksumMode::None);
+}
+
+TEST(AdaptiveAbft, ClampsAboveRangeRequests) {
+  const AbftDecision d = abft_oc(0.5, 9999, gpu(), 0.001, 3600);
+  EXPECT_LE(d.freq, gpu().freq.max_oc_mhz);
+}
+
+TEST(AdaptiveAbft, ShortExposureToleratesHighClock) {
+  // Tiny ops accumulate almost no Poisson mass: even 2200 MHz is coverable
+  // with single-side at a modest target.
+  const AbftDecision d = abft_oc(0.999, 2200, gpu(), 0.001, 3600);
+  EXPECT_EQ(d.freq, 2200);
+  EXPECT_NE(d.mode, ChecksumMode::None);
+}
+
+TEST(AdaptiveAbft, PrefersSingleOverFullWhenBothSuffice) {
+  // In the 0D-only regime both schemes cover; Algorithm 1 must pick single.
+  const AbftDecision d = abft_oc(0.99, 1800, gpu(), 1.0, 3600);
+  EXPECT_EQ(d.mode, ChecksumMode::SingleSide);
+}
+
+TEST(AdaptiveAbft, CoverageMonotoneInFrequencyChoice) {
+  // The decision's reported coverage always meets the request when ABFT is on.
+  for (hw::Mhz f = 1800; f <= 2200; f += 100) {
+    const AbftDecision d = abft_oc(0.999, f, gpu(), 0.5, 3600);
+    if (d.mode != ChecksumMode::None) {
+      EXPECT_GE(d.coverage, 0.999) << f;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsr::abft

@@ -1,0 +1,174 @@
+// Property-based sweeps over the ABFT machinery: for randomized shapes,
+// block sizes, and error patterns, the invariants that make ABFT sound must
+// hold — encode->verify is clean, propagation == re-encode, every single 0D
+// error is exactly repaired, and full mode repairs any single-column pattern.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "abft/update.hpp"
+#include "common/rng.hpp"
+#include "fault/injector.hpp"
+#include "la/verify.hpp"
+
+namespace bsr::abft {
+namespace {
+
+using la::idx;
+using la::Matrix;
+
+struct Shape {
+  idx m;
+  idx n;
+  idx b;
+};
+
+class ChecksumShapes
+    : public ::testing::TestWithParam<std::tuple<Shape, ChecksumMode>> {};
+
+TEST_P(ChecksumShapes, EncodeThenVerifyIsClean) {
+  const auto [shape, mode] = GetParam();
+  Rng rng(shape.m * 131 + shape.n * 17 + shape.b);
+  Matrix<double> a(shape.m, shape.n);
+  la::fill_random(a.view(), rng);
+  BlockChecksums<double> chk(shape.m, shape.n, shape.b, mode);
+  chk.encode(a.view());
+  const VerifyResult r = chk.verify_and_correct(
+      a.view(),
+      BlockChecksums<double>::suggested_tolerance(a.view(), shape.b));
+  EXPECT_TRUE(r.clean());
+}
+
+TEST_P(ChecksumShapes, Single0DAlwaysExactlyRepaired) {
+  const auto [shape, mode] = GetParam();
+  if (mode == ChecksumMode::None) return;
+  Rng rng(shape.m * 7919 + shape.n * 13 + shape.b);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix<double> a(shape.m, shape.n);
+    la::fill_random(a.view(), rng);
+    const Matrix<double> pristine = a;
+    BlockChecksums<double> chk(shape.m, shape.n, shape.b, mode);
+    chk.encode(a.view());
+    const idx i = static_cast<idx>(rng.next_below(shape.m));
+    const idx j = static_cast<idx>(rng.next_below(shape.n));
+    a(i, j) += rng.uniform(32.0, 4096.0) * (rng.next_double() < 0.5 ? -1 : 1);
+    const VerifyResult r = chk.verify_and_correct(
+        a.view(),
+        BlockChecksums<double>::suggested_tolerance(a.view(), shape.b));
+    ASSERT_EQ(r.corrected_0d, 1) << "trial " << trial;
+    ASSERT_EQ(r.uncorrectable, 0);
+    ASSERT_NEAR(a(i, j), pristine(i, j), 1e-7 * std::abs(pristine(i, j)) + 1e-7);
+  }
+}
+
+TEST_P(ChecksumShapes, FullModeRepairsAnySingleColumnPattern) {
+  const auto [shape, mode] = GetParam();
+  if (mode != ChecksumMode::Full) return;
+  Rng rng(shape.m * 31 + shape.n * 101 + shape.b);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix<double> a(shape.m, shape.n);
+    la::fill_random(a.view(), rng);
+    const Matrix<double> pristine = a;
+    BlockChecksums<double> chk(shape.m, shape.n, shape.b, mode);
+    chk.encode(a.view());
+    // Corrupt a random set of rows in one random column.
+    const idx j = static_cast<idx>(rng.next_below(shape.n));
+    int corrupted = 0;
+    for (idx i = 0; i < shape.m; ++i) {
+      if (rng.next_double() < 0.4) {
+        a(i, j) += rng.uniform(64.0, 1024.0);
+        ++corrupted;
+      }
+    }
+    if (corrupted == 0) continue;
+    const VerifyResult r = chk.verify_and_correct(
+        a.view(),
+        BlockChecksums<double>::suggested_tolerance(a.view(), shape.b));
+    ASSERT_EQ(r.uncorrectable, 0) << "trial " << trial;
+    for (idx i = 0; i < shape.m; ++i) {
+      ASSERT_NEAR(a(i, j), pristine(i, j),
+                  1e-7 * std::abs(pristine(i, j)) + 1e-7)
+          << "row " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST_P(ChecksumShapes, PropagationEqualsReencodeUnderRandomUpdates) {
+  const auto [shape, mode] = GetParam();
+  if (mode == ChecksumMode::None) return;
+  if (shape.m != shape.n) return;  // the trailing update is square
+  Rng rng(shape.m * 3 + shape.b * 7);
+  Matrix<double> c(shape.m, shape.n);
+  la::fill_random(c.view(), rng);
+  BlockChecksums<double> chk(shape.m, shape.n, shape.b, mode);
+  chk.encode(c.view());
+  for (int step = 0; step < 3; ++step) {
+    const idx kb = 1 + static_cast<idx>(rng.next_below(shape.b));
+    Matrix<double> l(shape.m, kb);
+    Matrix<double> u(kb, shape.n);
+    la::fill_random(l.view(), rng);
+    la::fill_random(u.view(), rng);
+    protected_gemm_update(c.view(), l.view().as_const(), u.view().as_const(),
+                          chk);
+  }
+  BlockChecksums<double> ref(shape.m, shape.n, shape.b, mode);
+  ref.encode(c.view());
+  for (idx i = 0; i < chk.col_checksums().rows(); ++i) {
+    for (idx j = 0; j < shape.n; ++j) {
+      ASSERT_NEAR(chk.col_checksums()(i, j), ref.col_checksums()(i, j),
+                  1e-7 * (std::abs(ref.col_checksums()(i, j)) + 1.0));
+    }
+  }
+  if (mode == ChecksumMode::Full) {
+    for (idx i = 0; i < shape.m; ++i) {
+      for (idx j = 0; j < ref.row_checksums().cols(); ++j) {
+        ASSERT_NEAR(chk.row_checksums()(i, j), ref.row_checksums()(i, j),
+                    1e-7 * (std::abs(ref.row_checksums()(i, j)) + 1.0));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChecksumShapes,
+    ::testing::Combine(
+        ::testing::Values(Shape{16, 16, 8}, Shape{32, 32, 8}, Shape{48, 48, 16},
+                          Shape{33, 29, 8}, Shape{64, 40, 16},
+                          Shape{25, 25, 25}, Shape{100, 100, 32}),
+        ::testing::Values(ChecksumMode::SingleSide, ChecksumMode::Full)));
+
+TEST(ChecksumInjectorProperty, RandomInjectionNeverEscapesFullAbftSilently) {
+  // For randomized 0D/1D injections, full ABFT either repairs everything or
+  // reports uncorrectable — it must never return "clean" on corrupted data.
+  Rng rng(424242);
+  fault::Injector inj{Rng(171717)};
+  for (int trial = 0; trial < 50; ++trial) {
+    const idx n = 24 + static_cast<idx>(rng.next_below(40));
+    const idx b = 8;
+    Matrix<double> a(n, n);
+    la::fill_random(a.view(), rng);
+    const Matrix<double> pristine = a;
+    BlockChecksums<double> chk(n, n, b, ChecksumMode::Full);
+    chk.encode(a.view());
+    const int n0 = static_cast<int>(rng.next_below(3));
+    const int n1 = static_cast<int>(rng.next_below(2));
+    for (int i = 0; i < n0; ++i) inj.inject_0d(a.view());
+    for (int i = 0; i < n1; ++i) inj.inject_1d(a.view());
+    if (n0 + n1 == 0) continue;
+    const VerifyResult r = chk.verify_and_correct(
+        a.view(), BlockChecksums<double>::suggested_tolerance(a.view(), b));
+    if (r.uncorrectable == 0) {
+      // Claimed fully repaired: the data must actually match.
+      double max_err = 0.0;
+      for (idx j = 0; j < n; ++j) {
+        for (idx i = 0; i < n; ++i) {
+          max_err = std::max(max_err, std::abs(a(i, j) - pristine(i, j)));
+        }
+      }
+      ASSERT_LT(max_err, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsr::abft

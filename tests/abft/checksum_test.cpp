@@ -1,0 +1,235 @@
+#include "abft/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "la/blas.hpp"
+
+namespace bsr::abft {
+namespace {
+
+using la::idx;
+using la::Matrix;
+
+Matrix<double> random_matrix(idx m, idx n, std::uint64_t seed) {
+  Matrix<double> a(m, n);
+  Rng rng(seed);
+  la::fill_random(a.view(), rng);
+  return a;
+}
+
+TEST(Checksum, CleanDataVerifiesClean) {
+  Matrix<double> a = random_matrix(32, 32, 1);
+  BlockChecksums<double> chk(32, 32, 8, ChecksumMode::Full);
+  chk.encode(a.view());
+  const VerifyResult r = chk.verify_and_correct(
+      a.view(), BlockChecksums<double>::suggested_tolerance(a.view(), 8));
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.corrected_0d, 0);
+}
+
+TEST(Checksum, EncodedColumnSumsMatchDefinition) {
+  Matrix<double> a = random_matrix(8, 8, 2);
+  BlockChecksums<double> chk(8, 8, 4, ChecksumMode::SingleSide);
+  chk.encode(a.view());
+  // Block row 0 covers rows 0..3; plain sum of column 5:
+  double s = 0;
+  for (idx i = 0; i < 4; ++i) s += a(i, 5);
+  EXPECT_NEAR(chk.col_checksums()(0, 5), s, 1e-12);
+  // Weighted sum with local weights 1..4:
+  double w = 0;
+  for (idx i = 0; i < 4; ++i) w += (i + 1) * a(i, 5);
+  EXPECT_NEAR(chk.col_checksums()(1, 5), w, 1e-12);
+}
+
+TEST(Checksum, SingleSideCorrects0DError) {
+  Matrix<double> a = random_matrix(24, 24, 3);
+  const Matrix<double> pristine = a;
+  BlockChecksums<double> chk(24, 24, 8, ChecksumMode::SingleSide);
+  chk.encode(a.view());
+  a(13, 7) += 1000.0;
+  const VerifyResult r = chk.verify_and_correct(
+      a.view(), BlockChecksums<double>::suggested_tolerance(a.view(), 8));
+  EXPECT_EQ(r.corrected_0d, 1);
+  EXPECT_EQ(r.uncorrectable, 0);
+  EXPECT_NEAR(a(13, 7), pristine(13, 7), 1e-9);
+}
+
+TEST(Checksum, SingleSideCorrectsMultiple0DInDistinctColumns) {
+  Matrix<double> a = random_matrix(32, 32, 4);
+  const Matrix<double> pristine = a;
+  BlockChecksums<double> chk(32, 32, 8, ChecksumMode::SingleSide);
+  chk.encode(a.view());
+  a(3, 2) -= 500.0;
+  a(17, 20) += 250.0;
+  a(30, 31) *= 100.0;
+  const VerifyResult r = chk.verify_and_correct(
+      a.view(), BlockChecksums<double>::suggested_tolerance(a.view(), 8));
+  EXPECT_EQ(r.corrected_0d, 3);
+  EXPECT_EQ(r.uncorrectable, 0);
+  for (idx j = 0; j < 32; ++j) {
+    for (idx i = 0; i < 32; ++i) ASSERT_NEAR(a(i, j), pristine(i, j), 1e-8);
+  }
+}
+
+TEST(Checksum, SingleSideDetectsButCannotCorrectColumnError) {
+  Matrix<double> a = random_matrix(16, 16, 5);
+  BlockChecksums<double> chk(16, 16, 8, ChecksumMode::SingleSide);
+  chk.encode(a.view());
+  for (idx i = 0; i < 8; ++i) a(i, 3) += 100.0 + i;  // 1D column corruption
+  const VerifyResult r = chk.verify_and_correct(
+      a.view(), BlockChecksums<double>::suggested_tolerance(a.view(), 8));
+  EXPECT_GT(r.blocks_flagged, 0);
+  EXPECT_GT(r.uncorrectable, 0);
+}
+
+TEST(Checksum, FullCorrectsColumnError) {
+  Matrix<double> a = random_matrix(24, 24, 6);
+  const Matrix<double> pristine = a;
+  BlockChecksums<double> chk(24, 24, 8, ChecksumMode::Full);
+  chk.encode(a.view());
+  for (idx i = 8; i < 16; ++i) a(i, 5) += 300.0 + i;  // full block-column hit
+  const VerifyResult r = chk.verify_and_correct(
+      a.view(), BlockChecksums<double>::suggested_tolerance(a.view(), 8));
+  EXPECT_EQ(r.uncorrectable, 0);
+  EXPECT_GE(r.corrected_1d + r.corrected_0d, 1);
+  for (idx j = 0; j < 24; ++j) {
+    for (idx i = 0; i < 24; ++i) ASSERT_NEAR(a(i, j), pristine(i, j), 1e-8);
+  }
+}
+
+TEST(Checksum, FullCorrectsPartialColumnError) {
+  Matrix<double> a = random_matrix(24, 24, 7);
+  const Matrix<double> pristine = a;
+  BlockChecksums<double> chk(24, 24, 8, ChecksumMode::Full);
+  chk.encode(a.view());
+  // Only three elements of one block-column corrupted.
+  a(9, 12) += 77.0;
+  a(11, 12) -= 55.0;
+  a(14, 12) += 33.0;
+  const VerifyResult r = chk.verify_and_correct(
+      a.view(), BlockChecksums<double>::suggested_tolerance(a.view(), 8));
+  EXPECT_EQ(r.uncorrectable, 0);
+  for (idx i = 8; i < 16; ++i) ASSERT_NEAR(a(i, 12), pristine(i, 12), 1e-8);
+}
+
+TEST(Checksum, TwoErrorsInSameBlockColumnAreUncorrectableBySingle) {
+  Matrix<double> a = random_matrix(16, 16, 8);
+  BlockChecksums<double> chk(16, 16, 8, ChecksumMode::SingleSide);
+  chk.encode(a.view());
+  a(1, 4) += 100.0;
+  a(5, 4) += 50.0;  // same column, same block; deltas do not alias
+  const VerifyResult r = chk.verify_and_correct(
+      a.view(), BlockChecksums<double>::suggested_tolerance(a.view(), 8));
+  EXPECT_GT(r.uncorrectable, 0);
+}
+
+TEST(Checksum, AliasedDoubleErrorSilentlyEvadesSingleSide) {
+  // Known fundamental limit: deltas (+100 at local row 1, +100 at local row
+  // 5) project onto the (sum, weighted-sum) checksum space exactly like a
+  // single +200 error at local row 3, so single-side "corrects" the wrong
+  // element and the block re-verifies clean. This is precisely why 1D/multi
+  // errors need full checksums (paper §3.1.2).
+  Matrix<double> a = random_matrix(16, 16, 88);
+  const Matrix<double> pristine = a;
+  BlockChecksums<double> chk(16, 16, 8, ChecksumMode::SingleSide);
+  chk.encode(a.view());
+  a(1, 4) += 100.0;
+  a(5, 4) += 100.0;
+  const VerifyResult r = chk.verify_and_correct(
+      a.view(), BlockChecksums<double>::suggested_tolerance(a.view(), 8));
+  EXPECT_GT(r.blocks_flagged, 0);
+  EXPECT_EQ(r.uncorrectable, 0);          // it *thinks* it fixed things
+  EXPECT_NE(a(1, 4), pristine(1, 4));     // but the data stays corrupted
+}
+
+TEST(Checksum, FullModeCatchesAliasedDoubleError) {
+  // The row-side cross-check rejects the aliased 0D fix and the 1D repair
+  // path restores the column exactly.
+  Matrix<double> a = random_matrix(16, 16, 89);
+  const Matrix<double> pristine = a;
+  BlockChecksums<double> chk(16, 16, 8, ChecksumMode::Full);
+  chk.encode(a.view());
+  a(1, 4) += 100.0;
+  a(5, 4) += 100.0;
+  const VerifyResult r = chk.verify_and_correct(
+      a.view(), BlockChecksums<double>::suggested_tolerance(a.view(), 8));
+  EXPECT_EQ(r.uncorrectable, 0);
+  for (idx i = 0; i < 16; ++i) ASSERT_NEAR(a(i, 4), pristine(i, 4), 1e-8);
+}
+
+TEST(Checksum, FullHandles2DPatchAsUncorrectable) {
+  Matrix<double> a = random_matrix(24, 24, 9);
+  BlockChecksums<double> chk(24, 24, 8, ChecksumMode::Full);
+  chk.encode(a.view());
+  for (idx j = 2; j < 6; ++j) {
+    for (idx i = 1; i < 5; ++i) a(i, j) += 400.0;  // 2D patch in one block
+  }
+  const VerifyResult r = chk.verify_and_correct(
+      a.view(), BlockChecksums<double>::suggested_tolerance(a.view(), 8));
+  EXPECT_GT(r.blocks_flagged, 0);
+  EXPECT_GT(r.uncorrectable, 0);
+}
+
+TEST(Checksum, NonDivisibleBlockSizes) {
+  Matrix<double> a = random_matrix(21, 19, 10);
+  const Matrix<double> pristine = a;
+  BlockChecksums<double> chk(21, 19, 8, ChecksumMode::Full);
+  chk.encode(a.view());
+  a(20, 18) += 640.0;  // in the ragged corner block
+  const VerifyResult r = chk.verify_and_correct(
+      a.view(), BlockChecksums<double>::suggested_tolerance(a.view(), 8));
+  EXPECT_EQ(r.corrected_0d, 1);
+  EXPECT_NEAR(a(20, 18), pristine(20, 18), 1e-9);
+}
+
+TEST(Checksum, ModeNoneIsInert) {
+  Matrix<double> a = random_matrix(8, 8, 11);
+  BlockChecksums<double> chk(8, 8, 4, ChecksumMode::None);
+  chk.encode(a.view());
+  a(0, 0) += 100.0;
+  const VerifyResult r = chk.verify_and_correct(a.view(), 1e-6);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(Checksum, ErrorsInMultipleBlocksAllCorrected) {
+  Matrix<double> a = random_matrix(40, 40, 12);
+  const Matrix<double> pristine = a;
+  BlockChecksums<double> chk(40, 40, 8, ChecksumMode::SingleSide);
+  chk.encode(a.view());
+  // One 0D error per block row, far apart.
+  a(2, 6) += 111.0;
+  a(12, 22) += 222.0;
+  a(25, 33) -= 333.0;
+  a(39, 0) += 444.0;
+  const VerifyResult r = chk.verify_and_correct(
+      a.view(), BlockChecksums<double>::suggested_tolerance(a.view(), 8));
+  EXPECT_EQ(r.corrected_0d, 4);
+  EXPECT_EQ(r.uncorrectable, 0);
+  for (idx j = 0; j < 40; ++j) {
+    for (idx i = 0; i < 40; ++i) ASSERT_NEAR(a(i, j), pristine(i, j), 1e-8);
+  }
+}
+
+TEST(Checksum, FloatInstantiation) {
+  Matrix<float> a(16, 16);
+  Rng rng(13);
+  la::fill_random(a.view(), rng);
+  const Matrix<float> pristine = a;
+  BlockChecksums<float> chk(16, 16, 8, ChecksumMode::SingleSide);
+  chk.encode(a.view());
+  a(5, 5) += 1000.0f;
+  const VerifyResult r = chk.verify_and_correct(
+      a.view(), BlockChecksums<float>::suggested_tolerance(a.view(), 8));
+  EXPECT_EQ(r.corrected_0d, 1);
+  EXPECT_NEAR(a(5, 5), pristine(5, 5), 1e-2f);
+}
+
+TEST(Checksum, ToStringLabels) {
+  EXPECT_STREQ(to_string(ChecksumMode::None), "None");
+  EXPECT_STREQ(to_string(ChecksumMode::SingleSide), "SingleSide");
+  EXPECT_STREQ(to_string(ChecksumMode::Full), "Full");
+}
+
+}  // namespace
+}  // namespace bsr::abft

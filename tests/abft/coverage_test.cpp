@@ -1,0 +1,89 @@
+#include "abft/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bsr::abft {
+namespace {
+
+TEST(Coverage, FaultFreeIsCertain) {
+  const hw::ErrorRates r{};
+  EXPECT_DOUBLE_EQ(fc_single(r, 10.0, 3600), 1.0);
+  EXPECT_DOUBLE_EQ(fc_full(r, 10.0, 3600), 1.0);
+}
+
+TEST(Coverage, Pure0DSingleNearOne) {
+  // Only 0D errors; single-side handles them, so coverage limited only by
+  // the distinct-block collision probability.
+  const hw::ErrorRates r{.d0 = 0.1, .d1 = 0.0, .d2 = 0.0};
+  const double fc = fc_single(r, 1.0, 3600);
+  EXPECT_GT(fc, 0.9999);
+  EXPECT_LT(fc, 1.0);
+}
+
+TEST(Coverage, D1ErrorsKillSingleButNotFull) {
+  const hw::ErrorRates r{.d0 = 0.0, .d1 = 0.5, .d2 = 0.0};
+  const double t = 1.0;
+  EXPECT_NEAR(fc_single(r, t, 3600), std::exp(-0.5), 1e-6);
+  EXPECT_GT(fc_full(r, t, 3600), 0.999);
+}
+
+TEST(Coverage, D2ErrorsKillBoth) {
+  const hw::ErrorRates r{.d0 = 0.0, .d1 = 0.0, .d2 = 1.0};
+  EXPECT_NEAR(fc_single(r, 2.0, 3600), std::exp(-2.0), 1e-9);
+  EXPECT_NEAR(fc_full(r, 2.0, 3600), std::exp(-2.0), 1e-9);
+}
+
+TEST(Coverage, FullAlwaysAtLeastSingle) {
+  for (double d0 : {0.01, 0.5, 2.0}) {
+    for (double d1 : {0.0, 0.05, 0.5}) {
+      const hw::ErrorRates r{.d0 = d0, .d1 = d1, .d2 = 1e-6};
+      EXPECT_GE(fc_full(r, 1.5, 3600) + 1e-12, fc_single(r, 1.5, 3600));
+    }
+  }
+}
+
+TEST(Coverage, DecreasesWithExposureTime) {
+  const hw::ErrorRates r{.d0 = 0.3, .d1 = 0.01, .d2 = 0.0};
+  double prev = 1.0;
+  for (double t : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    const double fc = fc_single(r, t, 3600);
+    EXPECT_LT(fc, prev);
+    prev = fc;
+  }
+}
+
+TEST(Coverage, MoreBlocksImproveCollisionTerm) {
+  const hw::ErrorRates r{.d0 = 5.0, .d1 = 0.0, .d2 = 0.0};
+  EXPECT_GT(fc_single(r, 1.0, 36000), fc_single(r, 1.0, 360));
+}
+
+TEST(Coverage, HighRateDrivesCoverageDown) {
+  const hw::ErrorRates r{.d0 = 50.0, .d1 = 0.0, .d2 = 0.0};
+  // Many 0D errors: collisions become likely even with many blocks.
+  EXPECT_LT(fc_single(r, 1.0, 100), 0.05);
+}
+
+TEST(Coverage, LabelHelper) {
+  EXPECT_STREQ(coverage_label_static(1.0, true), "Fault-free");
+  EXPECT_STREQ(coverage_label_static(0.9999995, false), "Full Coverage");
+  EXPECT_EQ(coverage_label_static(0.99, false), nullptr);
+}
+
+TEST(Coverage, BoundedInUnitInterval) {
+  for (double d0 : {0.0, 1.0, 10.0, 100.0}) {
+    const hw::ErrorRates r{.d0 = d0, .d1 = d0 / 10, .d2 = d0 / 100};
+    for (double t : {0.01, 1.0, 10.0}) {
+      const double s = fc_single(r, t, 3600);
+      const double f = fc_full(r, t, 3600);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0 + 1e-12);
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0 + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsr::abft

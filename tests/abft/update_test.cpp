@@ -1,0 +1,133 @@
+#include "abft/update.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace bsr::abft {
+namespace {
+
+using la::idx;
+using la::Matrix;
+
+/// The load-bearing ABFT identity: checksums propagated *through* a GEMM must
+/// equal checksums re-encoded from the GEMM result.
+TEST(ChecksumUpdate, PropagationMatchesReencodingSingleSide) {
+  const idx n = 32;
+  const idx kb = 8;
+  Rng rng(1);
+  Matrix<double> c(n, n);
+  Matrix<double> l(n, kb);
+  Matrix<double> u(kb, n);
+  la::fill_random(c.view(), rng);
+  la::fill_random(l.view(), rng);
+  la::fill_random(u.view(), rng);
+
+  BlockChecksums<double> propagated(n, n, 8, ChecksumMode::SingleSide);
+  propagated.encode(c.view());
+  protected_gemm_update(c.view(), l.view().as_const(), u.view().as_const(), propagated);
+
+  BlockChecksums<double> reencoded(n, n, 8, ChecksumMode::SingleSide);
+  reencoded.encode(c.view());
+
+  for (idx i = 0; i < propagated.col_checksums().rows(); ++i) {
+    for (idx j = 0; j < n; ++j) {
+      ASSERT_NEAR(propagated.col_checksums()(i, j),
+                  reencoded.col_checksums()(i, j), 1e-9)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(ChecksumUpdate, PropagationMatchesReencodingFull) {
+  const idx n = 24;
+  const idx kb = 6;
+  Rng rng(2);
+  Matrix<double> c(n, n);
+  Matrix<double> l(n, kb);
+  Matrix<double> u(kb, n);
+  la::fill_random(c.view(), rng);
+  la::fill_random(l.view(), rng);
+  la::fill_random(u.view(), rng);
+
+  BlockChecksums<double> propagated(n, n, 8, ChecksumMode::Full);
+  propagated.encode(c.view());
+  protected_gemm_update(c.view(), l.view().as_const(), u.view().as_const(), propagated);
+
+  BlockChecksums<double> reencoded(n, n, 8, ChecksumMode::Full);
+  reencoded.encode(c.view());
+
+  for (idx i = 0; i < n; ++i) {
+    for (idx j = 0; j < propagated.row_checksums().cols(); ++j) {
+      ASSERT_NEAR(propagated.row_checksums()(i, j),
+                  reencoded.row_checksums()(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(ChecksumUpdate, ProtectedUpdateComputesCorrectProduct) {
+  const idx n = 16;
+  const idx kb = 4;
+  Rng rng(3);
+  Matrix<double> c(n, n);
+  Matrix<double> l(n, kb);
+  Matrix<double> u(kb, n);
+  la::fill_random(c.view(), rng);
+  la::fill_random(l.view(), rng);
+  la::fill_random(u.view(), rng);
+  Matrix<double> expected = c;
+  la::gemm(la::Op::NoTrans, la::Op::NoTrans, -1.0, l.view().as_const(),
+           u.view().as_const(), 1.0, expected.view());
+
+  BlockChecksums<double> chk(n, n, 8, ChecksumMode::SingleSide);
+  chk.encode(c.view());
+  protected_gemm_update(c.view(), l.view().as_const(), u.view().as_const(), chk);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) ASSERT_NEAR(c(i, j), expected(i, j), 1e-10);
+  }
+}
+
+TEST(ChecksumUpdate, DetectsInjectionAfterPropagatedUpdate) {
+  const idx n = 32;
+  const idx kb = 8;
+  Rng rng(4);
+  Matrix<double> c(n, n);
+  Matrix<double> l(n, kb);
+  Matrix<double> u(kb, n);
+  la::fill_random(c.view(), rng);
+  la::fill_random(l.view(), rng);
+  la::fill_random(u.view(), rng);
+
+  BlockChecksums<double> chk(n, n, 8, ChecksumMode::SingleSide);
+  chk.encode(c.view());
+  protected_gemm_update(c.view(), l.view().as_const(), u.view().as_const(), chk);
+  const Matrix<double> correct = c;
+  c(10, 10) += 12345.0;
+  const VerifyResult r = chk.verify_and_correct(
+      c.view(), BlockChecksums<double>::suggested_tolerance(c.view(), 8));
+  EXPECT_EQ(r.corrected_0d, 1);
+  EXPECT_NEAR(c(10, 10), correct(10, 10), 1e-6);
+}
+
+TEST(ChecksumUpdate, ChainsAcrossMultipleUpdates) {
+  // Mimics several decomposition iterations updating the same trailing block.
+  const idx n = 24;
+  Rng rng(5);
+  Matrix<double> c(n, n);
+  la::fill_random(c.view(), rng);
+  BlockChecksums<double> chk(n, n, 8, ChecksumMode::SingleSide);
+  chk.encode(c.view());
+  for (int step = 0; step < 3; ++step) {
+    Matrix<double> l(n, 4);
+    Matrix<double> u(4, n);
+    la::fill_random(l.view(), rng);
+    la::fill_random(u.view(), rng);
+    protected_gemm_update(c.view(), l.view().as_const(), u.view().as_const(), chk);
+  }
+  const VerifyResult r = chk.verify_and_correct(
+      c.view(), BlockChecksums<double>::suggested_tolerance(c.view(), 8));
+  EXPECT_TRUE(r.clean());
+}
+
+}  // namespace
+}  // namespace bsr::abft

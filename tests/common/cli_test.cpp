@@ -1,0 +1,63 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace bsr {
+namespace {
+
+Cli make_cli(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesKeyValue) {
+  const Cli cli = make_cli({"--n=4096", "--fact=lu"});
+  EXPECT_EQ(cli.get_int("n", 0), 4096);
+  EXPECT_EQ(cli.get("fact", ""), "lu");
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const Cli cli = make_cli({"--verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_TRUE(cli.has("verbose"));
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const Cli cli = make_cli({});
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("r", 0.25), 0.25);
+  EXPECT_FALSE(cli.has("n"));
+}
+
+TEST(Cli, ParsesDouble) {
+  const Cli cli = make_cli({"--r=0.15"});
+  EXPECT_DOUBLE_EQ(cli.get_double("r", 0.0), 0.15);
+}
+
+TEST(Cli, BoolVariants) {
+  const Cli cli = make_cli({"--a=true", "--b=0", "--c=yes"});
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_TRUE(cli.get_bool("c", false));
+}
+
+TEST(Cli, RejectsPositional) {
+  EXPECT_THROW(make_cli({"positional"}), std::invalid_argument);
+}
+
+TEST(Cli, IgnoresBenchmarkFlags) {
+  const Cli cli = make_cli({"--benchmark_filter=.*", "--n=8"});
+  EXPECT_EQ(cli.get_int("n", 0), 8);
+  EXPECT_FALSE(cli.has("benchmark_filter"));
+}
+
+}  // namespace
+}  // namespace bsr

@@ -1,0 +1,125 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bsr {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, NextBelowNeverReachesBound) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowZeroIsZero) {
+  Rng r(11);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng r(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.25);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng r(19);
+  EXPECT_EQ(r.poisson(0.0), 0u);
+  EXPECT_EQ(r.poisson(-1.0), 0u);
+}
+
+TEST(Rng, PoissonSmallMeanMatches) {
+  Rng r(23);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(2.5));
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng r(29);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.split();
+  // The child stream should not replay the parent's outputs.
+  Rng b(31);
+  b.split();
+  EXPECT_NE(child.next_u64(), a.next_u64());
+}
+
+class RngPoissonParam : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoissonParam, MeanTracksParameter) {
+  const double mean = GetParam();
+  Rng r(static_cast<std::uint64_t>(mean * 1000) + 1);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.poisson(mean));
+  EXPECT_NEAR(sum / n, mean, std::max(0.05, mean * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RngPoissonParam,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0, 5.0, 20.0, 80.0,
+                                           150.0));
+
+}  // namespace
+}  // namespace bsr

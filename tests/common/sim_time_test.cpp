@@ -1,0 +1,50 @@
+#include "common/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(SimTime::from_seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(SimTime::from_millis(2.0).ns(), 2'000'000);
+  EXPECT_EQ(SimTime::from_micros(3.0).ns(), 3'000);
+  EXPECT_DOUBLE_EQ(SimTime(250'000'000).seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(SimTime(1'000'000).millis(), 1.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::from_seconds(1.0);
+  const SimTime b = SimTime::from_seconds(0.5);
+  EXPECT_DOUBLE_EQ((a + b).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ((a - b).seconds(), 0.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((0.25 * a).seconds(), 0.25);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t;
+  t += SimTime::from_seconds(1.0);
+  t -= SimTime::from_millis(500.0);
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.5);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(SimTime(1), SimTime(2));
+  EXPECT_EQ(SimTime::zero(), SimTime(0));
+  EXPECT_GT(SimTime::from_seconds(-0.1), SimTime::from_seconds(-0.2));
+}
+
+TEST(SimTime, MinMaxHelpers) {
+  const SimTime a(10);
+  const SimTime b(20);
+  EXPECT_EQ(max(a, b), b);
+  EXPECT_EQ(min(a, b), a);
+}
+
+TEST(SimTime, NegativeDurationsRoundCorrectly) {
+  EXPECT_EQ(SimTime::from_seconds(-1.5).ns(), -1'500'000'000);
+}
+
+}  // namespace
+}  // namespace bsr

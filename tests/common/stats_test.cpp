@@ -1,0 +1,106 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace bsr::stats {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::array<double, 5> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.5811, 1e-3);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(variance({}), 0.0);
+  EXPECT_EQ(median({}), 0.0);
+  EXPECT_EQ(min({}), 0.0);
+  EXPECT_EQ(max({}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  const std::array<double, 3> odd = {3, 1, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::array<double, 4> even = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::array<double, 5> xs = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.125), 15.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::array<double, 4> xs = {-2, 7, 0, 3};
+  EXPECT_DOUBLE_EQ(min(xs), -2.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.0);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  const std::array<double, 4> xs = {0, 1, 2, 3};
+  const std::array<double, 4> ys = {1, 3, 5, 7};  // y = 1 + 2x
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+}
+
+TEST(Stats, LinearFitRejectsBadInput) {
+  const std::array<double, 1> one = {1};
+  EXPECT_THROW(linear_fit(one, one), std::invalid_argument);
+}
+
+TEST(Stats, GeomeanBasics) {
+  const std::array<double, 3> xs = {1, 10, 100};
+  EXPECT_NEAR(geomean(xs), 10.0, 1e-9);
+  const std::array<double, 2> bad = {1, -1};
+  EXPECT_THROW(geomean(bad), std::invalid_argument);
+}
+
+TEST(Stats, WilsonIntervalBasics) {
+  const Proportion p = wilson_interval(50, 100);
+  EXPECT_NEAR(p.estimate, 0.5, 1e-12);
+  EXPECT_LT(p.lo, 0.5);
+  EXPECT_GT(p.hi, 0.5);
+  EXPECT_NEAR(p.hi - p.lo, 0.195, 0.01);  // ~2*1.96*sqrt(.25/100)
+}
+
+TEST(Stats, WilsonIntervalNarrowsWithTrials) {
+  const Proportion small = wilson_interval(8, 10);
+  const Proportion large = wilson_interval(8000, 10000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+  EXPECT_NEAR(large.estimate, 0.8, 1e-12);
+}
+
+TEST(Stats, WilsonIntervalEdgeCases) {
+  const Proportion zero = wilson_interval(0, 20);
+  EXPECT_DOUBLE_EQ(zero.estimate, 0.0);
+  EXPECT_GE(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);  // never certain from finite trials
+  const Proportion all = wilson_interval(20, 20);
+  EXPECT_DOUBLE_EQ(all.estimate, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_LE(all.hi, 1.0);
+  const Proportion none = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(none.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(none.hi, 1.0);
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  const std::array<double, 6> xs = {2, 4, 4, 4, 5, 7};
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), 6u);
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(acc.variance(), variance(xs), 1e-12);
+}
+
+}  // namespace
+}  // namespace bsr::stats

@@ -1,0 +1,45 @@
+#include "common/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr {
+namespace {
+
+TEST(TablePrinter, FormatsNumbers) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(1.0, 0), "1");
+}
+
+TEST(TablePrinter, FormatsPercent) {
+  EXPECT_EQ(TablePrinter::pct(0.283), "28.3%");
+  EXPECT_EQ(TablePrinter::pct(1.0, 0), "100%");
+}
+
+TEST(TablePrinter, RendersHeaderAndRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, ToleratesShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NE(t.to_string().find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinter, ColumnsAlignToWidestCell) {
+  TablePrinter t({"x"});
+  t.add_row({"wide-cell-content"});
+  const std::string s = t.to_string();
+  // The header line must be padded at least as wide as the widest cell.
+  const auto first_newline = s.find('\n');
+  EXPECT_GE(first_newline, std::string("wide-cell-content").size());
+}
+
+}  // namespace
+}  // namespace bsr

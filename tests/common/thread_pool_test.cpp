@@ -1,0 +1,72 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace bsr {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelRangesPartitionIsExact) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_ranges(
+      1237, [&](std::size_t b, std::size_t e) { total.fetch_add(e - b); });
+  EXPECT_EQ(total.load(), 1237u);
+}
+
+TEST(ThreadPool, NestedCallsFallBackToSerial) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    // Re-entrant use from a worker must not deadlock.
+    pool.parallel_for(10, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ThreadPool, SumMatchesSerial) {
+  ThreadPool pool(8);
+  std::vector<long> values(100000);
+  std::iota(values.begin(), values.end(), 0L);
+  std::atomic<long> sum{0};
+  pool.parallel_ranges(values.size(), [&](std::size_t b, std::size_t e) {
+    long local = 0;
+    for (std::size_t i = b; i < e; ++i) local += values[i];
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), std::accumulate(values.begin(), values.end(), 0L));
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().size(), 1u);
+}
+
+TEST(ThreadPool, ManySmallBatchesDoNotHang) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> n{0};
+    pool.parallel_for(7, [&](std::size_t) { n.fetch_add(1); });
+    ASSERT_EQ(n.load(), 7);
+  }
+}
+
+}  // namespace
+}  // namespace bsr

@@ -1,0 +1,67 @@
+#include "core/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bsr::core {
+namespace {
+
+TEST(Options, Defaults) {
+  const RunOptions o{};
+  EXPECT_EQ(o.factorization, predict::Factorization::LU);
+  EXPECT_EQ(o.n, 30720);
+  EXPECT_EQ(o.b, 512);
+  EXPECT_EQ(o.strategy, StrategyKind::BSR);
+  EXPECT_EQ(o.mode, ExecutionMode::TimingOnly);
+  EXPECT_DOUBLE_EQ(o.reclamation_ratio, 0.0);
+}
+
+TEST(Options, WorkloadReflectsFields) {
+  RunOptions o;
+  o.n = 4096;
+  o.b = 256;
+  o.factorization = predict::Factorization::QR;
+  const auto wl = o.workload();
+  EXPECT_EQ(wl.n, 4096);
+  EXPECT_EQ(wl.b, 256);
+  EXPECT_EQ(wl.fact, predict::Factorization::QR);
+  EXPECT_EQ(wl.num_iterations(), 16);
+}
+
+TEST(Options, StrategyFromString) {
+  EXPECT_EQ(strategy_from_string("bsr"), StrategyKind::BSR);
+  EXPECT_EQ(strategy_from_string("BSR"), StrategyKind::BSR);
+  EXPECT_EQ(strategy_from_string("original"), StrategyKind::Original);
+  EXPECT_EQ(strategy_from_string("org"), StrategyKind::Original);
+  EXPECT_EQ(strategy_from_string("r2h"), StrategyKind::R2H);
+  EXPECT_EQ(strategy_from_string("sr"), StrategyKind::SR);
+  EXPECT_THROW(strategy_from_string("nope"), std::invalid_argument);
+}
+
+TEST(Options, FactorizationFromString) {
+  EXPECT_EQ(factorization_from_string("lu"), predict::Factorization::LU);
+  EXPECT_EQ(factorization_from_string("Cholesky"),
+            predict::Factorization::Cholesky);
+  EXPECT_EQ(factorization_from_string("cho"), predict::Factorization::Cholesky);
+  EXPECT_EQ(factorization_from_string("QR"), predict::Factorization::QR);
+  EXPECT_THROW(factorization_from_string("svd"), std::invalid_argument);
+}
+
+TEST(Options, TunedBlockMatchesPaperAtFullScale) {
+  EXPECT_EQ(tuned_block(30720), 512);
+  EXPECT_EQ(tuned_block(20480), 320);
+  EXPECT_EQ(tuned_block(5120), 64);
+  EXPECT_EQ(tuned_block(512), 64);    // floor
+  EXPECT_EQ(tuned_block(100000), 512);  // ceiling
+}
+
+TEST(Options, ToStringRoundTrip) {
+  EXPECT_STREQ(to_string(StrategyKind::BSR), "BSR");
+  EXPECT_STREQ(to_string(StrategyKind::R2H), "R2H");
+  EXPECT_STREQ(to_string(ExecutionMode::Numeric), "Numeric");
+  EXPECT_STREQ(to_string(ExecutionMode::TimingOnly), "TimingOnly");
+}
+
+}  // namespace
+}  // namespace bsr::core

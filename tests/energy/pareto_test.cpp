@@ -1,0 +1,122 @@
+#include "energy/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "energy/baselines.hpp"
+#include "energy/strategy.hpp"
+
+namespace bsr::energy {
+namespace {
+
+EnergyDeltaParams typical() {
+  EnergyDeltaParams p;
+  p.t_cpu_s = 0.3;
+  p.t_gpu_s = 2.0;
+  p.slack_s = 1.6;
+  p.alpha_cpu = 0.88;
+  p.alpha_gpu = 0.82;
+  p.d_cpu = 0.65;
+  p.d_gpu = 0.72;
+  p.p_cpu_total_w = 95.0;
+  p.p_gpu_total_w = 250.0;
+  p.exponent = 2.4;
+  return p;
+}
+
+TEST(Pareto, CpuDynamicSavingPositiveWhenSlowingIntoSlack) {
+  // r=0: the CPU stretches into the whole slack — the dynamic component of
+  // the paper's closed form saves energy. (The printed *static* term charges
+  // the stretched time against the saving, so the total CPU delta can be
+  // negative on its own; the sum with the GPU delta is what matters.)
+  const EnergyDeltaParams p = typical();
+  const double dyn_only_saving =
+      delta_e_cpu(p, 0.0) -
+      (p.t_cpu_s - p.alpha_cpu * (p.t_cpu_s + p.slack_s)) * (1.0 - p.d_cpu) *
+          p.p_cpu_total_w;
+  EXPECT_GT(dyn_only_saving, 0.0);
+}
+
+TEST(Pareto, CombinedDeltaPositiveAtRZero) {
+  // The paper's conclusion: maximum saving at r = 0.
+  const EnergyDeltaParams p = typical();
+  EXPECT_GT(delta_e_cpu(p, 0.0) + delta_e_gpu(p, 0.0), 0.0);
+}
+
+TEST(Pareto, CpuDeltaGrowsWithR) {
+  // Less stretching -> the printed static-time charge shrinks.
+  const EnergyDeltaParams p = typical();
+  EXPECT_LT(delta_e_cpu(p, 0.0), delta_e_cpu(p, 0.5));
+  EXPECT_LT(delta_e_cpu(p, 0.5), delta_e_cpu(p, 1.0));
+}
+
+TEST(Pareto, GpuCostGrowsWithR) {
+  const EnergyDeltaParams p = typical();
+  // Speeding the GPU up costs increasingly more energy.
+  EXPECT_GT(delta_e_gpu(p, 0.1), delta_e_gpu(p, 0.5));
+}
+
+TEST(Pareto, GpuAtR0StillSavesViaGuardband) {
+  // With alpha < 1 and r = 0, the optimized guardband alone saves GPU energy
+  // (the effect the paper credits for BSR > SR at r=0).
+  EXPECT_GT(delta_e_gpu(typical(), 0.0), 0.0);
+}
+
+TEST(Pareto, TotalDeltaMonotoneDecreasingInR) {
+  const EnergyDeltaParams p = typical();
+  double prev = 1e300;
+  for (double r = 0.0; r <= 1.0; r += 0.1) {
+    const double d = delta_e_cpu(p, r) + delta_e_gpu(p, r);
+    EXPECT_LE(d, prev + 1e-9);
+    prev = d;
+  }
+}
+
+TEST(Pareto, SolverFindsRoot) {
+  const EnergyDeltaParams p = typical();
+  const double r = solve_energy_neutral_r(p);
+  EXPECT_GT(r, 0.0);
+  EXPECT_LT(r, 1.0);
+  EXPECT_NEAR(delta_e_cpu(p, r) + delta_e_gpu(p, r), 0.0,
+              1e-6 * p.p_gpu_total_w);
+}
+
+TEST(Pareto, SolverReturnsZeroWhenNothingToSave) {
+  // With no guardband benefit (alpha = 1) the static-time charge makes even
+  // r = 0 a net loss under the paper's accounting -> the solver floors at 0.
+  EnergyDeltaParams p = typical();
+  p.alpha_cpu = 1.0;
+  p.alpha_gpu = 1.0;
+  p.d_cpu = 0.1;  // almost all static: slowing down cannot pay off
+  p.d_gpu = 0.1;
+  EXPECT_DOUBLE_EQ(solve_energy_neutral_r(p), 0.0);
+}
+
+TEST(Pareto, AverageOverTraceInPaperRange) {
+  // Build an Original trace at paper scale, then the averaged r* should land
+  // in the regime the paper reports (~0.26 for LU; we accept a broad band).
+  sched::PipelineConfig cfg;
+  cfg.workload = {predict::Factorization::LU, 30720, 512, 8};
+  cfg.noise.enabled = false;
+  const auto platform = hw::PlatformProfile::paper_default();
+  sched::HybridPipeline pipe(platform, cfg);
+  OriginalStrategy org;
+  const sched::RunTrace trace = run_under_strategy(pipe, org);
+  const double r = average_energy_neutral_r(trace, platform);
+  // Our calibrated guardband saves more than the authors' measured alpha, so
+  // the analytic neutral point sits above the paper's 0.26-0.31; the bench
+  // (bench_rstar) prints the exact value next to the paper's.
+  EXPECT_GT(r, 0.05);
+  EXPECT_LT(r, 0.8);
+}
+
+TEST(Pareto, DegenerateParamsReturnZeroDelta) {
+  EnergyDeltaParams p = typical();
+  p.t_cpu_s = 0.0;
+  EXPECT_DOUBLE_EQ(delta_e_cpu(p, 0.2), 0.0);
+  p = typical();
+  p.t_gpu_s = 0.0;
+  EXPECT_DOUBLE_EQ(delta_e_gpu(p, 0.2), 0.0);
+}
+
+}  // namespace
+}  // namespace bsr::energy

@@ -1,0 +1,162 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "abft/checksum.hpp"
+#include "la/verify.hpp"
+
+namespace bsr::fault {
+namespace {
+
+using la::idx;
+using la::Matrix;
+
+Matrix<double> ones(idx m, idx n) {
+  Matrix<double> a(m, n);
+  a.fill(1.0);
+  return a;
+}
+
+int count_changed(const Matrix<double>& a, double ref = 1.0) {
+  int n = 0;
+  for (idx j = 0; j < a.cols(); ++j) {
+    for (idx i = 0; i < a.rows(); ++i) {
+      if (a(i, j) != ref) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(Injector, SampleZeroWhenFaultFree) {
+  Injector inj{Rng(1)};
+  const hw::ErrorRates r{};
+  const InjectionCounts c = inj.sample(r, SimTime::from_seconds(100.0));
+  EXPECT_EQ(c.total(), 0);
+}
+
+TEST(Injector, SampleZeroForZeroTime) {
+  Injector inj{Rng(2)};
+  const hw::ErrorRates r{.d0 = 100.0, .d1 = 100.0, .d2 = 100.0};
+  EXPECT_EQ(inj.sample(r, SimTime::zero()).total(), 0);
+}
+
+TEST(Injector, SampleMeansTrackRates) {
+  Injector inj{Rng(3)};
+  const hw::ErrorRates r{.d0 = 2.0, .d1 = 0.5, .d2 = 0.1};
+  double s0 = 0;
+  double s1 = 0;
+  double s2 = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const InjectionCounts c = inj.sample(r, SimTime::from_seconds(1.0));
+    s0 += c.d0;
+    s1 += c.d1;
+    s2 += c.d2;
+  }
+  EXPECT_NEAR(s0 / trials, 2.0, 0.05);
+  EXPECT_NEAR(s1 / trials, 0.5, 0.02);
+  EXPECT_NEAR(s2 / trials, 0.1, 0.01);
+}
+
+TEST(Injector, Inject0DChangesExactlyOneElement) {
+  Matrix<double> a = ones(20, 20);
+  Injector inj{Rng(4)};
+  inj.inject_0d(a.view());
+  EXPECT_EQ(count_changed(a), 1);
+}
+
+TEST(Injector, Inject1DCorruptsSingleColumnRun) {
+  Matrix<double> a = ones(32, 32);
+  Injector inj{Rng(5)};
+  inj.inject_1d(a.view());
+  int corrupted_cols = 0;
+  for (idx j = 0; j < 32; ++j) {
+    int hits = 0;
+    for (idx i = 0; i < 32; ++i) {
+      if (a(i, j) != 1.0) ++hits;
+    }
+    if (hits > 0) {
+      ++corrupted_cols;
+      EXPECT_GE(hits, 2);  // a run, not a point
+    }
+  }
+  EXPECT_EQ(corrupted_cols, 1);
+}
+
+TEST(Injector, Inject2DSpansMultipleColumns) {
+  Matrix<double> a = ones(32, 32);
+  Injector inj{Rng(6)};
+  inj.inject_2d(a.view());
+  int corrupted_cols = 0;
+  for (idx j = 0; j < 32; ++j) {
+    for (idx i = 0; i < 32; ++i) {
+      if (a(i, j) != 1.0) {
+        ++corrupted_cols;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(corrupted_cols, 2);
+}
+
+TEST(Injector, CorruptionIsLargeMagnitude) {
+  Matrix<double> a = ones(16, 16);
+  Injector inj{Rng(7)};
+  for (int i = 0; i < 20; ++i) inj.inject_0d(a.view());
+  // Every corrupted value must differ from 1.0 by far more than roundoff.
+  for (idx j = 0; j < 16; ++j) {
+    for (idx i = 0; i < 16; ++i) {
+      if (a(i, j) != 1.0) {
+        EXPECT_GT(std::abs(a(i, j) - 1.0), 1.0);
+      }
+    }
+  }
+}
+
+TEST(Injector, InjectedErrorsAreDetectableByAbft) {
+  Matrix<double> a = ones(32, 32);
+  abft::BlockChecksums<double> chk(32, 32, 8, abft::ChecksumMode::Full);
+  chk.encode(a.view());
+  Injector inj{Rng(8)};
+  inj.inject_0d(a.view());
+  inj.inject_1d(a.view());
+  const auto r = chk.verify_and_correct(
+      a.view(), abft::BlockChecksums<double>::suggested_tolerance(a.view(), 8));
+  EXPECT_GT(r.blocks_flagged, 0);
+}
+
+TEST(Injector, DeterministicForSameSeed) {
+  Matrix<double> a = ones(16, 16);
+  Matrix<double> b = ones(16, 16);
+  Injector ia{Rng(99)};
+  Injector ib{Rng(99)};
+  const hw::ErrorRates r{.d0 = 5.0, .d1 = 1.0, .d2 = 0.2};
+  ia.inject(a.view(), r, SimTime::from_seconds(1.0));
+  ib.inject(b.view(), r, SimTime::from_seconds(1.0));
+  for (idx j = 0; j < 16; ++j) {
+    for (idx i = 0; i < 16; ++i) ASSERT_EQ(a(i, j), b(i, j));
+  }
+}
+
+TEST(Injector, InjectReturnsCounts) {
+  Matrix<double> a = ones(64, 64);
+  Injector inj{Rng(10)};
+  const hw::ErrorRates r{.d0 = 50.0, .d1 = 0.0, .d2 = 0.0};
+  const InjectionCounts c = inj.inject(a.view(), r, SimTime::from_seconds(1.0));
+  EXPECT_GT(c.d0, 0);
+  EXPECT_EQ(c.d1, 0);
+  EXPECT_EQ(c.d2, 0);
+  EXPECT_GT(count_changed(a), 0);
+}
+
+TEST(Injector, EmptyMatrixIsSafe) {
+  Matrix<double> a(0, 0);
+  Injector inj{Rng(11)};
+  inj.inject_0d(a.view());
+  inj.inject_1d(a.view());
+  inj.inject_2d(a.view());  // must not crash
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bsr::fault

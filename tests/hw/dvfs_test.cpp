@@ -1,0 +1,60 @@
+#include "hw/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr::hw {
+namespace {
+
+FrequencyDomain dom() {
+  return {.min_mhz = 300,
+          .base_mhz = 1300,
+          .max_default_mhz = 1300,
+          .max_oc_mhz = 2200,
+          .step_mhz = 100};
+}
+
+TEST(Dvfs, StartsAtBase) {
+  DvfsController c(dom(), SimTime::from_millis(8.0));
+  EXPECT_EQ(c.current(), 1300);
+  EXPECT_EQ(c.transitions(), 0);
+}
+
+TEST(Dvfs, TransitionChargesLatency) {
+  DvfsController c(dom(), SimTime::from_millis(8.0));
+  EXPECT_EQ(c.set_frequency(1000), SimTime::from_millis(8.0));
+  EXPECT_EQ(c.current(), 1000);
+  EXPECT_EQ(c.transitions(), 1);
+}
+
+TEST(Dvfs, NoChangeIsFree) {
+  DvfsController c(dom(), SimTime::from_millis(8.0));
+  EXPECT_EQ(c.set_frequency(1300), SimTime::zero());
+  EXPECT_EQ(c.transitions(), 0);
+}
+
+TEST(Dvfs, DefaultGuardbandBlocksOverclock) {
+  DvfsController c(dom(), SimTime::from_millis(1.0));
+  c.set_frequency(2200);
+  EXPECT_EQ(c.current(), 1300);  // clamped
+  c.set_guardband(Guardband::Optimized);
+  c.set_frequency(2200);
+  EXPECT_EQ(c.current(), 2200);
+}
+
+TEST(Dvfs, RevokingGuardbandClampsBack) {
+  DvfsController c(dom(), SimTime::from_millis(1.0));
+  c.set_guardband(Guardband::Optimized);
+  c.set_frequency(2000);
+  EXPECT_EQ(c.current(), 2000);
+  c.set_guardband(Guardband::Default);
+  EXPECT_EQ(c.current(), 1300);
+}
+
+TEST(Dvfs, ClampToFloor) {
+  DvfsController c(dom(), SimTime::from_millis(1.0));
+  c.set_frequency(100);
+  EXPECT_EQ(c.current(), 300);
+}
+
+}  // namespace
+}  // namespace bsr::hw

@@ -1,0 +1,60 @@
+#include "hw/energy_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr::hw {
+namespace {
+
+TEST(EnergyMeter, IntegratesJoules) {
+  EnergyMeter m;
+  m.record(DeviceId::Cpu, SimTime::zero(), SimTime::from_seconds(2.0), 50.0,
+           "PD");
+  EXPECT_DOUBLE_EQ(m.total_joules(), 100.0);
+  EXPECT_DOUBLE_EQ(m.joules(DeviceId::Cpu), 100.0);
+  EXPECT_DOUBLE_EQ(m.joules(DeviceId::Gpu), 0.0);
+}
+
+TEST(EnergyMeter, PerTagBreakdown) {
+  EnergyMeter m;
+  m.record(DeviceId::Gpu, SimTime::zero(), SimTime::from_seconds(1.0), 200.0,
+           "TMU+PU");
+  m.record(DeviceId::Gpu, SimTime::from_seconds(1.0), SimTime::from_seconds(0.5),
+           100.0, "idle");
+  EXPECT_DOUBLE_EQ(m.joules(DeviceId::Gpu, "TMU+PU"), 200.0);
+  EXPECT_DOUBLE_EQ(m.joules(DeviceId::Gpu, "idle"), 50.0);
+  EXPECT_DOUBLE_EQ(m.joules(DeviceId::Gpu, "missing"), 0.0);
+}
+
+TEST(EnergyMeter, IgnoresNonPositiveDurations) {
+  EnergyMeter m;
+  m.record(DeviceId::Cpu, SimTime::zero(), SimTime::zero(), 100.0, "x");
+  m.record(DeviceId::Cpu, SimTime::zero(), SimTime::from_seconds(-1.0), 100.0,
+           "x");
+  EXPECT_DOUBLE_EQ(m.total_joules(), 0.0);
+  EXPECT_TRUE(m.segments().empty());
+}
+
+TEST(EnergyMeter, ClearResets) {
+  EnergyMeter m;
+  m.record(DeviceId::Cpu, SimTime::zero(), SimTime::from_seconds(1.0), 10.0, "a");
+  m.clear();
+  EXPECT_DOUBLE_EQ(m.total_joules(), 0.0);
+  EXPECT_TRUE(m.segments().empty());
+  EXPECT_DOUBLE_EQ(m.joules(DeviceId::Cpu, "a"), 0.0);
+}
+
+TEST(EnergyMeter, SegmentsPreserveOrderAndFields) {
+  EnergyMeter m;
+  m.record(DeviceId::Cpu, SimTime::from_seconds(1.0), SimTime::from_seconds(2.0),
+           30.0, "PD");
+  ASSERT_EQ(m.segments().size(), 1u);
+  const auto& s = m.segments()[0];
+  EXPECT_EQ(s.device, DeviceId::Cpu);
+  EXPECT_DOUBLE_EQ(s.start.seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(s.duration.seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(s.power_w, 30.0);
+  EXPECT_EQ(s.tag, "PD");
+}
+
+}  // namespace
+}  // namespace bsr::hw

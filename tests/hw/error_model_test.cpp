@@ -1,0 +1,88 @@
+#include "hw/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace bsr::hw {
+namespace {
+
+FrequencyDomain dom() {
+  return {.min_mhz = 300,
+          .base_mhz = 1300,
+          .max_default_mhz = 1300,
+          .max_oc_mhz = 2200,
+          .step_mhz = 100};
+}
+
+ErrorRateModel model() {
+  return ErrorRateModel(std::map<Mhz, ErrorRates>{
+      {1700, {.d0 = 0.0, .d1 = 0.0, .d2 = 0.0}},
+      {1800, {.d0 = 0.03, .d1 = 0.0, .d2 = 0.0}},
+      {2000, {.d0 = 0.30, .d1 = 0.010, .d2 = 1e-7}},
+      {2200, {.d0 = 1.80, .d1 = 0.080, .d2 = 5e-7}},
+  });
+}
+
+TEST(ErrorModel, DefaultGuardbandIsAlwaysFaultFree) {
+  const ErrorRateModel m = model();
+  for (Mhz f = 300; f <= 2200; f += 100) {
+    EXPECT_TRUE(m.rates(f, Guardband::Default).fault_free()) << f;
+  }
+}
+
+TEST(ErrorModel, BelowTableIsFaultFree) {
+  const ErrorRateModel m = model();
+  EXPECT_TRUE(m.rates(1300, Guardband::Optimized).fault_free());
+  EXPECT_TRUE(m.rates(1700, Guardband::Optimized).fault_free());
+}
+
+TEST(ErrorModel, ExactGridPointsMatchTable) {
+  const ErrorRateModel m = model();
+  EXPECT_DOUBLE_EQ(m.lambda(1800, ErrType::D0, Guardband::Optimized), 0.03);
+  EXPECT_DOUBLE_EQ(m.lambda(2200, ErrType::D1, Guardband::Optimized), 0.080);
+}
+
+TEST(ErrorModel, InterpolatesBetweenGridPoints) {
+  const ErrorRateModel m = model();
+  // 1900 between 1800 (0.03) and 2000 (0.30): midpoint.
+  EXPECT_NEAR(m.lambda(1900, ErrType::D0, Guardband::Optimized), 0.165, 1e-12);
+}
+
+TEST(ErrorModel, ExtrapolatesFlatAboveTable) {
+  const ErrorRateModel m = model();
+  EXPECT_DOUBLE_EQ(m.lambda(2300, ErrType::D0, Guardband::Optimized), 1.80);
+}
+
+TEST(ErrorModel, RatesGrowWithFrequency) {
+  const ErrorRateModel m = model();
+  double prev = -1.0;
+  for (Mhz f = 1700; f <= 2200; f += 100) {
+    const double t = m.rates(f, Guardband::Optimized).total();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ErrorModel, FaultFreeMaxFindsThreshold) {
+  const ErrorRateModel m = model();
+  EXPECT_EQ(m.fault_free_max(dom()), 1700);
+}
+
+TEST(ErrorModel, EmptyModelIsAlwaysFaultFree) {
+  const ErrorRateModel m{};
+  EXPECT_TRUE(m.rates(2200, Guardband::Optimized).fault_free());
+  EXPECT_EQ(m.fault_free_max(dom()), 2200);
+}
+
+TEST(ErrorRates, AccessorsAndTotal) {
+  const ErrorRates r{.d0 = 1.0, .d1 = 0.5, .d2 = 0.25};
+  EXPECT_DOUBLE_EQ(r.of(ErrType::D0), 1.0);
+  EXPECT_DOUBLE_EQ(r.of(ErrType::D1), 0.5);
+  EXPECT_DOUBLE_EQ(r.of(ErrType::D2), 0.25);
+  EXPECT_DOUBLE_EQ(r.total(), 1.75);
+  EXPECT_FALSE(r.fault_free());
+}
+
+}  // namespace
+}  // namespace bsr::hw

@@ -1,0 +1,62 @@
+#include "hw/frequency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr::hw {
+namespace {
+
+FrequencyDomain gpu_domain() {
+  return {.min_mhz = 300,
+          .base_mhz = 1300,
+          .max_default_mhz = 1300,
+          .max_oc_mhz = 2200,
+          .step_mhz = 100};
+}
+
+TEST(FrequencyDomain, ClampRespectsGuardband) {
+  const FrequencyDomain d = gpu_domain();
+  EXPECT_EQ(d.clamp(2500, true), 2200);
+  EXPECT_EQ(d.clamp(2500, false), 1300);
+  EXPECT_EQ(d.clamp(100, true), 300);
+  EXPECT_EQ(d.clamp(1000, false), 1000);
+}
+
+TEST(FrequencyDomain, RoundUpFromRatio) {
+  const FrequencyDomain d = gpu_domain();
+  // 1.3 GHz * 1.17 = 1521 -> round up to 1600.
+  EXPECT_EQ(d.round_up_from_ratio(1.17, true), 1600);
+  // Ratio 1 stays at base.
+  EXPECT_EQ(d.round_up_from_ratio(1.0, true), 1300);
+  // Slowing down: 1300*0.5 = 650 -> 700.
+  EXPECT_EQ(d.round_up_from_ratio(0.5, true), 700);
+}
+
+TEST(FrequencyDomain, RoundUpClampsToGuardbandRange) {
+  const FrequencyDomain d = gpu_domain();
+  EXPECT_EQ(d.round_up_from_ratio(3.0, true), 2200);
+  EXPECT_EQ(d.round_up_from_ratio(3.0, false), 1300);
+  EXPECT_EQ(d.round_up_from_ratio(0.01, true), 300);
+}
+
+TEST(FrequencyDomain, LevelsEnumerateGrid) {
+  const FrequencyDomain d = gpu_domain();
+  const auto def = d.levels(false);
+  EXPECT_EQ(def.front(), 300);
+  EXPECT_EQ(def.back(), 1300);
+  EXPECT_EQ(def.size(), 11u);
+  const auto oc = d.levels(true);
+  EXPECT_EQ(oc.back(), 2200);
+  EXPECT_EQ(oc.size(), 20u);
+}
+
+TEST(FrequencyDomain, ValidChecksGridAndRange) {
+  const FrequencyDomain d = gpu_domain();
+  EXPECT_TRUE(d.valid(1300, false));
+  EXPECT_TRUE(d.valid(2200, true));
+  EXPECT_FALSE(d.valid(2200, false));
+  EXPECT_FALSE(d.valid(1350, true));  // off grid
+  EXPECT_FALSE(d.valid(200, true));
+}
+
+}  // namespace
+}  // namespace bsr::hw

@@ -1,0 +1,50 @@
+#include "hw/guardband.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr::hw {
+namespace {
+
+FrequencyDomain dom() {
+  return {.min_mhz = 300,
+          .base_mhz = 1300,
+          .max_default_mhz = 1300,
+          .max_oc_mhz = 2200,
+          .step_mhz = 100};
+}
+
+TEST(Guardband, DefaultIsUnity) {
+  const GuardbandModel g{};
+  EXPECT_DOUBLE_EQ(g.alpha(1300, Guardband::Default, dom()), 1.0);
+  EXPECT_DOUBLE_EQ(g.alpha(2200, Guardband::Default, dom()), 1.0);
+}
+
+TEST(Guardband, OptimizedReducesPower) {
+  const GuardbandModel g{.alpha_floor = 0.76, .alpha_ceiling = 1.0, .shape = 2.0};
+  const double a = g.alpha(1300, Guardband::Optimized, dom());
+  EXPECT_GT(a, 0.76);
+  EXPECT_LT(a, 1.0);
+}
+
+TEST(Guardband, FloorAtMinFrequency) {
+  const GuardbandModel g{.alpha_floor = 0.8, .alpha_ceiling = 1.0, .shape = 2.0};
+  EXPECT_DOUBLE_EQ(g.alpha(300, Guardband::Optimized, dom()), 0.8);
+}
+
+TEST(Guardband, CeilingAtMaxOverclock) {
+  const GuardbandModel g{.alpha_floor = 0.8, .alpha_ceiling = 1.0, .shape = 2.0};
+  EXPECT_DOUBLE_EQ(g.alpha(2200, Guardband::Optimized, dom()), 1.0);
+}
+
+TEST(Guardband, MonotonicallyNonDecreasingInFrequency) {
+  const GuardbandModel g{.alpha_floor = 0.76, .alpha_ceiling = 1.02, .shape = 2.0};
+  double prev = 0.0;
+  for (Mhz f = 300; f <= 2200; f += 100) {
+    const double a = g.alpha(f, Guardband::Optimized, dom());
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+}
+
+}  // namespace
+}  // namespace bsr::hw

@@ -1,0 +1,72 @@
+#include "hw/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr::hw {
+namespace {
+
+FrequencyDomain dom() {
+  return {.min_mhz = 300,
+          .base_mhz = 1300,
+          .max_default_mhz = 1300,
+          .max_oc_mhz = 2200,
+          .step_mhz = 100};
+}
+
+PerfModel gpu_perf() {
+  return {.blas3_gflops_base = 420.0,
+          .panel_gflops_base = 60.0,
+          .checksum_gflops_base = 70.0,
+          .mem_bandwidth_gbs = 616.0,
+          .freq_exponent = 1.0};
+}
+
+TEST(PerfModel, BaseRates) {
+  const PerfModel p = gpu_perf();
+  EXPECT_DOUBLE_EQ(p.gflops(KernelClass::Blas3, 1300, dom()), 420.0);
+  EXPECT_DOUBLE_EQ(p.gflops(KernelClass::Panel, 1300, dom()), 60.0);
+  EXPECT_DOUBLE_EQ(p.gflops(KernelClass::ChecksumUpdate, 1300, dom()), 70.0);
+}
+
+TEST(PerfModel, LinearFrequencyScaling) {
+  const PerfModel p = gpu_perf();
+  EXPECT_NEAR(p.gflops(KernelClass::Blas3, 2600, dom()), 840.0, 1e-9);
+  EXPECT_NEAR(p.gflops(KernelClass::Blas3, 650, dom()), 210.0, 1e-9);
+}
+
+TEST(PerfModel, TimeForFlopsInverse) {
+  const PerfModel p = gpu_perf();
+  // 420 GFLOP at 420 GFLOP/s = 1 s.
+  EXPECT_NEAR(p.time_for_flops(420e9, KernelClass::Blas3, 1300, dom()).seconds(),
+              1.0, 1e-9);
+  // Doubling the clock halves the time.
+  EXPECT_NEAR(p.time_for_flops(420e9, KernelClass::Blas3, 2600, dom()).seconds(),
+              0.5, 1e-9);
+}
+
+TEST(PerfModel, ZeroFlopsIsZeroTime) {
+  const PerfModel p = gpu_perf();
+  EXPECT_EQ(p.time_for_flops(0.0, KernelClass::Blas3, 1300, dom()),
+            SimTime::zero());
+  EXPECT_EQ(p.time_for_bytes(0.0, 1300, dom()), SimTime::zero());
+}
+
+TEST(PerfModel, BandwidthPassScalesWeaklyWithClock) {
+  const PerfModel p = gpu_perf();
+  const double t_base = p.time_for_bytes(616e9, 1300, dom()).seconds();
+  EXPECT_NEAR(t_base, 1.0, 1e-9);
+  const double t_oc = p.time_for_bytes(616e9, 2200, dom()).seconds();
+  EXPECT_LT(t_oc, t_base);        // some improvement
+  EXPECT_GT(t_oc, t_base * 0.8);  // but nowhere near 1300/2200
+}
+
+TEST(PerfModel, SublinearExponent) {
+  PerfModel p = gpu_perf();
+  p.freq_exponent = 0.9;
+  const double r = p.gflops(KernelClass::Blas3, 2600, dom()) / 420.0;
+  EXPECT_LT(r, 2.0);
+  EXPECT_GT(r, 1.8);
+}
+
+}  // namespace
+}  // namespace bsr::hw

@@ -1,0 +1,96 @@
+#include "hw/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr::hw {
+namespace {
+
+TEST(Platform, PaperDefaultMatchesTable3) {
+  const PlatformProfile p = PlatformProfile::paper_default();
+  // CPU: i7-9700K — base 3.5 GHz, overclock to 4.5 GHz, 0.1 GHz steps.
+  EXPECT_EQ(p.cpu.freq.base_mhz, 3500);
+  EXPECT_EQ(p.cpu.freq.max_oc_mhz, 4500);
+  EXPECT_EQ(p.cpu.freq.step_mhz, 100);
+  // GPU: RTX 2080 Ti — base 1.3 GHz, overclock to 2.2 GHz.
+  EXPECT_EQ(p.gpu.freq.base_mhz, 1300);
+  EXPECT_EQ(p.gpu.freq.max_oc_mhz, 2200);
+}
+
+TEST(Platform, CpuIsFaultFreeEverywhere) {
+  const PlatformProfile p = PlatformProfile::paper_default();
+  EXPECT_EQ(p.cpu.fault_free_max(), p.cpu.freq.max_oc_mhz);
+}
+
+TEST(Platform, GpuFaultFreeThrough1700) {
+  const PlatformProfile p = PlatformProfile::paper_default();
+  EXPECT_EQ(p.gpu.fault_free_max(), 1700);
+  EXPECT_TRUE(p.gpu.errors.rates(1700, Guardband::Optimized).fault_free());
+  EXPECT_FALSE(p.gpu.errors.rates(1800, Guardband::Optimized).fault_free());
+}
+
+TEST(Platform, GpuSdcClassesAppearInOrder) {
+  // 0D from 1800, 1D from 2000 — the regime of Table 1 / Fig. 9.
+  const PlatformProfile p = PlatformProfile::paper_default();
+  const auto at_1900 = p.gpu.errors.rates(1900, Guardband::Optimized);
+  EXPECT_GT(at_1900.d0, 0.0);
+  EXPECT_DOUBLE_EQ(at_1900.d1, 0.0);
+  const auto at_2100 = p.gpu.errors.rates(2100, Guardband::Optimized);
+  EXPECT_GT(at_2100.d1, 0.0);
+}
+
+TEST(Platform, EnergyEfficiencyImprovesWithOptimizedGuardband) {
+  const PlatformProfile p = PlatformProfile::paper_default();
+  for (Mhz f = 700; f <= 1300; f += 100) {
+    EXPECT_GT(p.gpu.efficiency_gflops_per_watt(f, Guardband::Optimized),
+              p.gpu.efficiency_gflops_per_watt(f, Guardband::Default))
+        << f;
+  }
+}
+
+TEST(Platform, OverclockedStatesCanBeMoreEfficientThanBase) {
+  // The motivation for ABFT-OC (paper Fig. 5a): with the optimized guardband,
+  // some higher-clock states beat the default-guardband base efficiency.
+  const PlatformProfile p = PlatformProfile::paper_default();
+  const double base_eff =
+      p.gpu.efficiency_gflops_per_watt(1300, Guardband::Default);
+  double best_oc = 0.0;
+  for (Mhz f = 1400; f <= 2200; f += 100) {
+    best_oc = std::max(best_oc,
+                       p.gpu.efficiency_gflops_per_watt(f, Guardband::Optimized));
+  }
+  EXPECT_GT(best_oc, base_eff);
+}
+
+TEST(Platform, ThermalRisesWithFrequency) {
+  const PlatformProfile p = PlatformProfile::paper_default();
+  const double t_base = p.gpu.thermal.max_sustained_temp(
+      1300, Guardband::Default, p.gpu.power, p.gpu.guardband, p.gpu.freq);
+  const double t_low = p.gpu.thermal.max_sustained_temp(
+      700, Guardband::Default, p.gpu.power, p.gpu.guardband, p.gpu.freq);
+  EXPECT_GT(t_base, t_low);
+}
+
+TEST(Platform, OptimizedGuardbandRunsCooler) {
+  const PlatformProfile p = PlatformProfile::paper_default();
+  const double t_def = p.cpu.thermal.max_sustained_temp(
+      3500, Guardband::Default, p.cpu.power, p.cpu.guardband, p.cpu.freq);
+  const double t_opt = p.cpu.thermal.max_sustained_temp(
+      3500, Guardband::Optimized, p.cpu.power, p.cpu.guardband, p.cpu.freq);
+  EXPECT_LT(t_opt, t_def);
+}
+
+TEST(Platform, MakeDvfsInheritsLatency) {
+  const PlatformProfile p = PlatformProfile::paper_default();
+  DvfsController d = p.gpu.make_dvfs();
+  EXPECT_EQ(d.latency(), p.gpu.dvfs_latency);
+  EXPECT_EQ(d.current(), 1300);
+}
+
+TEST(Platform, TestSmallProfileIsMoreImbalanced) {
+  const PlatformProfile small = PlatformProfile::test_small();
+  const PlatformProfile paper = PlatformProfile::paper_default();
+  EXPECT_LT(small.cpu.perf.panel_gflops_base, paper.cpu.perf.panel_gflops_base);
+}
+
+}  // namespace
+}  // namespace bsr::hw

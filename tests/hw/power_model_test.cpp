@@ -1,0 +1,77 @@
+#include "hw/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bsr::hw {
+namespace {
+
+FrequencyDomain dom() {
+  return {.min_mhz = 800,
+          .base_mhz = 3500,
+          .max_default_mhz = 4500,
+          .max_oc_mhz = 4500,
+          .step_mhz = 100};
+}
+
+PowerModel cpu_power() {
+  return {.total_power_base_w = 95.0,
+          .dynamic_fraction = 0.65,
+          .idle_activity = 0.12,
+          .exponent = 2.4};
+}
+
+TEST(PowerModel, StaticDynamicSplit) {
+  const PowerModel p = cpu_power();
+  EXPECT_NEAR(p.static_power(), 95.0 * 0.35, 1e-12);
+  EXPECT_NEAR(p.dynamic_power_base(), 95.0 * 0.65, 1e-12);
+}
+
+TEST(PowerModel, BusyPowerAtBaseEqualsTotal) {
+  const PowerModel p = cpu_power();
+  const GuardbandModel g{};
+  EXPECT_NEAR(p.busy_power(3500, Guardband::Default, g, dom()), 95.0, 1e-9);
+}
+
+TEST(PowerModel, BusyPowerFollowsF24) {
+  const PowerModel p = cpu_power();
+  const GuardbandModel g{};
+  const double at_half =
+      p.busy_power(1750, Guardband::Default, g, dom());
+  const double expected =
+      p.static_power() + p.dynamic_power_base() * std::pow(0.5, 2.4);
+  EXPECT_NEAR(at_half, expected, 1e-9);
+}
+
+TEST(PowerModel, OptimizedGuardbandCutsBusyPower) {
+  const PowerModel p = cpu_power();
+  const GuardbandModel g{.alpha_floor = 0.84, .alpha_ceiling = 1.0, .shape = 2.2};
+  EXPECT_LT(p.busy_power(3500, Guardband::Optimized, g, dom()),
+            p.busy_power(3500, Guardband::Default, g, dom()));
+}
+
+TEST(PowerModel, IdleBelowBusyEverywhere) {
+  const PowerModel p = cpu_power();
+  const GuardbandModel g{};
+  for (Mhz f = 800; f <= 4500; f += 100) {
+    EXPECT_LT(p.idle_power(f, dom()),
+              p.busy_power(f, Guardband::Default, g, dom()));
+  }
+}
+
+TEST(PowerModel, IdleAtFloorIsNearStatic) {
+  const PowerModel p = cpu_power();
+  const double idle_floor = p.idle_power(800, dom());
+  EXPECT_LT(idle_floor, p.static_power() * 1.1);
+  EXPECT_GE(idle_floor, p.static_power());
+}
+
+TEST(PowerModel, FrequencyScaleIdentity) {
+  const PowerModel p = cpu_power();
+  EXPECT_DOUBLE_EQ(p.frequency_scale(3500, 3500), 1.0);
+  EXPECT_NEAR(p.frequency_scale(7000, 3500), std::pow(2.0, 2.4), 1e-12);
+}
+
+}  // namespace
+}  // namespace bsr::hw

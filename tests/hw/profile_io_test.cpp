@@ -1,0 +1,103 @@
+#include "hw/profile_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bsr::hw {
+namespace {
+
+TEST(ProfileIo, SaveLoadRoundTripPreservesModels) {
+  const PlatformProfile original = PlatformProfile::paper_default();
+  std::stringstream ss;
+  save_profile(original, ss);
+  const PlatformProfile loaded = load_profile(ss);
+
+  EXPECT_EQ(loaded.cpu.name, original.cpu.name);
+  EXPECT_EQ(loaded.cpu.freq.base_mhz, original.cpu.freq.base_mhz);
+  EXPECT_DOUBLE_EQ(loaded.cpu.power.total_power_base_w,
+                   original.cpu.power.total_power_base_w);
+  EXPECT_DOUBLE_EQ(loaded.gpu.perf.blas3_gflops_base,
+                   original.gpu.perf.blas3_gflops_base);
+  EXPECT_DOUBLE_EQ(loaded.gpu.guardband.alpha_floor,
+                   original.gpu.guardband.alpha_floor);
+  EXPECT_EQ(loaded.gpu.dvfs_latency, original.gpu.dvfs_latency);
+  EXPECT_DOUBLE_EQ(loaded.link.bandwidth_gbs, original.link.bandwidth_gbs);
+  // Error table survives.
+  for (Mhz f = 1700; f <= 2200; f += 100) {
+    const auto a = original.gpu.errors.rates(f, Guardband::Optimized);
+    const auto b = loaded.gpu.errors.rates(f, Guardband::Optimized);
+    EXPECT_DOUBLE_EQ(a.d0, b.d0) << f;
+    EXPECT_DOUBLE_EQ(a.d1, b.d1) << f;
+    EXPECT_DOUBLE_EQ(a.d2, b.d2) << f;
+  }
+  EXPECT_EQ(loaded.gpu.fault_free_max(), original.gpu.fault_free_max());
+}
+
+TEST(ProfileIo, PartialFileOverridesOnlyGivenKeys) {
+  std::istringstream is(
+      "gpu.perf.blas3_gflops = 999\n"
+      "link.bandwidth_gbs = 25\n");
+  const PlatformProfile p = load_profile(is);
+  EXPECT_DOUBLE_EQ(p.gpu.perf.blas3_gflops_base, 999.0);
+  EXPECT_DOUBLE_EQ(p.link.bandwidth_gbs, 25.0);
+  // Everything else keeps the paper default.
+  const PlatformProfile def = PlatformProfile::paper_default();
+  EXPECT_EQ(p.cpu.freq.base_mhz, def.cpu.freq.base_mhz);
+  EXPECT_DOUBLE_EQ(p.gpu.power.total_power_base_w,
+                   def.gpu.power.total_power_base_w);
+}
+
+TEST(ProfileIo, CommentsAndBlankLinesIgnored) {
+  std::istringstream is(
+      "# a comment\n"
+      "\n"
+      "   \t  \n"
+      "cpu.power.total_w = 80  # trailing comment\n");
+  const PlatformProfile p = load_profile(is);
+  EXPECT_DOUBLE_EQ(p.cpu.power.total_power_base_w, 80.0);
+}
+
+TEST(ProfileIo, UnknownKeyFailsLoudly) {
+  std::istringstream is("cpu.powr.total_w = 80\n");
+  EXPECT_THROW(load_profile(is), std::runtime_error);
+}
+
+TEST(ProfileIo, MalformedLineFailsLoudly) {
+  std::istringstream is("cpu.power.total_w 80\n");
+  EXPECT_THROW(load_profile(is), std::runtime_error);
+}
+
+TEST(ProfileIo, ErrorTableOverrideReplacesWholeTable) {
+  std::istringstream is("gpu.errors.2000 = 0.5 0.1 0.01\n");
+  const PlatformProfile p = load_profile(is);
+  const auto at_2000 = p.gpu.errors.rates(2000, Guardband::Optimized);
+  EXPECT_DOUBLE_EQ(at_2000.d0, 0.5);
+  EXPECT_DOUBLE_EQ(at_2000.d1, 0.1);
+  // The default 1800 entry must be gone (whole-table replacement).
+  EXPECT_TRUE(p.gpu.errors.rates(1800, Guardband::Optimized).fault_free());
+}
+
+TEST(ProfileIo, FileRoundTrip) {
+  const std::string path = "/tmp/bsr_profile_io_test.txt";
+  save_profile(PlatformProfile::numeric_demo(), path);
+  const PlatformProfile p = load_profile(path);
+  EXPECT_NEAR(p.gpu.perf.blas3_gflops_base, 420.0 / 150.0, 1e-9);
+}
+
+TEST(ProfileIo, MissingFileThrows) {
+  EXPECT_THROW(load_profile("/nonexistent_dir_xyz/p.txt"), std::runtime_error);
+}
+
+TEST(ProfileIo, ScaledErrorModelSurvivesRoundTrip) {
+  PlatformProfile p = PlatformProfile::paper_default();
+  p.gpu.errors = p.gpu.errors.scaled(10.0);
+  std::stringstream ss;
+  save_profile(p, ss);
+  const PlatformProfile loaded = load_profile(ss);
+  EXPECT_DOUBLE_EQ(loaded.gpu.errors.rates(2200, Guardband::Optimized).d0,
+                   3.5);
+}
+
+}  // namespace
+}  // namespace bsr::hw

@@ -1,0 +1,48 @@
+#include "hw/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr::hw {
+namespace {
+
+TEST(Transfer, ZeroBytesIsFree) {
+  const TransferModel m{.bandwidth_gbs = 12.0,
+                        .latency = SimTime::from_micros(10.0)};
+  EXPECT_EQ(m.time_for_bytes(0.0), SimTime::zero());
+  EXPECT_EQ(m.time_for_bytes(-5.0), SimTime::zero());
+}
+
+TEST(Transfer, LatencyPlusBandwidthTerm) {
+  const TransferModel m{.bandwidth_gbs = 12.0,
+                        .latency = SimTime::from_micros(10.0)};
+  // 12 GB at 12 GB/s = 1 s + 10 us latency.
+  EXPECT_NEAR(m.time_for_bytes(12e9).seconds(), 1.0 + 10e-6, 1e-9);
+}
+
+TEST(Transfer, SmallMessagesAreLatencyBound) {
+  const TransferModel m{.bandwidth_gbs = 12.0,
+                        .latency = SimTime::from_micros(10.0)};
+  const double t = m.time_for_bytes(1024.0).seconds();
+  EXPECT_GT(t, 10e-6);
+  EXPECT_LT(t, 11e-6);
+}
+
+TEST(Transfer, TimeScalesLinearlyInBytes) {
+  const TransferModel m{.bandwidth_gbs = 10.0, .latency = SimTime::zero()};
+  const double t1 = m.time_for_bytes(1e9).seconds();
+  const double t2 = m.time_for_bytes(2e9).seconds();
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-12);
+}
+
+TEST(Transfer, PanelTransferAtPaperScaleIsMilliseconds) {
+  // A 30720 x 512 double panel both ways over PCIe 3 x16: ~2.1 ms + latency.
+  const TransferModel m{.bandwidth_gbs = 12.0,
+                        .latency = SimTime::from_micros(10.0)};
+  const double bytes = 2.0 * 30720.0 * 512.0 * 8.0;
+  const double t = m.time_for_bytes(bytes).seconds();
+  EXPECT_GT(t, 15e-3);
+  EXPECT_LT(t, 25e-3);
+}
+
+}  // namespace
+}  // namespace bsr::hw

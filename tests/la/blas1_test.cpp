@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "la/blas.hpp"
+
+namespace bsr::la {
+namespace {
+
+TEST(Blas1, Axpy) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {10, 20, 30};
+  axpy<double>(3, 2.0, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{12, 24, 36}));
+}
+
+TEST(Blas1, AxpyStrided) {
+  std::vector<double> x = {1, 0, 2, 0};
+  std::vector<double> y = {5, 5};
+  axpy<double>(2, 1.0, x.data(), 2, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{6, 7}));
+}
+
+TEST(Blas1, Scal) {
+  std::vector<double> x = {1, -2, 3};
+  scal<double>(3, -2.0, x.data(), 1);
+  EXPECT_EQ(x, (std::vector<double>{-2, 4, -6}));
+}
+
+TEST(Blas1, Dot) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {4, 5, 6};
+  EXPECT_DOUBLE_EQ((dot<double>(3, x.data(), 1, y.data(), 1)), 32.0);
+}
+
+TEST(Blas1, Nrm2MatchesDefinition) {
+  std::vector<double> x = {3, 4};
+  EXPECT_DOUBLE_EQ((nrm2<double>(2, x.data(), 1)), 5.0);
+}
+
+TEST(Blas1, Nrm2HandlesLargeValuesWithoutOverflow) {
+  std::vector<double> x = {1e200, 1e200};
+  const double n = nrm2<double>(2, x.data(), 1);
+  EXPECT_TRUE(std::isfinite(n));
+  EXPECT_NEAR(n, std::sqrt(2.0) * 1e200, 1e188);
+}
+
+TEST(Blas1, NrmZeroVector) {
+  std::vector<double> x = {0, 0, 0};
+  EXPECT_DOUBLE_EQ((nrm2<double>(3, x.data(), 1)), 0.0);
+}
+
+TEST(Blas1, IamaxFindsFirstMaxAbs) {
+  std::vector<double> x = {1, -7, 7, 2};
+  EXPECT_EQ((iamax<double>(4, x.data(), 1)), 1);
+  EXPECT_EQ((iamax<double>(0, x.data(), 1)), -1);
+}
+
+TEST(Blas1, SwapExchanges) {
+  std::vector<double> x = {1, 2};
+  std::vector<double> y = {3, 4};
+  swap<double>(2, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(x, (std::vector<double>{3, 4}));
+  EXPECT_EQ(y, (std::vector<double>{1, 2}));
+}
+
+TEST(Blas1, FloatInstantiationWorks) {
+  std::vector<float> x = {1.f, 2.f};
+  std::vector<float> y = {1.f, 1.f};
+  axpy<float>(2, 0.5f, x.data(), 1, y.data(), 1);
+  EXPECT_FLOAT_EQ(y[1], 2.f);
+}
+
+}  // namespace
+}  // namespace bsr::la

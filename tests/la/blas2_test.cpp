@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "la/blas.hpp"
+
+namespace bsr::la {
+namespace {
+
+Matrix<double> make_matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  const idx m = static_cast<idx>(rows.size());
+  const idx n = static_cast<idx>(rows.begin()->size());
+  Matrix<double> a(m, n);
+  idx i = 0;
+  for (const auto& row : rows) {
+    idx j = 0;
+    for (double v : row) a(i, j++) = v;
+    ++i;
+  }
+  return a;
+}
+
+TEST(Blas2, GemvNoTrans) {
+  const Matrix<double> a = make_matrix({{1, 2}, {3, 4}});
+  std::vector<double> x = {1, 1};
+  std::vector<double> y = {100, 100};
+  gemv<double>(Op::NoTrans, 1.0, a.view(), x.data(), 0.0, y.data());
+  EXPECT_EQ(y, (std::vector<double>{3, 7}));
+}
+
+TEST(Blas2, GemvTrans) {
+  const Matrix<double> a = make_matrix({{1, 2}, {3, 4}});
+  std::vector<double> x = {1, 1};
+  std::vector<double> y = {0, 0};
+  gemv<double>(Op::Trans, 1.0, a.view(), x.data(), 0.0, y.data());
+  EXPECT_EQ(y, (std::vector<double>{4, 6}));
+}
+
+TEST(Blas2, GemvAlphaBeta) {
+  const Matrix<double> a = make_matrix({{2}});
+  std::vector<double> x = {3};
+  std::vector<double> y = {10};
+  gemv<double>(Op::NoTrans, 2.0, a.view(), x.data(), 0.5, y.data());
+  EXPECT_DOUBLE_EQ(y[0], 17.0);  // 0.5*10 + 2*2*3
+}
+
+TEST(Blas2, GerRankOneUpdate) {
+  Matrix<double> a(2, 2);
+  std::vector<double> x = {1, 2};
+  std::vector<double> y = {3, 4};
+  ger<double>(1.0, x.data(), 1, y.data(), 1, a.view());
+  EXPECT_DOUBLE_EQ(a(0, 0), 3);
+  EXPECT_DOUBLE_EQ(a(1, 0), 6);
+  EXPECT_DOUBLE_EQ(a(0, 1), 4);
+  EXPECT_DOUBLE_EQ(a(1, 1), 8);
+}
+
+TEST(Blas2, TrsvLowerNoTrans) {
+  const Matrix<double> a = make_matrix({{2, 0}, {1, 4}});
+  std::vector<double> x = {2, 9};  // solves L z = x -> z = {1, 2}
+  trsv<double>(Uplo::Lower, Op::NoTrans, Diag::NonUnit, a.view(), x.data());
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(Blas2, TrsvUpperNoTrans) {
+  const Matrix<double> a = make_matrix({{2, 1}, {0, 4}});
+  std::vector<double> x = {4, 8};  // z = {1.5, 2}
+  trsv<double>(Uplo::Upper, Op::NoTrans, Diag::NonUnit, a.view(), x.data());
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+}
+
+TEST(Blas2, TrsvUnitDiagIgnoresDiagonal) {
+  const Matrix<double> a = make_matrix({{999, 0}, {1, 999}});
+  std::vector<double> x = {1, 3};
+  trsv<double>(Uplo::Lower, Op::NoTrans, Diag::Unit, a.view(), x.data());
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(Blas2, TrsvTransposeConsistentWithGemv) {
+  const Matrix<double> a = make_matrix({{3, 0, 0}, {1, 2, 0}, {4, 5, 6}});
+  std::vector<double> z = {1, 2, 3};
+  // b = L^T z, then solving L^T x = b must return z.
+  std::vector<double> b(3, 0.0);
+  gemv<double>(Op::Trans, 1.0, a.view(), z.data(), 0.0, b.data());
+  // zero out strict upper contributions not in L: gemv used full a; rebuild b
+  // from the lower triangle explicitly instead.
+  b = {3 * 1 + 1 * 2 + 4 * 3, 2 * 2 + 5 * 3, 6 * 3.0};
+  trsv<double>(Uplo::Lower, Op::Trans, Diag::NonUnit, a.view(), b.data());
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+  EXPECT_NEAR(b[2], 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bsr::la

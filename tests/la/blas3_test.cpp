@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "la/blas.hpp"
+
+namespace bsr::la {
+namespace {
+
+/// Naive reference gemm for validation.
+Matrix<double> ref_gemm(Op opa, Op opb, double alpha, const Matrix<double>& a,
+                        const Matrix<double>& b, double beta,
+                        const Matrix<double>& c0) {
+  const idx m = c0.rows();
+  const idx n = c0.cols();
+  const idx k = opa == Op::NoTrans ? a.cols() : a.rows();
+  Matrix<double> c = c0;
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      double s = 0;
+      for (idx p = 0; p < k; ++p) {
+        const double av = opa == Op::NoTrans ? a(i, p) : a(p, i);
+        const double bv = opb == Op::NoTrans ? b(p, j) : b(j, p);
+        s += av * bv;
+      }
+      c(i, j) = beta * c(i, j) + alpha * s;
+    }
+  }
+  return c;
+}
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, Op, Op>> {};
+
+TEST_P(GemmShapes, MatchesReference) {
+  const auto [m, n, k, opa, opb] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 10007 + n * 101 + k));
+  Matrix<double> a(opa == Op::NoTrans ? m : k, opa == Op::NoTrans ? k : m);
+  Matrix<double> b(opb == Op::NoTrans ? k : n, opb == Op::NoTrans ? n : k);
+  Matrix<double> c(m, n);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  fill_random(c.view(), rng);
+  const Matrix<double> expected = ref_gemm(opa, opb, 1.5, a, b, -0.5, c);
+  gemm<double>(opa, opb, 1.5, a.view(), b.view(), -0.5, c.view());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      ASSERT_NEAR(c(i, j), expected(i, j), 1e-10 * (k + 1))
+          << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GemmShapes,
+    ::testing::Values(
+        std::make_tuple(1, 1, 1, Op::NoTrans, Op::NoTrans),
+        std::make_tuple(5, 3, 4, Op::NoTrans, Op::NoTrans),
+        std::make_tuple(5, 3, 4, Op::Trans, Op::NoTrans),
+        std::make_tuple(5, 3, 4, Op::NoTrans, Op::Trans),
+        std::make_tuple(5, 3, 4, Op::Trans, Op::Trans),
+        std::make_tuple(64, 64, 64, Op::NoTrans, Op::NoTrans),
+        std::make_tuple(33, 17, 29, Op::Trans, Op::Trans),
+        std::make_tuple(128, 96, 61, Op::NoTrans, Op::Trans),
+        std::make_tuple(200, 150, 100, Op::NoTrans, Op::NoTrans)));
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  Matrix<double> a(2, 2);
+  Matrix<double> b(2, 2);
+  fill_identity(a.view());
+  fill_identity(b.view());
+  Matrix<double> c(2, 2);
+  c.fill(std::numeric_limits<double>::quiet_NaN());
+  gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, a.view(), b.view(), 0.0, c.view());
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 0.0);
+}
+
+TEST(Gemm, LargeThreadedMatchesSmallChunks) {
+  // Large enough to cross the threading threshold.
+  const idx n = 160;
+  Rng rng(4);
+  Matrix<double> a(n, n);
+  Matrix<double> b(n, n);
+  Matrix<double> c(n, n);
+  fill_random(a.view(), rng);
+  fill_random(b.view(), rng);
+  const Matrix<double> expected = ref_gemm(Op::NoTrans, Op::NoTrans, 1.0, a, b, 0.0, c);
+  gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, a.view(), b.view(), 0.0, c.view());
+  double max_err = 0;
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      max_err = std::max(max_err, std::abs(c(i, j) - expected(i, j)));
+    }
+  }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+TEST(Trsm, LeftLowerNoTransUnit) {
+  // L (unit lower) X = B  =>  X = L^{-1} B; verify by multiplying back.
+  Rng rng(8);
+  const idx n = 24;
+  const idx nrhs = 7;
+  Matrix<double> l(n, n);
+  fill_random(l.view(), rng);
+  Matrix<double> b(n, nrhs);
+  fill_random(b.view(), rng);
+  Matrix<double> x = b;
+  trsm<double>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::Unit, 1.0, l.view(),
+               x.view());
+  // Recompute L*X using only the unit lower triangle.
+  for (idx j = 0; j < nrhs; ++j) {
+    for (idx i = n - 1; i >= 0; --i) {
+      double s = x(i, j);
+      for (idx p = 0; p < i; ++p) s += l(i, p) * x(p, j);
+      EXPECT_NEAR(s, b(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(Trsm, RightLowerTransNonUnit) {
+  // X * L^T = B; verify X L^T == B.
+  Rng rng(9);
+  const idx n = 16;
+  const idx m = 10;
+  Matrix<double> l(n, n);
+  fill_random(l.view(), rng);
+  for (idx i = 0; i < n; ++i) l(i, i) += 4.0;  // well-conditioned
+  Matrix<double> b(m, n);
+  fill_random(b.view(), rng);
+  Matrix<double> x = b;
+  trsm<double>(Side::Right, Uplo::Lower, Op::Trans, Diag::NonUnit, 1.0, l.view(),
+               x.view());
+  for (idx i = 0; i < m; ++i) {
+    for (idx j = 0; j < n; ++j) {
+      double s = 0;
+      // (X L^T)(i,j) = sum_{p<=j} X(i,p) * L(j,p).
+      for (idx p = 0; p <= j; ++p) s += x(i, p) * l(j, p);
+      EXPECT_NEAR(s, b(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(Trsm, AlphaScalesRhs) {
+  Matrix<double> l(2, 2);
+  fill_identity(l.view());
+  Matrix<double> b(2, 2);
+  b.fill(3.0);
+  trsm<double>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, 2.0,
+               l.view(), b.view());
+  EXPECT_DOUBLE_EQ(b(0, 0), 6.0);
+}
+
+TEST(Trsm, RightUpperNoTrans) {
+  Rng rng(10);
+  const idx n = 12;
+  const idx m = 5;
+  Matrix<double> u(n, n);
+  fill_random(u.view(), rng);
+  for (idx i = 0; i < n; ++i) u(i, i) += 4.0;
+  Matrix<double> b(m, n);
+  fill_random(b.view(), rng);
+  Matrix<double> x = b;
+  trsm<double>(Side::Right, Uplo::Upper, Op::NoTrans, Diag::NonUnit, 1.0,
+               u.view(), x.view());
+  for (idx i = 0; i < m; ++i) {
+    for (idx j = 0; j < n; ++j) {
+      double s = 0;
+      for (idx p = 0; p <= j; ++p) s += x(i, p) * u(p, j);
+      EXPECT_NEAR(s, b(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(Trsm, LeftUpperTrans) {
+  Rng rng(11);
+  const idx n = 12;
+  Matrix<double> u(n, n);
+  fill_random(u.view(), rng);
+  for (idx i = 0; i < n; ++i) u(i, i) += 4.0;
+  Matrix<double> b(n, 3);
+  fill_random(b.view(), rng);
+  Matrix<double> x = b;
+  trsm<double>(Side::Left, Uplo::Upper, Op::Trans, Diag::NonUnit, 1.0, u.view(),
+               x.view());
+  // U^T X == B
+  for (idx j = 0; j < 3; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      double s = 0;
+      for (idx p = 0; p <= i; ++p) s += u(p, i) * x(p, j);
+      EXPECT_NEAR(s, b(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(Syrk, LowerNoTransMatchesGemm) {
+  Rng rng(12);
+  const idx n = 20;
+  const idx k = 9;
+  Matrix<double> a(n, k);
+  fill_random(a.view(), rng);
+  Matrix<double> c(n, n);
+  fill_random(c.view(), rng);
+  Matrix<double> expected = c;
+  Matrix<double> full(n, n);
+  gemm<double>(Op::NoTrans, Op::Trans, 2.0, a.view(), a.view(), 0.0, full.view());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j; i < n; ++i) expected(i, j) = 0.5 * expected(i, j) + full(i, j);
+  }
+  syrk<double>(Uplo::Lower, Op::NoTrans, 2.0, a.view(), 0.5, c.view());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j; i < n; ++i) ASSERT_NEAR(c(i, j), expected(i, j), 1e-10);
+    for (idx i = 0; i < j; ++i) ASSERT_EQ(c(i, j), expected(i, j));  // untouched
+  }
+}
+
+TEST(Syrk, UpperTrans) {
+  Rng rng(13);
+  const idx n = 10;
+  const idx k = 6;
+  Matrix<double> a(k, n);
+  fill_random(a.view(), rng);
+  Matrix<double> c(n, n);
+  syrk<double>(Uplo::Upper, Op::Trans, 1.0, a.view(), 0.0, c.view());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i <= j; ++i) {
+      double s = 0;
+      for (idx p = 0; p < k; ++p) s += a(p, i) * a(p, j);
+      ASSERT_NEAR(c(i, j), s, 1e-10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsr::la

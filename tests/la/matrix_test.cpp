@@ -1,0 +1,107 @@
+#include "la/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr::la {
+namespace {
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix<double> a(3, 2);
+  a(0, 0) = 1;
+  a(1, 0) = 2;
+  a(2, 0) = 3;
+  a(0, 1) = 4;
+  EXPECT_EQ(a.data()[0], 1);
+  EXPECT_EQ(a.data()[1], 2);
+  EXPECT_EQ(a.data()[2], 3);
+  EXPECT_EQ(a.data()[3], 4);
+}
+
+TEST(Matrix, BlockViewAliasesParent) {
+  Matrix<double> a(4, 4);
+  auto blk = a.block(1, 1, 2, 2);
+  blk(0, 0) = 9.0;
+  EXPECT_EQ(a(1, 1), 9.0);
+  EXPECT_EQ(blk.ld(), 4);
+}
+
+TEST(Matrix, NestedBlockViews) {
+  Matrix<double> a(6, 6);
+  auto outer = a.block(2, 2, 4, 4);
+  auto inner = outer.block(1, 1, 2, 2);
+  inner(0, 0) = 5.0;
+  EXPECT_EQ(a(3, 3), 5.0);
+}
+
+TEST(Matrix, FillAndFillIdentity) {
+  Matrix<double> a(3, 3);
+  a.fill(7.0);
+  EXPECT_EQ(a(2, 1), 7.0);
+  fill_identity(a.view());
+  EXPECT_EQ(a(1, 1), 1.0);
+  EXPECT_EQ(a(1, 2), 0.0);
+}
+
+TEST(Matrix, ToMatrixCopiesStridedView) {
+  Matrix<double> a(4, 4);
+  for (idx j = 0; j < 4; ++j) {
+    for (idx i = 0; i < 4; ++i) a(i, j) = static_cast<double>(i * 10 + j);
+  }
+  Matrix<double> sub = to_matrix(a.block(1, 2, 2, 2).as_const());
+  EXPECT_EQ(sub.rows(), 2);
+  EXPECT_EQ(sub(0, 0), a(1, 2));
+  EXPECT_EQ(sub(1, 1), a(2, 3));
+  sub(0, 0) = -1;
+  EXPECT_NE(a(1, 2), -1);  // deep copy
+}
+
+TEST(Matrix, CopyIntoTransfersValues) {
+  Matrix<double> src(2, 2);
+  src(0, 0) = 1;
+  src(1, 1) = 4;
+  Matrix<double> dst(4, 4);
+  copy_into(src.view().as_const(), dst.block(1, 1, 2, 2));
+  EXPECT_EQ(dst(1, 1), 1);
+  EXPECT_EQ(dst(2, 2), 4);
+}
+
+TEST(Matrix, FillRandomIsDeterministicPerSeed) {
+  Matrix<double> a(5, 5);
+  Matrix<double> b(5, 5);
+  Rng r1(99);
+  Rng r2(99);
+  fill_random(a.view(), r1);
+  fill_random(b.view(), r2);
+  for (idx j = 0; j < 5; ++j) {
+    for (idx i = 0; i < 5; ++i) EXPECT_EQ(a(i, j), b(i, j));
+  }
+}
+
+TEST(Matrix, FillSpdIsSymmetricWithHeavyDiagonal) {
+  Matrix<double> a(8, 8);
+  Rng rng(5);
+  fill_spd(a.view(), rng);
+  for (idx j = 0; j < 8; ++j) {
+    for (idx i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(a(i, j), a(j, i));
+    EXPECT_GT(a(j, j), 0.0);
+  }
+}
+
+TEST(Matrix, AsConstMatchesView) {
+  Matrix<double> a(3, 3);
+  a(1, 2) = 8.0;
+  auto v = a.view();
+  auto cv = v.as_const();
+  EXPECT_EQ(cv(1, 2), 8.0);
+  EXPECT_EQ(cv.ld(), v.ld());
+}
+
+TEST(Matrix, EmptyViews) {
+  Matrix<double> a(0, 0);
+  EXPECT_TRUE(a.view().empty());
+  Matrix<double> b(3, 3);
+  EXPECT_TRUE(b.block(0, 0, 0, 3).empty());
+}
+
+}  // namespace
+}  // namespace bsr::la

@@ -1,0 +1,68 @@
+#include "la/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "la/lapack.hpp"
+
+namespace bsr::la {
+namespace {
+
+TEST(Norms, FrobeniusKnownValue) {
+  Matrix<double> a(2, 2);
+  a(0, 0) = 3;
+  a(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(norm_fro(a.view().as_const()), 5.0);
+}
+
+TEST(Norms, MaxAbs) {
+  Matrix<double> a(2, 2);
+  a(0, 1) = -7;
+  a(1, 0) = 3;
+  EXPECT_DOUBLE_EQ(norm_max(a.view().as_const()), 7.0);
+}
+
+TEST(Residuals, CleanFactorizationsAreTiny) {
+  Rng rng(21);
+  Matrix<double> spd(24, 24);
+  fill_spd(spd.view(), rng);
+  Matrix<double> chol = spd;
+  potrf(chol.view(), 8);
+  EXPECT_LT(cholesky_residual(spd.view().as_const(), chol.view().as_const()), 1e-12);
+}
+
+TEST(Residuals, CorruptionIsVisible) {
+  Rng rng(22);
+  Matrix<double> a(24, 24);
+  fill_random(a.view(), rng);
+  const Matrix<double> a0 = a;
+  std::vector<idx> ipiv;
+  getrf(a.view(), 8, ipiv);
+  EXPECT_LT(lu_residual(a0.view(), a.view().as_const(), ipiv), 1e-12);
+  // Corrupt one factor entry: residual must blow up by many orders.
+  a(20, 20) += 1000.0;
+  EXPECT_GT(lu_residual(a0.view(), a.view().as_const(), ipiv), 1e-2);
+}
+
+TEST(Residuals, QrOrthogonalityDetectsCorruption) {
+  Rng rng(23);
+  Matrix<double> a(16, 16);
+  fill_random(a.view(), rng);
+  std::vector<double> tau;
+  geqrf(a.view(), 4, tau);
+  Matrix<double> q = form_q(a.view().as_const(), tau);
+  EXPECT_LT(orthogonality_error(q.view().as_const()), 1e-12);
+  q(3, 3) += 0.5;
+  EXPECT_GT(orthogonality_error(q.view().as_const()), 0.1);
+}
+
+TEST(Residuals, ZeroMatrixDenominatorSafe) {
+  Matrix<double> z(4, 4);
+  Matrix<double> f(4, 4);
+  // original all-zero: residual must not divide by zero.
+  const double r = cholesky_residual(z.view().as_const(), f.view().as_const());
+  EXPECT_GE(r, 0.0);
+}
+
+}  // namespace
+}  // namespace bsr::la

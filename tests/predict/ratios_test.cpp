@@ -1,0 +1,134 @@
+#include "predict/complexity_ratios.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr::predict {
+namespace {
+
+constexpr std::int64_t kN = 30720;
+constexpr std::int64_t kB = 512;
+
+TEST(Table2, CholeskyPdIsOne) {
+  for (int k = 0; k < 50; k += 7) {
+    const auto r = paper_table2_ratio(
+        Factorization::Cholesky, OpKind::PD,
+        Table2Column::ComputationAndChecksumUpdate, k, kN, kB);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_DOUBLE_EQ(*r, 1.0);
+  }
+}
+
+TEST(Table2, NaCellsReturnNullopt) {
+  EXPECT_FALSE(paper_table2_ratio(Factorization::Cholesky, OpKind::TMU,
+                                  Table2Column::DataTransfer, 3, kN, kB)
+                   .has_value());
+  EXPECT_FALSE(paper_table2_ratio(Factorization::LU, OpKind::PU,
+                                  Table2Column::DataTransfer, 3, kN, kB)
+                   .has_value());
+}
+
+TEST(Table2, LuTmuFormula) {
+  // 1 - 2b/(n-kb) at k=0: 1 - 1024/30720.
+  const auto r = paper_table2_ratio(Factorization::LU, OpKind::TMU,
+                                    Table2Column::ComputationAndChecksumUpdate,
+                                    0, kN, kB);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, 1.0 - 1024.0 / 30720.0, 1e-12);
+}
+
+TEST(Table2, RatiosBelowOneMidDecomposition) {
+  for (Factorization f :
+       {Factorization::LU, Factorization::QR}) {
+    for (OpKind op : {OpKind::PD, OpKind::TMU}) {
+      const auto r = paper_table2_ratio(
+          f, op, Table2Column::ComputationAndChecksumUpdate, 10, kN, kB);
+      if (!r.has_value()) continue;
+      EXPECT_LT(*r, 1.0);
+      EXPECT_GT(*r, 0.5);
+    }
+  }
+}
+
+TEST(Table2, PrintedLuTmuMatchesExactFlopRatioClosely) {
+  // The printed closed forms are first-order approximations of the exact
+  // flop-count ratios used by the predictor; mid-decomposition they agree to
+  // a few percent.
+  const WorkloadModel wl{Factorization::LU, kN, kB, 8};
+  for (int k = 1; k < 40; k += 6) {
+    const double exact = wl.complexity_ratio(OpKind::TMU, k, k + 1);
+    const auto printed = paper_table2_ratio(
+        Factorization::LU, OpKind::TMU,
+        Table2Column::ComputationAndChecksumUpdate, k, kN, kB);
+    ASSERT_TRUE(printed.has_value());
+    EXPECT_NEAR(exact, *printed, 0.02) << "k=" << k;
+  }
+}
+
+TEST(Table2, PrintedLuPuMatchesExactClosely) {
+  const WorkloadModel wl{Factorization::LU, kN, kB, 8};
+  for (int k = 1; k < 40; k += 6) {
+    const double exact = wl.complexity_ratio(OpKind::PU, k, k + 1);
+    const auto printed =
+        paper_table2_ratio(Factorization::LU, OpKind::PU,
+                           Table2Column::ComputationAndChecksumUpdate, k, kN, kB);
+    ASSERT_TRUE(printed.has_value());
+    EXPECT_NEAR(exact, *printed, 0.02) << "k=" << k;
+  }
+}
+
+TEST(Table2, QrTmuFormulaStructure) {
+  const auto r = paper_table2_ratio(Factorization::QR, OpKind::TMU,
+                                    Table2Column::ComputationAndChecksumUpdate,
+                                    5, kN, kB);
+  ASSERT_TRUE(r.has_value());
+  const double m = 30720.0 - 5 * 512.0;
+  const double expected = 1.0 - 512.0 / (m - 512.0) - 512.0 / (m + 512.0) +
+                          512.0 * 512.0 / ((m - 512.0) * (m + 512.0));
+  EXPECT_NEAR(*r, expected, 1e-12);
+}
+
+TEST(Table2, VerificationColumnTracksComputeColumn) {
+  // For LU PU/TMU the paper prints identical compute and verification ratios.
+  const auto compute =
+      paper_table2_ratio(Factorization::LU, OpKind::TMU,
+                         Table2Column::ComputationAndChecksumUpdate, 8, kN, kB);
+  const auto verify = paper_table2_ratio(
+      Factorization::LU, OpKind::TMU, Table2Column::ChecksumVerification, 8, kN,
+      kB);
+  ASSERT_TRUE(compute && verify);
+  EXPECT_DOUBLE_EQ(*compute, *verify);
+}
+
+TEST(RatioProperties, TransitivityAcrossIterations) {
+  // r_{j,k} must compose: r_{j,i} * r_{i,k} == r_{j,k} for every op.
+  for (Factorization f :
+       {Factorization::Cholesky, Factorization::LU, Factorization::QR}) {
+    const WorkloadModel wl{f, 16384, 512, 8};
+    for (OpKind op : {OpKind::PD, OpKind::PU, OpKind::TMU, OpKind::Transfer,
+                      OpKind::ChecksumUpdate, OpKind::ChecksumVerify}) {
+      const double direct = wl.complexity_ratio(op, 2, 20);
+      const double composed =
+          wl.complexity_ratio(op, 2, 9) * wl.complexity_ratio(op, 9, 20);
+      EXPECT_NEAR(direct, composed, 1e-12 * std::abs(direct) + 1e-15)
+          << to_string(f) << "/" << to_string(op);
+    }
+  }
+}
+
+TEST(RatioProperties, PaperFormulasStayInUnitIntervalMidRun) {
+  // Every printed shrinking-op formula must stay in (0, 1] away from the tail.
+  for (Factorization f : {Factorization::LU, Factorization::QR}) {
+    for (int k = 0; k < 45; ++k) {
+      for (OpKind op : {OpKind::PD, OpKind::PU, OpKind::TMU}) {
+        const auto r = paper_table2_ratio(
+            f, op, Table2Column::ComputationAndChecksumUpdate, k, 30720, 512);
+        if (!r.has_value()) continue;
+        EXPECT_GT(*r, 0.0) << to_string(f) << " k=" << k;
+        EXPECT_LE(*r, 1.0) << to_string(f) << " k=" << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsr::predict

@@ -1,0 +1,124 @@
+#include "predict/slack_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace bsr::predict {
+namespace {
+
+WorkloadModel lu() { return {Factorization::LU, 16384, 512, 8}; }
+
+/// Synthetic "ground truth": duration proportional to complexity with an
+/// efficiency drift that grows over the run (what real kernels do).
+double true_time(const WorkloadModel& w, OpKind op, int k, double drift) {
+  const double progress =
+      static_cast<double>(k) / static_cast<double>(w.num_iterations() - 1);
+  return w.op_complexity(op, k) * 1e-11 * (1.0 + drift * progress * progress);
+}
+
+TEST(FirstIterationPredictor, ExactWhenEfficiencyConstant) {
+  const WorkloadModel w = lu();
+  FirstIterationPredictor p(w);
+  p.record(OpKind::TMU, 0, true_time(w, OpKind::TMU, 0, 0.0));
+  for (int k = 1; k < w.num_iterations() - 1; ++k) {
+    EXPECT_NEAR(p.predict(OpKind::TMU, k), true_time(w, OpKind::TMU, k, 0.0),
+                1e-9 * true_time(w, OpKind::TMU, k, 0.0))
+        << k;
+  }
+}
+
+TEST(FirstIterationPredictor, ZeroWithoutProfile) {
+  FirstIterationPredictor p(lu());
+  EXPECT_DOUBLE_EQ(p.predict(OpKind::TMU, 5), 0.0);
+}
+
+TEST(EnhancedPredictor, ExactWhenEfficiencyConstant) {
+  const WorkloadModel w = lu();
+  EnhancedPredictor p(w);
+  for (int k = 0; k < 6; ++k) {
+    p.record(OpKind::TMU, k, true_time(w, OpKind::TMU, k, 0.0));
+  }
+  EXPECT_NEAR(p.predict(OpKind::TMU, 6), true_time(w, OpKind::TMU, 6, 0.0),
+              1e-9);
+}
+
+TEST(EnhancedPredictor, TracksEfficiencyDriftBetterThanFirstIteration) {
+  const WorkloadModel w = lu();
+  const double drift = 0.25;
+  FirstIterationPredictor first(w);
+  EnhancedPredictor enhanced(w);
+  double first_err_late = 0.0;
+  double enhanced_err_late = 0.0;
+  int late_count = 0;
+  const int iters = w.num_iterations();
+  for (int k = 0; k < iters - 1; ++k) {
+    const double t = true_time(w, OpKind::TMU, k, drift);
+    first.record(OpKind::TMU, k, t);
+    enhanced.record(OpKind::TMU, k, t);
+    if (k + 1 < iters - 1) {
+      const double truth = true_time(w, OpKind::TMU, k + 1, drift);
+      if (k + 1 > (2 * iters) / 3) {
+        first_err_late += std::abs(first.predict(OpKind::TMU, k + 1) - truth) / truth;
+        enhanced_err_late +=
+            std::abs(enhanced.predict(OpKind::TMU, k + 1) - truth) / truth;
+        ++late_count;
+      }
+    }
+  }
+  ASSERT_GT(late_count, 0);
+  // Paper Fig. 8: first-iteration error accumulates (~11% late), enhanced
+  // stays low (~4%).
+  EXPECT_GT(first_err_late / late_count, 2.0 * enhanced_err_late / late_count);
+  EXPECT_LT(enhanced_err_late / late_count, 0.05);
+}
+
+TEST(EnhancedPredictor, RobustToNoisyProfiles) {
+  const WorkloadModel w = lu();
+  Rng rng(1);
+  EnhancedPredictor p(w);
+  for (int k = 0; k < 10; ++k) {
+    const double noise = std::exp(rng.normal(0.0, 0.05));
+    p.record(OpKind::TMU, k, true_time(w, OpKind::TMU, k, 0.0) * noise);
+  }
+  const double truth = true_time(w, OpKind::TMU, 10, 0.0);
+  // The weighted 4-neighbor average smooths 5% noise well below 5% error.
+  EXPECT_NEAR(p.predict(OpKind::TMU, 10), truth, 0.05 * truth);
+}
+
+TEST(EnhancedPredictor, HandlesMissingNeighbors) {
+  const WorkloadModel w = lu();
+  EnhancedPredictor p(w);
+  p.record(OpKind::TMU, 0, true_time(w, OpKind::TMU, 0, 0.0));
+  // k=8 with only iteration 0 profiled: falls back to ratio extrapolation.
+  const double pred = p.predict(OpKind::TMU, 8);
+  EXPECT_NEAR(pred, true_time(w, OpKind::TMU, 8, 0.0), 1e-9);
+}
+
+TEST(EnhancedPredictor, UsesPartialWindowEarly) {
+  const WorkloadModel w = lu();
+  EnhancedPredictor p(w);
+  p.record(OpKind::PD, 0, true_time(w, OpKind::PD, 0, 0.0));
+  p.record(OpKind::PD, 1, true_time(w, OpKind::PD, 1, 0.0));
+  // Only two neighbors available at k=2; weights renormalize.
+  EXPECT_NEAR(p.predict(OpKind::PD, 2), true_time(w, OpKind::PD, 2, 0.0), 1e-9);
+}
+
+TEST(EnhancedPredictor, NothingKnownGivesZero) {
+  EnhancedPredictor p(lu());
+  EXPECT_DOUBLE_EQ(p.predict(OpKind::PD, 3), 0.0);
+  EXPECT_DOUBLE_EQ(p.predict(OpKind::PD, 0), 0.0);
+}
+
+TEST(Predictors, IndependentPerOpKind) {
+  const WorkloadModel w = lu();
+  EnhancedPredictor p(w);
+  p.record(OpKind::PD, 0, 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(OpKind::TMU, 1), 0.0);  // TMU never profiled
+  EXPECT_GT(p.predict(OpKind::PD, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace bsr::predict

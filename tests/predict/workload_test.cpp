@@ -1,0 +1,134 @@
+#include "predict/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr::predict {
+namespace {
+
+WorkloadModel lu(std::int64_t n = 30720, std::int64_t b = 512) {
+  return {Factorization::LU, n, b, 8};
+}
+
+TEST(Workload, IterationCount) {
+  EXPECT_EQ(lu(30720, 512).num_iterations(), 60);
+  EXPECT_EQ(lu(1000, 512).num_iterations(), 2);  // ragged tail
+  EXPECT_EQ(lu(512, 512).num_iterations(), 1);
+}
+
+TEST(Workload, RemainingShrinksByBlock) {
+  const WorkloadModel w = lu();
+  EXPECT_EQ(w.remaining(0), 30720);
+  EXPECT_EQ(w.remaining(1), 30208);
+}
+
+TEST(Workload, LuFirstIterationFlopCounts) {
+  const WorkloadModel w = lu();
+  const IterationWork it = w.iteration(0);
+  const double m = 30720;
+  const double b = 512;
+  EXPECT_NEAR(it.pd_flops, m * b * b - b * b * b / 3.0, 1.0);
+  EXPECT_NEAR(it.tmu_flops, 2.0 * (m - b) * (m - b) * b, 1.0);
+  EXPECT_NEAR(it.pu_flops, b * b * (m - b), 1.0);
+  EXPECT_NEAR(it.transfer_bytes, 2.0 * m * b * 8, 1.0);
+}
+
+TEST(Workload, LastIterationHasNoTrailingWork) {
+  const WorkloadModel w = lu(1024, 512);
+  const IterationWork it = w.iteration(1);
+  EXPECT_DOUBLE_EQ(it.tmu_flops, 0.0);
+  EXPECT_DOUBLE_EQ(it.pu_flops, 0.0);
+  EXPECT_GT(it.pd_flops, 0.0);
+}
+
+TEST(Workload, CholeskyPdConstantPerIteration) {
+  const WorkloadModel w{Factorization::Cholesky, 30720, 512, 8};
+  // Table 2: the PD-Cholesky ratio is exactly 1 (b x b potf2 every time).
+  EXPECT_DOUBLE_EQ(w.iteration(3).pd_flops, w.iteration(17).pd_flops);
+  EXPECT_DOUBLE_EQ(w.iteration(0).transfer_bytes, w.iteration(10).transfer_bytes);
+}
+
+TEST(Workload, GpuFlopsDecreaseMonotonically) {
+  for (Factorization f :
+       {Factorization::Cholesky, Factorization::LU, Factorization::QR}) {
+    const WorkloadModel w{f, 8192, 512, 8};
+    double prev = 1e300;
+    for (int k = 0; k < w.num_iterations(); ++k) {
+      const double g = w.iteration(k).gpu_flops();
+      EXPECT_LE(g, prev) << to_string(f) << " iter " << k;
+      prev = g;
+    }
+  }
+}
+
+TEST(Workload, TotalFlopsFormulae) {
+  const double n = 4096;
+  EXPECT_NEAR((WorkloadModel{Factorization::Cholesky, 4096, 256, 8}).total_flops(),
+              n * n * n / 3.0, 1.0);
+  EXPECT_NEAR((WorkloadModel{Factorization::LU, 4096, 256, 8}).total_flops(),
+              2.0 * n * n * n / 3.0, 1.0);
+  EXPECT_NEAR((WorkloadModel{Factorization::QR, 4096, 256, 8}).total_flops(),
+              4.0 * n * n * n / 3.0, 1.0);
+}
+
+TEST(Workload, SumOfIterationFlopsApproximatesTotal) {
+  // The per-iteration decomposition must account for (almost) all the work.
+  for (Factorization f : {Factorization::Cholesky, Factorization::LU}) {
+    const WorkloadModel w{f, 8192, 256, 8};
+    double sum = 0.0;
+    for (int k = 0; k < w.num_iterations(); ++k) {
+      const IterationWork it = w.iteration(k);
+      sum += it.pd_flops + it.pu_flops + it.tmu_flops;
+    }
+    EXPECT_NEAR(sum / w.total_flops(), 1.0, 0.15) << to_string(f);
+  }
+}
+
+TEST(Workload, FullChecksumCostsDoubleSingle) {
+  const WorkloadModel w = lu();
+  const IterationWork it = w.iteration(5);
+  EXPECT_DOUBLE_EQ(it.checksum_update_flops_full,
+                   2.0 * it.checksum_update_flops_single);
+  EXPECT_DOUBLE_EQ(it.checksum_verify_bytes_full,
+                   2.0 * it.checksum_verify_bytes_single);
+}
+
+TEST(Workload, ChecksumOverheadIsSmallFraction) {
+  const WorkloadModel w = lu();
+  const IterationWork it = w.iteration(0);
+  EXPECT_LT(it.checksum_update_flops_full, 0.05 * it.gpu_flops());
+}
+
+TEST(Workload, ComplexityRatioIdentityAndSymmetry) {
+  const WorkloadModel w = lu(8192, 512);
+  EXPECT_DOUBLE_EQ(w.complexity_ratio(OpKind::TMU, 3, 3), 1.0);
+  const double fwd = w.complexity_ratio(OpKind::TMU, 2, 5);
+  const double bwd = w.complexity_ratio(OpKind::TMU, 5, 2);
+  EXPECT_NEAR(fwd * bwd, 1.0, 1e-12);
+}
+
+TEST(Workload, RatioLessThanOneGoingForward) {
+  const WorkloadModel w = lu(8192, 512);
+  // Work shrinks: complexity at k+1 is below k for every shrinking op.
+  for (int k = 0; k + 2 < w.num_iterations(); ++k) {
+    EXPECT_LT(w.complexity_ratio(OpKind::TMU, k, k + 1), 1.0);
+    EXPECT_LT(w.complexity_ratio(OpKind::PD, k, k + 1), 1.0);
+  }
+}
+
+TEST(Workload, OpComplexityMatchesIterationFields) {
+  const WorkloadModel w = lu(4096, 256);
+  const IterationWork it = w.iteration(4);
+  EXPECT_DOUBLE_EQ(w.op_complexity(OpKind::PD, 4), it.pd_flops);
+  EXPECT_DOUBLE_EQ(w.op_complexity(OpKind::Transfer, 4), it.transfer_bytes);
+  EXPECT_DOUBLE_EQ(w.op_complexity(OpKind::ChecksumVerify, 4),
+                   it.checksum_verify_bytes_single);
+}
+
+TEST(Workload, ToStringNames) {
+  EXPECT_STREQ(to_string(Factorization::Cholesky), "Cholesky");
+  EXPECT_STREQ(to_string(OpKind::TMU), "TMU");
+  EXPECT_STREQ(to_string(OpKind::ChecksumVerify), "ChecksumVerify");
+}
+
+}  // namespace
+}  // namespace bsr::predict
