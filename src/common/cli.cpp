@@ -1,6 +1,7 @@
 #include "common/cli.hpp"
 
 #include <stdexcept>
+#include <string_view>
 
 namespace bsr {
 
@@ -12,12 +13,13 @@ Cli::Cli(int argc, char** argv) {
     if (arg.rfind("--", 0) != 0) {
       throw std::invalid_argument("unexpected positional argument: " + arg);
     }
-    arg = arg.substr(2);
-    const auto eq = arg.find('=');
-    if (eq == std::string::npos) {
-      flags_[arg] = "1";
+    const std::string_view body = std::string_view(arg).substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      flags_[std::string(body)] = "1";
     } else {
-      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      flags_[std::string(body.substr(0, eq))] =
+          std::string(body.substr(eq + 1));
     }
   }
 }

@@ -23,10 +23,17 @@ namespace bsr::core {
 /// How the ABFT protection level is chosen each iteration. Adaptive is the
 /// paper's Algorithm 1; the Force* policies reproduce the always-on baselines
 /// of Fig. 9.
-enum class AbftPolicy { Adaptive, ForceNone, ForceSingle, ForceFull };
+enum class AbftPolicy {
+  Adaptive,     ///< Algorithm 1: cheapest scheme meeting fc_desired per iter.
+  ForceNone,    ///< No protection (fastest; SDCs propagate undetected).
+  ForceSingle,  ///< Single-side checksums every iteration.
+  ForceFull,    ///< Full checksums every iteration (strongest, costliest).
+};
 
 const char* to_string(AbftPolicy p);
 
+/// Knobs beyond RunOptions that benches use to isolate single ingredients;
+/// the defaults are the paper's full BSR configuration.
 struct ExtendedOptions {
   AbftPolicy abft_policy = AbftPolicy::Adaptive;
 

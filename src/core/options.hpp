@@ -8,7 +8,17 @@
 
 namespace bsr::core {
 
-enum class StrategyKind { Original, R2H, SR, BSR };
+/// Which energy-management strategy drives per-iteration clock decisions.
+enum class StrategyKind {
+  Original,  ///< Fixed reference clocks, no slack reclamation (the baseline).
+  R2H,       ///< Race-to-halt: run at max clock, idle the slack away.
+  SR,        ///< Single-directional reclamation (GreenLA): down-clock the
+             ///< non-critical device to absorb its slack.
+  BSR,       ///< Bi-directional reclamation (paper Algorithm 2): split slack
+             ///< between down-clocking the non-critical device and
+             ///< overclocking the critical one, steered by
+             ///< RunOptions::reclamation_ratio.
+};
 
 /// TimingOnly runs the full scheduling/strategy/prediction machinery against
 /// the platform model (paper-scale inputs in milliseconds); Numeric
@@ -16,22 +26,28 @@ enum class StrategyKind { Original, R2H, SR, BSR };
 /// injection (bounded input sizes).
 enum class ExecutionMode { TimingOnly, Numeric };
 
+/// Options for one Decomposer::run. Defaults reproduce the paper's headline
+/// configuration: LU, n = 30720, b = 512, BSR with r = 0 (maximum energy
+/// saving), timing-only execution.
 struct RunOptions {
   predict::Factorization factorization = predict::Factorization::LU;
-  std::int64_t n = 30720;
-  std::int64_t b = 512;
+  std::int64_t n = 30720;           ///< matrix order
+  std::int64_t b = 512;             ///< block (panel) size; see tuned_block()
   StrategyKind strategy = StrategyKind::BSR;
-  double reclamation_ratio = 0.0;   ///< BSR's r
+  /// BSR's r in [0, 1]: the fraction of each iteration's slack left
+  /// unreclaimed by overclocking. r = 0 maximizes energy saving; r = r*
+  /// (see energy/pareto.hpp) is energy-neutral with maximum speedup.
+  double reclamation_ratio = 0.0;
   double fc_desired = 0.999999;     ///< target ABFT fault coverage
   ExecutionMode mode = ExecutionMode::TimingOnly;
-  std::uint64_t seed = 42;
+  std::uint64_t seed = 42;          ///< root seed for all stochastic parts
   /// Scales the platform's entire SDC-rate table for this run, so the
   /// coverage estimators, the BSR/ABFT-OC frequency policy, and the fault
   /// injector all observe one consistent (compressed-exposure) world —
   /// reduced-size numeric runs then see paper-scale fault counts. See
   /// DESIGN.md on exposure compression.
   double error_rate_multiplier = 1.0;
-  bool noise_enabled = true;
+  bool noise_enabled = true;  ///< per-task execution-time jitter on/off
   int elem_bytes = 8;  ///< 8 = double precision, 4 = single
   /// Numeric mode: when ABFT *detects* an error pattern it cannot correct,
   /// roll the trailing update back and recompute it at a safe clock instead
