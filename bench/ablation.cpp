@@ -8,71 +8,61 @@
 // BSR to a bi-directional-DVFS variant of SR.
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "common/table_printer.hpp"
-#include "core/decomposer.hpp"
+#include "bsr/bsr.hpp"
 
 using namespace bsr;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const std::int64_t n = cli.get_int("n", 30720);
-  const double r = cli.get_double("r", 0.25);
-  const core::Decomposer dec;
+  Cli cli;
+  cli.arg_int("n", 30720, "matrix order")
+      .arg_double("r", 0.25, "BSR reclamation ratio");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const std::int64_t n = cli.get_int("n");
+  const double r = cli.get_double("r");
 
   std::printf("== Ablation: BSR component contributions (n=%lld, r=%.2f) ==\n\n",
               static_cast<long long>(n), r);
+
+  RunConfig base;
+  base.n = n;
+  base.b = 0;  // auto-tune
+  base.strategy = "bsr";
+  base.reclamation_ratio = r;
+
+  Axis variants{"variant", {}};
+  variants.points.push_back(
+      {"SR (baseline)", [](RunConfig& c) { c.strategy = "sr"; }});
+  variants.points.push_back({"BSR (full)", [](RunConfig&) {}});
+  variants.points.push_back({"- guardband", [](RunConfig& c) {
+                               c.bsr_use_optimized_guardband = false;
+                             }});
+  variants.points.push_back({"- overclocking", [](RunConfig& c) {
+                               c.bsr_allow_overclocking = false;
+                             }});
+  variants.points.push_back({"- enhanced pred.", [](RunConfig& c) {
+                               c.bsr_use_enhanced_predictor = false;
+                             }});
+  variants.points.push_back({"DVFS only", [](RunConfig& c) {
+                               c.bsr_use_optimized_guardband = false;
+                               c.bsr_allow_overclocking = false;
+                             }});
+
+  const SweepResult grid =
+      Sweep(base)
+          .over(factorization_axis({Factorization::Cholesky, Factorization::LU,
+                                    Factorization::QR}))
+          .over(variants)
+          .baseline("original")
+          .run();
+
   for (auto f : {predict::Factorization::Cholesky, predict::Factorization::LU,
                  predict::Factorization::QR}) {
-    core::RunOptions o;
-    o.factorization = f;
-    o.n = n;
-    o.b = core::tuned_block(n);
-    o.strategy = core::StrategyKind::Original;
-    const core::RunReport org = dec.run(o);
-    o.strategy = core::StrategyKind::SR;
-    const core::RunReport sr = dec.run(o);
-
-    o.strategy = core::StrategyKind::BSR;
-    o.reclamation_ratio = r;
-
-    struct Variant {
-      const char* name;
-      core::ExtendedOptions ext;
-    };
-    std::vector<Variant> variants;
-    variants.push_back({"BSR (full)", {}});
-    {
-      core::ExtendedOptions e;
-      e.bsr_use_optimized_guardband = false;
-      variants.push_back({"- guardband", e});
-    }
-    {
-      core::ExtendedOptions e;
-      e.bsr_allow_overclocking = false;
-      variants.push_back({"- overclocking", e});
-    }
-    {
-      core::ExtendedOptions e;
-      e.bsr_use_enhanced_predictor = false;
-      variants.push_back({"- enhanced pred.", e});
-    }
-    {
-      core::ExtendedOptions e;
-      e.bsr_use_optimized_guardband = false;
-      e.bsr_allow_overclocking = false;
-      variants.push_back({"DVFS only", e});
-    }
-
     TablePrinter t({"Variant", "energy (J)", "saving vs Org", "speedup"});
-    t.add_row({"SR (baseline)", TablePrinter::fmt(sr.total_energy_j(), 0),
-               TablePrinter::pct(sr.energy_saving_vs(org)),
-               TablePrinter::fmt(sr.speedup_vs(org), 2) + "x"});
-    for (const auto& v : variants) {
-      const core::RunReport rep = dec.run(o, v.ext);
-      t.add_row({v.name, TablePrinter::fmt(rep.total_energy_j(), 0),
-                 TablePrinter::pct(rep.energy_saving_vs(org)),
-                 TablePrinter::fmt(rep.speedup_vs(org), 2) + "x"});
+    for (const SweepRow* row : grid.where("factorization", predict::to_string(f))) {
+      t.add_row({row->coords.at("variant"),
+                 TablePrinter::fmt(row->report->total_energy_j(), 0),
+                 TablePrinter::pct(row->energy_saving()),
+                 TablePrinter::fmt(row->speedup(), 2) + "x"});
     }
     std::printf("-- %s --\n%s\n", predict::to_string(f), t.to_string().c_str());
   }

@@ -2,35 +2,40 @@
 // 30720 x 30720 matrix (double and single precision), Original schedule.
 // Positive values = slack on the CPU side, negative = GPU side.
 #include <cstdio>
+#include <vector>
 
-#include "common/cli.hpp"
-#include "common/table_printer.hpp"
-#include "core/decomposer.hpp"
+#include "bsr/bsr.hpp"
 
 using namespace bsr;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const std::int64_t n = cli.get_int("n", 30720);
-  const std::int64_t b = cli.get_int("b", core::tuned_block(n));
+  Cli cli;
+  cli.arg_int("n", 30720, "matrix order")
+      .arg_int("b", 0, "block (panel) size (0 = auto-tune)");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const std::int64_t n = cli.get_int("n");
+
+  RunConfig base;
+  base.n = n;
+  base.b = cli.get_int("b");
+  base.strategy = "original";
 
   std::printf("== Fig. 2: slack per iteration (n=%lld, b=%lld, Original)\n",
-              static_cast<long long>(n), static_cast<long long>(b));
+              static_cast<long long>(n), static_cast<long long>(base.block()));
   std::printf("   positive = CPU-side slack, negative = GPU-side slack\n\n");
 
-  const core::Decomposer dec;
-  for (int elem_bytes : {8, 4}) {
+  const SweepResult grid =
+      Sweep(base)
+          .over(precision_axis({8, 4}))
+          .over(factorization_axis({Factorization::Cholesky, Factorization::LU,
+                                    Factorization::QR}))
+          .run();
+
+  for (const char* precision : {"double", "single"}) {
     TablePrinter table({"iter", "Cholesky (ms)", "LU (ms)", "QR (ms)"});
     std::vector<std::vector<double>> series;
-    for (auto f : {predict::Factorization::Cholesky, predict::Factorization::LU,
-                   predict::Factorization::QR}) {
-      core::RunOptions o;
-      o.factorization = f;
-      o.n = n;
-      o.b = b;
-      o.strategy = core::StrategyKind::Original;
-      o.elem_bytes = elem_bytes;
-      series.push_back(dec.run(o).trace.slack_seconds());
+    for (const SweepRow* row : grid.where("precision", precision)) {
+      series.push_back(row->report->trace.slack_seconds());
     }
     const int iters = static_cast<int>(series[0].size());
     const int stride = iters > 20 ? iters / 20 : 1;
@@ -39,7 +44,7 @@ int main(int argc, char** argv) {
                      TablePrinter::fmt(series[1][k] * 1e3, 1),
                      TablePrinter::fmt(series[2][k] * 1e3, 1)});
     }
-    std::printf("-- %s precision --\n", elem_bytes == 8 ? "Double" : "Single");
+    std::printf("-- %s precision --\n", precision[0] == 'd' ? "Double" : "Single");
     std::printf("%s\n", table.to_string().c_str());
     // The headline shape: slack starts on the CPU side and flips late.
     for (std::size_t s = 0; s < series.size(); ++s) {

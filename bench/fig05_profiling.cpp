@@ -6,8 +6,7 @@
 //  (d,e) maximum sustained core temperature vs clock, both guardbands.
 #include <cstdio>
 
-#include "common/table_printer.hpp"
-#include "core/decomposer.hpp"
+#include "bsr/bsr.hpp"
 
 using namespace bsr;
 using hw::Guardband;
@@ -54,8 +53,12 @@ void thermal_table(const hw::DeviceModel& dev, const char* label) {
 
 }  // namespace
 
-int main() {
-  const auto p = hw::PlatformProfile::paper_default();
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.arg_string("platform", "paper_default",
+                 "platform profile (bsr::platforms() registry key)");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const auto p = make_platform(cli.get("platform"));
   std::printf("== Fig. 5: profiling of the simulated CPU and GPU ==\n\n");
   efficiency_table(p.gpu, "GPU (a,b)");
   efficiency_table(p.cpu, "CPU (c)");

@@ -4,10 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "common/stats.hpp"
-#include "common/table_printer.hpp"
-#include "core/decomposer.hpp"
+#include "bsr/bsr.hpp"
 #include "energy/baselines.hpp"
 #include "predict/slack_predictor.hpp"
 
@@ -15,19 +12,25 @@ using namespace bsr;
 using predict::OpKind;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const std::int64_t n = cli.get_int("n", 30720);
-  const std::int64_t b = cli.get_int("b", 512);
+  Cli cli;
+  cli.arg_int("n", 30720, "matrix order")
+      .arg_int("b", 512, "block (panel) size")
+      .arg_int("seed", 42, "noise seed");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const std::int64_t n = cli.get_int("n");
+  const std::int64_t b = cli.get_int("b");
 
   // Drive the pipeline with the Original strategy (base clocks) and feed both
   // predictors the same measured profiles; compare their one-step-ahead
   // prediction of the GPU task (the slack driver) against the measurement.
+  // This bench exercises the pipeline internals directly (sched/, predict/),
+  // below the stable bsr/ facade.
   const predict::WorkloadModel wl{predict::Factorization::LU, n, b, 8};
   sched::PipelineConfig cfg;
   cfg.workload = wl;
   cfg.noise.enabled = true;
-  cfg.seed = cli.get_int("seed", 42);
-  sched::HybridPipeline pipe(hw::PlatformProfile::paper_default(), cfg);
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  sched::HybridPipeline pipe(make_platform("paper_default"), cfg);
 
   predict::FirstIterationPredictor first(wl);
   predict::EnhancedPredictor enhanced(wl);

@@ -6,21 +6,30 @@
 // (paper-scale op durations, real math, real injection, real checksums) for a
 // configurable number of trials per scheme. Overheads come from the timing
 // model; correctness from the actual residuals.
+//
+// Both grids run through bsr::Sweep. The overhead sweep's cache removes the
+// seed bench's duplicated timing runs (the no-FT denominator was executed
+// once standalone and again for its own row, and "Single + recovery" repeated
+// "Single" — recovery does not change a timing-only run), and the trials
+// grid parallelizes the real numeric work across the thread pool.
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "common/stats.hpp"
-#include "common/table_printer.hpp"
-#include "core/decomposer.hpp"
+#include "bsr/bsr.hpp"
 
 using namespace bsr;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const std::int64_t n = cli.get_int("n", 768);
-  const std::int64_t b = cli.get_int("b", 32);
-  const int trials = static_cast<int>(cli.get_int("trials", 40));
-  const double mult = cli.get_double("rate_multiplier", 150.0);
+  Cli cli;
+  cli.arg_int("n", 768, "matrix order")
+      .arg_int("b", 32, "block (panel) size")
+      .arg_int("trials", 40, "numeric trials per scheme")
+      .arg_double("rate_multiplier", 150.0,
+                  "SDC exposure compression factor (see DESIGN.md)");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const std::int64_t n = cli.get_int("n");
+  const std::int64_t b = cli.get_int("b");
+  const int trials = static_cast<int>(cli.get_int("trials"));
+  const double mult = cli.get_double("rate_multiplier");
 
   std::printf(
       "== Fig. 9: ABFT overhead and correctness, LU numeric runs ==\n"
@@ -28,61 +37,72 @@ int main(int argc, char** argv) {
       "   compression, see DESIGN.md), BSR r=0.25 on the numeric_demo platform\n\n",
       static_cast<long long>(n), static_cast<long long>(b), trials, mult);
 
-  const core::Decomposer dec(hw::PlatformProfile::numeric_demo());
-  core::RunOptions base;
-  base.factorization = predict::Factorization::LU;
+  RunConfig base;
+  base.factorization = Factorization::LU;
   base.n = n;
   base.b = b;
-  base.strategy = core::StrategyKind::BSR;
+  base.strategy = "bsr";
   base.reclamation_ratio = 0.25;
   base.fc_desired = 0.999;
-  base.mode = core::ExecutionMode::Numeric;
   base.error_rate_multiplier = mult;
+  base.platform = "numeric_demo";
 
-  // Baseline wall time without any protection, for the overhead column.
-  core::RunOptions timing = base;
-  timing.mode = core::ExecutionMode::TimingOnly;
-  const double t_none =
-      dec.run(timing, core::ExtendedOptions{core::AbftPolicy::ForceNone})
-          .seconds();
-
-  TablePrinter t({"Scheme", "Overhead", "Correct runs (95% CI)", "Injected",
-                  "Corrected", "Uncorrectable", "Recoveries"});
   const struct {
-    core::AbftPolicy policy;
+    const char* policy;
     bool recover;
     const char* name;
   } schemes[] = {
-      {core::AbftPolicy::ForceNone, false, "No FT"},
-      {core::AbftPolicy::ForceSingle, false, "Single-ABFT"},
-      {core::AbftPolicy::ForceSingle, true, "Single + recovery"},
-      {core::AbftPolicy::ForceFull, false, "Full-ABFT"},
-      {core::AbftPolicy::Adaptive, false, "Adaptive ABFT"},
+      {"none", false, "No FT"},
+      {"single", false, "Single-ABFT"},
+      {"single", true, "Single + recovery"},
+      {"full", false, "Full-ABFT"},
+      {"adaptive", false, "Adaptive ABFT"},
   };
+  Axis scheme_axis{"scheme", {}};
+  for (const auto& s : schemes) {
+    const std::string policy = s.policy;
+    const bool recover = s.recover;
+    scheme_axis.points.push_back({s.name, [policy, recover](RunConfig& c) {
+                                    c.abft_policy = policy;
+                                    c.recover_uncorrectable = recover;
+                                  }});
+  }
+
+  // Timing-only overhead grid: 5 scheme rows, 4 unique runs (the cache
+  // collapses No FT onto the denominator and the two Single rows together).
+  RunConfig timing = base;
+  timing.mode = ExecutionMode::TimingOnly;
+  Sweep overhead_sweep(timing);
+  const SweepResult overhead = overhead_sweep.over(scheme_axis).run();
+  const double t_none = overhead.at({{"scheme", "No FT"}}).report->seconds();
+
+  // Numeric correctness grid: trials per scheme, per-cell derived seeds.
+  RunConfig numeric = base;
+  numeric.mode = ExecutionMode::Numeric;
+  Sweep numeric_sweep(numeric);
+  const SweepResult runs =
+      numeric_sweep.over(scheme_axis).over(trial_axis(trials, 1000)).run();
+
+  TablePrinter t({"Scheme", "Overhead", "Correct runs (95% CI)", "Injected",
+                  "Corrected", "Uncorrectable", "Recoveries"});
   for (const auto& scheme : schemes) {
     int correct = 0;
     long injected = 0;
     long corrected = 0;
     long uncorrectable = 0;
     long recoveries = 0;
-    for (int trial = 0; trial < trials; ++trial) {
-      core::RunOptions o = base;
-      o.seed = 1000 + static_cast<std::uint64_t>(trial);
-      o.recover_uncorrectable = scheme.recover;
-      const core::RunReport r =
-          dec.run(o, core::ExtendedOptions{scheme.policy});
+    for (const SweepRow* row : runs.where("scheme", scheme.name)) {
+      const RunReport& r = *row->report;
       if (r.numeric_correct) ++correct;
       injected += r.abft.errors_injected_total();
       corrected += r.abft.corrected_0d + r.abft.corrected_1d;
       uncorrectable += r.abft.uncorrectable;
       recoveries += r.abft.recoveries;
     }
-    const double overhead =
-        dec.run(timing, core::ExtendedOptions{scheme.policy}).seconds() /
-            t_none -
-        1.0;
+    const double oh =
+        overhead.at({{"scheme", scheme.name}}).report->seconds() / t_none - 1.0;
     const stats::Proportion ci = stats::wilson_interval(correct, trials);
-    t.add_row({scheme.name, TablePrinter::pct(overhead),
+    t.add_row({scheme.name, TablePrinter::pct(oh),
                TablePrinter::pct(ci.estimate) + " [" +
                    TablePrinter::pct(ci.lo, 0) + ", " +
                    TablePrinter::pct(ci.hi, 0) + "]",
@@ -92,6 +112,10 @@ int main(int argc, char** argv) {
   std::printf("%s\n", t.to_string().c_str());
   std::printf(
       "(paper, 100k trials at n=30720: No FT 23.28%% correct / 0%% overhead,\n"
-      " Single 76.11%% / 8%%, Full 100%% / 12%%, Adaptive 100%% / 4%%)\n");
+      " Single 76.11%% / 8%%, Full 100%% / 12%%, Adaptive 100%% / 4%%)\n"
+      "sweeps: timing %zu unique/%zu requested, numeric %zu unique/%zu "
+      "requested\n",
+      overhead.unique_runs, overhead.requested_runs, runs.unique_runs,
+      runs.requested_runs);
   return 0;
 }

@@ -1,70 +1,66 @@
 // Reproduces paper Fig. 10: time and energy-saving breakdown of the 2nd and
 // 50th LU iteration under Original / R2H / SR / BSR(r = 0 .. 0.25).
+//
+// The config axis runs through bsr::Sweep with an Original baseline; the
+// "Org" row and the per-iteration reference energies share one cached run
+// (the seed bench executed Original twice).
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "common/cli.hpp"
-#include "common/table_printer.hpp"
-#include "core/decomposer.hpp"
+#include "bsr/bsr.hpp"
 
 using namespace bsr;
 
-namespace {
-
-struct Config {
-  const char* name;
-  core::StrategyKind strategy;
-  double r;
-};
-
-const std::vector<Config>& configs() {
-  static const std::vector<Config> c = {
-      {"Org", core::StrategyKind::Original, 0.0},
-      {"R2H", core::StrategyKind::R2H, 0.0},
-      {"SR", core::StrategyKind::SR, 0.0},
-      {"BSR r=0", core::StrategyKind::BSR, 0.0},
-      {"BSR r=0.05", core::StrategyKind::BSR, 0.05},
-      {"BSR r=0.10", core::StrategyKind::BSR, 0.10},
-      {"BSR r=0.15", core::StrategyKind::BSR, 0.15},
-      {"BSR r=0.20", core::StrategyKind::BSR, 0.20},
-      {"BSR r=0.25", core::StrategyKind::BSR, 0.25},
-  };
-  return c;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const std::int64_t n = cli.get_int("n", 30720);
-  const std::int64_t b = cli.get_int("b", 512);
+  Cli cli;
+  cli.arg_int("n", 30720, "matrix order")
+      .arg_int("b", 512, "block (panel) size");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const std::int64_t n = cli.get_int("n");
 
   std::printf("== Fig. 10: per-iteration time and energy breakdown, LU n=%lld ==\n\n",
               static_cast<long long>(n));
-  const core::Decomposer dec;
 
-  // Reference energies from the Original run for the saving columns.
-  core::RunOptions base;
+  RunConfig base;
   base.n = n;
-  base.b = b;
-  base.strategy = core::StrategyKind::Original;
-  const core::RunReport org = dec.run(base);
+  base.b = cli.get_int("b");
 
+  Axis configs =
+      strategy_axis_labeled({{"original", "Org"}, {"r2h", "R2H"}, {"sr", "SR"}});
+  configs.name = "config";
+  for (double r : {0.0, 0.05, 0.10, 0.15, 0.20, 0.25}) {
+    const std::string label =
+        r == 0.0 ? "BSR r=0" : "BSR r=" + TablePrinter::fmt(r, 2);
+    configs.points.push_back({label, [r](RunConfig& c) {
+                                c.strategy = "bsr";
+                                c.reclamation_ratio = r;
+                              }});
+  }
+
+  const SweepResult grid =
+      Sweep(base).over(configs).baseline("original").run();
+  const RunReport& org = *grid.rows.front().baseline;
+
+  // The paper shows iterations 2 (CPU-side slack) and 50 (GPU-side); clamp
+  // for small --n so the bench stays usable at any size.
+  const int last = static_cast<int>(org.trace.iterations.size()) - 1;
+  std::vector<int> iters;
   for (int iter : {2, 50}) {
+    const int clamped = std::min(iter, last);
+    if (iters.empty() || iters.back() != clamped) iters.push_back(clamped);
+  }
+  for (int iter : iters) {
     std::printf("-- iteration %d (%s-side slack in the Original schedule) --\n",
                 iter,
                 org.trace.iterations[iter].slack > SimTime::zero() ? "CPU"
                                                                     : "GPU");
     TablePrinter t({"Config", "PD ms", "Xfer ms", "TMU+PU ms", "ABFT ms",
                     "DVFS ms", "span ms", "CPU dE (J)", "GPU dE (J)"});
-    for (const auto& cfg : configs()) {
-      core::RunOptions o = base;
-      o.strategy = cfg.strategy;
-      o.reclamation_ratio = cfg.r;
-      const core::RunReport rep = dec.run(o);
-      const sched::IterationOutcome& it = rep.trace.iterations[iter];
+    for (const SweepRow& row : grid.rows) {
+      const sched::IterationOutcome& it = row.report->trace.iterations[iter];
       const sched::IterationOutcome& ref = org.trace.iterations[iter];
-      t.add_row({cfg.name, TablePrinter::fmt(it.pd.millis(), 1),
+      t.add_row({row.coords.at("config"), TablePrinter::fmt(it.pd.millis(), 1),
                  TablePrinter::fmt(it.transfer.millis(), 1),
                  TablePrinter::fmt(it.pu_tmu.millis(), 1),
                  TablePrinter::fmt(it.abft_time.millis(), 1),

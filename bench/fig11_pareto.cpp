@@ -1,53 +1,66 @@
 // Reproduces paper Fig. 11: the Pareto-efficient performance/energy trade-off
 // enabled by the reclamation ratio, against Original / R2H / SR.
+//
+// One bsr::Sweep per paper panel: a custom "config" axis unions the three
+// baseline strategies with the BSR r-scan, and the Original row is the same
+// cached run the sweep uses as every cell's baseline (the seed bench re-ran
+// it as a separate call).
+#include <algorithm>
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "common/table_printer.hpp"
-#include "core/decomposer.hpp"
+#include "bsr/bsr.hpp"
 
 using namespace bsr;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const std::int64_t n = cli.get_int("n", 30720);
-  const std::int64_t b = cli.get_int("b", 512);
-  const core::Decomposer dec;
+  Cli cli;
+  cli.arg_int("n", 30720, "matrix order")
+      .arg_int("b", 512, "block (panel) size");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const std::int64_t n = cli.get_int("n");
+
+  RunConfig base;
+  base.n = n;
+  base.b = cli.get_int("b");
+
+  // Original / R2H / SR, then the BSR r-scan, as one axis.
+  Axis configs = strategy_axis_labeled(
+      {{"original", "Original"}, {"r2h", "R2H"}, {"sr", "SR"}});
+  configs.name = "config";
+  for (double r : {0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50}) {
+    configs.points.push_back({"BSR r=" + TablePrinter::fmt(r, 2),
+                              [r](RunConfig& c) {
+                                c.strategy = "bsr";
+                                c.reclamation_ratio = r;
+                              }});
+  }
+
+  Sweep sweep(base);
+  sweep.over(factorization_axis({Factorization::Cholesky, Factorization::LU,
+                                 Factorization::QR}))
+      .over(configs)
+      .baseline("original");
+  const SweepResult grid = sweep.run();
 
   std::printf("== Fig. 11: Pareto performance-energy trade-off, n=%lld dp ==\n\n",
               static_cast<long long>(n));
   for (auto f : {predict::Factorization::Cholesky, predict::Factorization::LU,
                  predict::Factorization::QR}) {
-    core::RunOptions o;
-    o.factorization = f;
-    o.n = n;
-    o.b = b;
-
     TablePrinter t({"Config", "Perf (GFLOP/s)", "Energy (J)", "vs Org perf",
                     "vs Org energy"});
-    o.strategy = core::StrategyKind::Original;
-    const core::RunReport org = dec.run(o);
-    auto add = [&](const char* name, const core::RunReport& r) {
-      t.add_row({name, TablePrinter::fmt(r.gflops(), 1),
-                 TablePrinter::fmt(r.total_energy_j(), 0),
-                 TablePrinter::fmt(r.speedup_vs(org), 2) + "x",
-                 TablePrinter::pct(-r.energy_saving_vs(org), 1)});
-    };
-    add("Original", org);
-    o.strategy = core::StrategyKind::R2H;
-    add("R2H", dec.run(o));
-    o.strategy = core::StrategyKind::SR;
-    add("SR", dec.run(o));
-    o.strategy = core::StrategyKind::BSR;
     double max_speedup_free = 1.0;
     double max_saving = 0.0;
-    for (double r : {0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50}) {
-      o.reclamation_ratio = r;
-      const core::RunReport rep = dec.run(o);
-      add(("BSR r=" + TablePrinter::fmt(r, 2)).c_str(), rep);
-      max_saving = std::max(max_saving, rep.energy_saving_vs(org));
-      if (rep.total_energy_j() <= org.total_energy_j()) {
-        max_speedup_free = std::max(max_speedup_free, rep.speedup_vs(org));
+    for (const SweepRow* row : grid.where("factorization", predict::to_string(f))) {
+      const RunReport& rep = *row->report;
+      t.add_row({row->coords.at("config"), TablePrinter::fmt(rep.gflops(), 1),
+                 TablePrinter::fmt(rep.total_energy_j(), 0),
+                 TablePrinter::fmt(row->speedup(), 2) + "x",
+                 TablePrinter::pct(-row->energy_saving(), 1)});
+      if (row->config.strategy == "bsr") {
+        max_saving = std::max(max_saving, row->energy_saving());
+        if (rep.total_energy_j() <= row->baseline->total_energy_j()) {
+          max_speedup_free = std::max(max_speedup_free, row->speedup());
+        }
       }
     }
     std::printf("-- %s --\n%s", predict::to_string(f), t.to_string().c_str());
@@ -55,6 +68,8 @@ int main(int argc, char** argv) {
                 TablePrinter::pct(max_saving).c_str(), max_speedup_free);
   }
   std::printf(
-      "(paper: max savings 28.2-30.7%%; max free perf improvement 1.38-1.51x)\n");
+      "(paper: max savings 28.2-30.7%%; max free perf improvement 1.38-1.51x)\n"
+      "sweep: %zu unique runs for %zu requested (%zu cache hits)\n",
+      grid.unique_runs, grid.requested_runs, grid.cache_hits);
   return 0;
 }

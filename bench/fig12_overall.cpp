@@ -1,18 +1,43 @@
 // Reproduces paper Fig. 12: overall energy saving (a) and ED2P reduction (b)
 // of R2H / SR / BSR relative to the Original design, n=30720 dp, r=0.
+//
+// The strategy x factorization grid runs through bsr::Sweep: each
+// factorization's Original baseline executes once and is shared by all its
+// comparison rows via the sweep's result cache; cells run in parallel on the
+// process thread pool. --format=csv|json dumps the full grid through a
+// ResultSink for machine consumption.
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "common/table_printer.hpp"
-#include "core/decomposer.hpp"
+#include "bsr/bsr.hpp"
 
 using namespace bsr;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const std::int64_t n = cli.get_int("n", 30720);
-  const std::int64_t b = cli.get_int("b", 512);
-  const core::Decomposer dec;
+  Cli cli;
+  cli.arg_int("n", 30720, "matrix order")
+      .arg_int("b", 512, "block (panel) size")
+      .arg_string("format", "table", "output: table, csv, or json");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const std::int64_t n = cli.get_int("n");
+  const std::string format = cli.get("format");
+  require_result_sink_or_exit(format);
+
+  RunConfig base;
+  base.n = n;
+  base.b = cli.get_int("b");
+
+  SweepResult grid =
+      Sweep(base)
+          .over(factorization_axis({Factorization::Cholesky, Factorization::LU,
+                                    Factorization::QR}))
+          .over(strategy_axis({"r2h", "sr", "bsr"}))
+          .baseline("original")
+          .run();
+
+  if (format != "table") {
+    emit(grid, *make_result_sink(format, stdout_stream()));
+    return 0;
+  }
 
   std::printf("== Fig. 12: overall energy saving and ED2P reduction, n=%lld ==\n\n",
               static_cast<long long>(n));
@@ -20,31 +45,26 @@ int main(int argc, char** argv) {
   TablePrinter tb({"Factorization", "R2H", "SR", "BSR (ours)"});
   for (auto f : {predict::Factorization::Cholesky, predict::Factorization::LU,
                  predict::Factorization::QR}) {
-    core::RunOptions o;
-    o.factorization = f;
-    o.n = n;
-    o.b = b;
-    o.strategy = core::StrategyKind::Original;
-    const core::RunReport org = dec.run(o);
-    o.strategy = core::StrategyKind::R2H;
-    const core::RunReport r2h = dec.run(o);
-    o.strategy = core::StrategyKind::SR;
-    const core::RunReport sr = dec.run(o);
-    o.strategy = core::StrategyKind::BSR;
-    const core::RunReport bsr = dec.run(o);
-    ta.add_row({predict::to_string(f),
-                TablePrinter::pct(r2h.energy_saving_vs(org)),
-                TablePrinter::pct(sr.energy_saving_vs(org)),
-                TablePrinter::pct(bsr.energy_saving_vs(org))});
-    tb.add_row({predict::to_string(f),
-                TablePrinter::pct(r2h.ed2p_reduction_vs(org)),
-                TablePrinter::pct(sr.ed2p_reduction_vs(org)),
-                TablePrinter::pct(bsr.ed2p_reduction_vs(org))});
+    const char* fact = predict::to_string(f);
+    const auto& r2h = grid.at({{"factorization", fact}, {"strategy", "r2h"}});
+    const auto& sr = grid.at({{"factorization", fact}, {"strategy", "sr"}});
+    const auto& bsr = grid.at({{"factorization", fact}, {"strategy", "bsr"}});
+    ta.add_row({fact, TablePrinter::pct(r2h.energy_saving()),
+                TablePrinter::pct(sr.energy_saving()),
+                TablePrinter::pct(bsr.energy_saving())});
+    tb.add_row({fact, TablePrinter::pct(r2h.ed2p_reduction()),
+                TablePrinter::pct(sr.ed2p_reduction()),
+                TablePrinter::pct(bsr.ed2p_reduction())});
   }
   std::printf("-- (a) energy saving vs Original --\n%s\n", ta.to_string().c_str());
   std::printf("-- (b) ED2P reduction vs Original --\n%s\n", tb.to_string().c_str());
   std::printf(
       "(paper (a): R2H ~13-14%%, SR ~20-21%%, BSR 28.2-30.7%%;\n"
       " paper (b): BSR 29.3-31.6%% vs Original, 10.8-14.1%% vs SR)\n");
+  std::printf(
+      "sweep: %zu unique runs for %zu requested (%zu baseline cache hits), "
+      "%.1f ms\n",
+      grid.unique_runs, grid.requested_runs, grid.cache_hits,
+      grid.wall_seconds * 1e3);
   return 0;
 }

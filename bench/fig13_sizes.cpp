@@ -1,35 +1,44 @@
 // Reproduces paper Fig. 13: overall energy saving of LU vs input matrix size,
-// with the block size tuned per size as in the paper.
+// with the block size tuned per size as in the paper. The size x strategy
+// grid runs through bsr::Sweep (one cached Original baseline per size);
+// --format=csv|json dumps the grid through a ResultSink.
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "common/table_printer.hpp"
-#include "core/decomposer.hpp"
+#include "bsr/bsr.hpp"
 
 using namespace bsr;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const core::Decomposer dec;
+  Cli cli;
+  cli.arg_string("format", "table", "output: table, csv, or json");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const std::string format = cli.get("format");
+  require_result_sink_or_exit(format);
+
+  const std::vector<std::int64_t> sizes = {5120,  10240, 15360,
+                                           20480, 25600, 30720};
+  SweepResult grid = Sweep()
+                         .over(size_axis(sizes))  // retunes b per size
+                         .over(strategy_axis({"r2h", "sr", "bsr"}))
+                         .baseline("original")
+                         .run();
+
+  if (format != "table") {
+    emit(grid, *make_result_sink(format, stdout_stream()));
+    return 0;
+  }
 
   std::printf("== Fig. 13: LU energy saving vs matrix size ==\n\n");
   TablePrinter t({"n", "block", "R2H", "SR", "BSR (ours)"});
-  for (std::int64_t n : {5120, 10240, 15360, 20480, 25600, 30720}) {
-    core::RunOptions o;
-    o.n = n;
-    o.b = core::tuned_block(n);
-    o.strategy = core::StrategyKind::Original;
-    const core::RunReport org = dec.run(o);
-    o.strategy = core::StrategyKind::R2H;
-    const core::RunReport r2h = dec.run(o);
-    o.strategy = core::StrategyKind::SR;
-    const core::RunReport sr = dec.run(o);
-    o.strategy = core::StrategyKind::BSR;
-    const core::RunReport bsr = dec.run(o);
-    t.add_row({std::to_string(n), std::to_string(o.b),
-               TablePrinter::pct(r2h.energy_saving_vs(org)),
-               TablePrinter::pct(sr.energy_saving_vs(org)),
-               TablePrinter::pct(bsr.energy_saving_vs(org))});
+  for (const std::int64_t n : sizes) {
+    const std::string ns = std::to_string(n);
+    const auto& r2h = grid.at({{"n", ns}, {"strategy", "r2h"}});
+    const auto& sr = grid.at({{"n", ns}, {"strategy", "sr"}});
+    const auto& bsr = grid.at({{"n", ns}, {"strategy", "bsr"}});
+    t.add_row({ns, std::to_string(r2h.config.block()),
+               TablePrinter::pct(r2h.energy_saving()),
+               TablePrinter::pct(sr.energy_saving()),
+               TablePrinter::pct(bsr.energy_saving())});
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf(

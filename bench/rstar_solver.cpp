@@ -3,33 +3,36 @@
 // averaging (paper: 0.28 Cholesky / 0.26 LU / 0.31 QR at n=30720).
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "common/table_printer.hpp"
-#include "core/decomposer.hpp"
-#include "energy/pareto.hpp"
+#include "bsr/bsr.hpp"
 
 using namespace bsr;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const std::int64_t n = cli.get_int("n", 30720);
-  const core::Decomposer dec;
+  Cli cli;
+  cli.arg_int("n", 30720, "matrix order");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const std::int64_t n = cli.get_int("n");
+
+  RunConfig base;
+  base.n = n;
+  base.b = 0;  // auto-tune
+  base.strategy = "original";
+
+  const SweepResult grid =
+      Sweep(base)
+          .over(factorization_axis({Factorization::Cholesky, Factorization::LU,
+                                    Factorization::QR}))
+          .run();
+  const hw::PlatformProfile platform = make_platform(base.platform);
 
   std::printf("== Energy-neutral reclamation ratio r* (paper §3.2.3) ==\n\n");
   TablePrinter t({"Factorization", "analytic r*", "paper r*"});
   const char* paper_vals[] = {"0.28", "0.26", "0.31"};
   int i = 0;
-  for (auto f : {predict::Factorization::Cholesky, predict::Factorization::LU,
-                 predict::Factorization::QR}) {
-    core::RunOptions o;
-    o.factorization = f;
-    o.n = n;
-    o.b = core::tuned_block(n);
-    o.strategy = core::StrategyKind::Original;
-    const core::RunReport org = dec.run(o);
+  for (const SweepRow& row : grid.rows) {
     const double r_star =
-        energy::average_energy_neutral_r(org.trace, dec.platform());
-    t.add_row({predict::to_string(f), TablePrinter::fmt(r_star, 3),
+        energy::average_energy_neutral_r(row.report->trace, platform);
+    t.add_row({row.coords.at("factorization"), TablePrinter::fmt(r_star, 3),
                paper_vals[i++]});
   }
   std::printf("%s\n", t.to_string().c_str());

@@ -5,9 +5,7 @@
 #include <string>
 
 #include "abft/coverage.hpp"
-#include "common/cli.hpp"
-#include "common/table_printer.hpp"
-#include "core/decomposer.hpp"
+#include "bsr/bsr.hpp"
 
 using namespace bsr;
 
@@ -21,10 +19,13 @@ std::string label(double fc, bool fault_free) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const std::int64_t n = cli.get_int("n", 30720);
-  const std::int64_t b = cli.get_int("b", 512);
-  const auto platform = hw::PlatformProfile::paper_default();
+  Cli cli;
+  cli.arg_int("n", 30720, "matrix order")
+      .arg_int("b", 512, "block (panel) size");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const std::int64_t n = cli.get_int("n");
+  const std::int64_t b = cli.get_int("b");
+  const auto platform = make_platform("paper_default");
   const predict::WorkloadModel wl{predict::Factorization::LU, n, b, 8};
   const std::int64_t blocks = (n / b) * (n / b);
 

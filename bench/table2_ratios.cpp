@@ -3,21 +3,22 @@
 // predictor uses.
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "common/table_printer.hpp"
-#include "core/decomposer.hpp"
+#include "bsr/bsr.hpp"
 #include "predict/complexity_ratios.hpp"
 
 using namespace bsr;
-using predict::Factorization;
 using predict::OpKind;
 using predict::Table2Column;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const std::int64_t n = cli.get_int("n", 30720);
-  const std::int64_t b = cli.get_int("b", 512);
-  const int k = static_cast<int>(cli.get_int("k", 10));
+  Cli cli;
+  cli.arg_int("n", 30720, "matrix order")
+      .arg_int("b", 512, "block (panel) size")
+      .arg_int("k", 10, "iteration whose ratio to the next is printed");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const std::int64_t n = cli.get_int("n");
+  const std::int64_t b = cli.get_int("b");
+  const int k = static_cast<int>(cli.get_int("k"));
 
   std::printf("== Table 2: complexity ratios iteration %d -> %d (n=%lld, b=%lld) ==\n\n",
               k, k + 1, static_cast<long long>(n), static_cast<long long>(b));

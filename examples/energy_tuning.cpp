@@ -8,52 +8,58 @@
 //   ./energy_tuning [--n=30720] [--fact=cholesky] [--budget=1.0]
 //
 // --budget is the allowed energy relative to Original (1.0 = no extra energy).
+// The r-scan is one bsr::Sweep: all twelve BSR points share a single cached
+// Original baseline and run in parallel on the thread pool.
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "common/table_printer.hpp"
-#include "core/decomposer.hpp"
-#include "energy/pareto.hpp"
+#include "bsr/bsr.hpp"
 
 using namespace bsr;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  core::RunOptions options;
-  options.n = cli.get_int("n", 30720);
-  options.b = core::tuned_block(options.n);
-  options.factorization =
-      core::factorization_from_string(cli.get("fact", "cholesky"));
-  const double budget = cli.get_double("budget", 1.0);
+  Cli cli;
+  cli.arg_int("n", 30720, "matrix order")
+      .arg_string("fact", "cholesky", "factorization: lu, cholesky, or qr")
+      .arg_double("budget", 1.0, "allowed energy relative to Original");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const double budget = cli.get_double("budget");
 
-  const core::Decomposer dec;
-  options.strategy = core::StrategyKind::Original;
-  const core::RunReport original = dec.run(options);
+  RunConfig config;
+  config.n = cli.get_int("n");
+  config.b = 0;  // auto-tune
+  config.factorization = core::factorization_from_string(cli.get("fact"));
+  config.strategy = "bsr";
+
+  std::vector<double> rs;
+  for (double r = 0.0; r <= 0.55; r += 0.05) rs.push_back(r);
+  const SweepResult scan =
+      Sweep(config).over(ratio_axis(rs)).baseline("original").run();
+
+  const RunReport& original = *scan.rows.front().baseline;
   std::printf("Baseline (Original): %.2f s, %.0f J\n\n", original.seconds(),
               original.total_energy_j());
 
   // The analytic starting point from the paper's closed forms...
-  const double r_star =
-      energy::average_energy_neutral_r(original.trace, dec.platform());
+  const double r_star = energy::average_energy_neutral_r(
+      original.trace, make_platform(config.platform));
   std::printf("Analytic energy-neutral r* (paper §3.2.3): %.3f\n\n", r_star);
 
-  // ...refined by an actual sweep of the simulator.
-  options.strategy = core::StrategyKind::BSR;
+  // ...refined by the actual sweep of the simulator.
   TablePrinter t({"r", "time (s)", "energy (J)", "speedup", "energy vs budget"});
   double best_r = 0.0;
   double best_speedup = 0.0;
-  for (double r = 0.0; r <= 0.55; r += 0.05) {
-    options.reclamation_ratio = r;
-    const core::RunReport rep = dec.run(options);
+  for (const SweepRow& row : scan.rows) {
+    const RunReport& rep = *row.report;
     const double rel = rep.total_energy_j() / original.total_energy_j();
     const bool ok = rel <= budget;
-    if (ok && rep.speedup_vs(original) > best_speedup) {
-      best_speedup = rep.speedup_vs(original);
-      best_r = r;
+    if (ok && row.speedup() > best_speedup) {
+      best_speedup = row.speedup();
+      best_r = row.config.reclamation_ratio;
     }
-    t.add_row({TablePrinter::fmt(r, 2), TablePrinter::fmt(rep.seconds(), 2),
+    t.add_row({TablePrinter::fmt(row.config.reclamation_ratio, 2),
+               TablePrinter::fmt(rep.seconds(), 2),
                TablePrinter::fmt(rep.total_energy_j(), 0),
-               TablePrinter::fmt(rep.speedup_vs(original), 2) + "x",
+               TablePrinter::fmt(row.speedup(), 2) + "x",
                TablePrinter::pct(rel / budget) + (ok ? " ok" : " over")});
   }
   std::printf("%s\n", t.to_string().c_str());

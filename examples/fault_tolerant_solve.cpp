@@ -8,58 +8,63 @@
 // factors would be catastrophic.
 //
 //   ./fault_tolerant_solve [--n=768] [--b=32] [--rate_multiplier=150]
-#include <cmath>
+//
+// The three protection levels run as one bsr::Sweep over the ABFT-policy
+// axis on the numeric_demo platform.
 #include <cstdio>
-#include <vector>
 
-#include "common/cli.hpp"
-#include "core/decomposer.hpp"
+#include "bsr/bsr.hpp"
 
 using namespace bsr;
 
-namespace {
-
-void report(const char* name, const core::RunReport& r) {
-  std::printf("%-22s residual %.2e  injected %2d  corrected %2d  -> %s\n", name,
-              r.residual, r.abft.errors_injected_total(),
-              r.abft.corrected_0d + r.abft.corrected_1d,
-              r.numeric_correct ? "factors intact" : "FACTORS CORRUPTED");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  core::RunOptions options;
-  options.factorization = predict::Factorization::LU;
-  options.n = cli.get_int("n", 768);
-  options.b = cli.get_int("b", 32);
-  options.strategy = core::StrategyKind::BSR;
-  options.reclamation_ratio = 0.25;  // overclock into SDC territory
-  options.fc_desired = 0.999;
-  options.mode = core::ExecutionMode::Numeric;
-  options.error_rate_multiplier = cli.get_double("rate_multiplier", 150.0);
-  options.seed = cli.get_int("seed", 11);
+  Cli cli;
+  cli.arg_int("n", 768, "matrix order")
+      .arg_int("b", 32, "block (panel) size")
+      .arg_double("rate_multiplier", 150.0,
+                  "SDC exposure compression factor (see DESIGN.md)")
+      .arg_int("seed", 11, "root seed");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
 
+  RunConfig config;
+  config.factorization = Factorization::LU;
+  config.n = cli.get_int("n");
+  config.b = cli.get_int("b");
+  config.strategy = "bsr";
+  config.reclamation_ratio = 0.25;  // overclock into SDC territory
+  config.fc_desired = 0.999;
+  config.mode = ExecutionMode::Numeric;
+  config.error_rate_multiplier = cli.get_double("rate_multiplier");
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   // numeric_demo: paper-scale op durations at a numerically tractable size.
-  const core::Decomposer dec(hw::PlatformProfile::numeric_demo());
+  config.platform = "numeric_demo";
 
   std::printf("LU factorization of a %lldx%lld system under BSR r=0.25\n"
               "(GPU overclocked past its fault-free limit in late iterations)\n\n",
-              static_cast<long long>(options.n),
-              static_cast<long long>(options.n));
+              static_cast<long long>(config.n),
+              static_cast<long long>(config.n));
 
-  const core::RunReport unprotected =
-      dec.run(options, core::ExtendedOptions{core::AbftPolicy::ForceNone});
-  report("No fault tolerance:", unprotected);
+  const SweepResult runs =
+      Sweep(config).over(abft_axis({"none", "adaptive", "full"})).run();
+  const auto report_row = [&](const char* name, const char* policy) {
+    const RunReport& r = *runs.at({{"abft", policy}}).report;
+    std::printf("%-22s residual %.2e  injected %2d  corrected %2d  -> %s\n",
+                name, r.residual, r.abft.errors_injected_total(),
+                r.abft.corrected_0d + r.abft.corrected_1d,
+                r.numeric_correct ? "factors intact" : "FACTORS CORRUPTED");
+  };
+  report_row("No fault tolerance:", "none");
+  report_row("Adaptive ABFT:", "adaptive");
+  report_row("Always-on full ABFT:", "full");
 
-  const core::RunReport adaptive = dec.run(options);
-  report("Adaptive ABFT:", adaptive);
-
-  const core::RunReport full =
-      dec.run(options, core::ExtendedOptions{core::AbftPolicy::ForceFull});
-  report("Always-on full ABFT:", full);
-
+  const RunReport& adaptive = *runs.at({{"abft", "adaptive"}}).report;
+  const RunReport& full = *runs.at({{"abft", "full"}}).report;
+  double adaptive_chk = 0.0;
+  double full_chk = 0.0;
+  for (const auto& it : adaptive.trace.iterations) {
+    adaptive_chk += it.abft_time.seconds();
+  }
+  for (const auto& it : full.trace.iterations) full_chk += it.abft_time.seconds();
   std::printf(
       "\nAdaptive ABFT protected %d of %zu iterations (%d single-side, %d "
       "full)\nand spent %.1f%% less GPU time on checksums than always-on "
@@ -69,14 +74,6 @@ int main(int argc, char** argv) {
       adaptive.trace.iterations.size(),
       adaptive.abft.iterations_protected_single,
       adaptive.abft.iterations_protected_full,
-      100.0 * (1.0 - [&] {
-        double a = 0.0;
-        double f = 0.0;
-        for (const auto& it : adaptive.trace.iterations) {
-          a += it.abft_time.seconds();
-        }
-        for (const auto& it : full.trace.iterations) f += it.abft_time.seconds();
-        return f > 0.0 ? a / f : 1.0;
-      }()));
+      100.0 * (1.0 - (full_chk > 0.0 ? adaptive_chk / full_chk : 1.0)));
   return 0;
 }

@@ -1,28 +1,41 @@
 // Quickstart: run one energy-optimized LU decomposition and read the report.
 //
-//   ./quickstart [--n=30720] [--b=512] [--fact=lu|cholesky|qr]
+//   ./quickstart [--n=30720] [--b=0] [--fact=lu|cholesky|qr]
 //                [--strategy=original|r2h|sr|bsr] [--r=0.0]
 //
 // The run executes on the simulated paper platform (i7-9700K + RTX 2080 Ti,
 // see DESIGN.md); timing-only mode finishes in milliseconds at any size.
+// Everything below uses only the stable facade: bsr::RunConfig + bsr::run
+// (see example_energy_tuning / example_strategy_dashboard for the Sweep API).
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "core/decomposer.hpp"
+#include "bsr/bsr.hpp"
 
 int main(int argc, char** argv) {
-  const bsr::Cli cli(argc, argv);
+  bsr::Cli cli;
+  cli.arg_int("n", 30720, "matrix order")
+      .arg_int("b", 0, "block (panel) size (0 = auto-tune)")
+      .arg_string("fact", "lu", "factorization: lu, cholesky, or qr")
+      .arg_string("strategy", "bsr",
+                  "energy strategy (bsr::strategies() registry key)")
+      .arg_double("r", 0.0, "BSR reclamation ratio in [0, 1]");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
 
-  bsr::core::RunOptions options;
-  options.n = cli.get_int("n", 30720);
-  options.b = cli.get_int("b", bsr::core::tuned_block(options.n));
-  options.factorization =
-      bsr::core::factorization_from_string(cli.get("fact", "lu"));
-  options.strategy = bsr::core::strategy_from_string(cli.get("strategy", "bsr"));
-  options.reclamation_ratio = cli.get_double("r", 0.0);
+  bsr::RunConfig config;
+  config.n = cli.get_int("n");
+  config.b = cli.get_int("b");
+  config.strategy = cli.get("strategy");
+  config.reclamation_ratio = cli.get_double("r");
+  try {
+    config.factorization =
+        bsr::core::factorization_from_string(cli.get("fact"));
+    config.validate();  // rejects bad r, b > n, unknown strategy names, ...
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
-  const bsr::core::Decomposer decomposer;  // paper-default platform
-  const bsr::core::RunReport report = decomposer.run(options);
+  const bsr::RunReport report = bsr::run(config);
 
   std::printf("%s\n\n", bsr::core::summarize(report).c_str());
   std::printf("  wall time        : %.2f s\n", report.seconds());
@@ -38,9 +51,9 @@ int main(int argc, char** argv) {
               report.abft.iterations_protected_full);
 
   // Compare against the unmanaged baseline to see what the strategy bought.
-  bsr::core::RunOptions baseline = options;
-  baseline.strategy = bsr::core::StrategyKind::Original;
-  const bsr::core::RunReport original = decomposer.run(baseline);
+  bsr::RunConfig baseline = config;
+  baseline.strategy = "original";
+  const bsr::RunReport original = bsr::run(baseline);
   std::printf("\n  vs Original      : %.1f%% energy saved, %.2fx speed\n",
               100.0 * report.energy_saving_vs(original),
               report.speedup_vs(original));

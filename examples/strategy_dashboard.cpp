@@ -1,56 +1,74 @@
 // Strategy dashboard: one-screen comparison of all four energy-management
 // strategies across the three factorizations — the library's "evaluation at a
-// glance" (paper Figs. 11-12 condensed).
+// glance" (paper Figs. 11-12 condensed), and the shortest real Sweep demo:
+// one grid declaration, cached Original baselines, parallel execution.
 //
-//   ./strategy_dashboard [--n=30720]
+//   ./strategy_dashboard [--n=30720] [--format=table|csv|json]
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "common/table_printer.hpp"
-#include "core/decomposer.hpp"
+#include "bsr/bsr.hpp"
 
 using namespace bsr;
 
 int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const std::int64_t n = cli.get_int("n", 30720);
-  const std::int64_t b = core::tuned_block(n);
-  const core::Decomposer dec;
+  Cli cli;
+  cli.arg_int("n", 30720, "matrix order")
+      .arg_string("format", "table", "output: table, csv, or json");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  const std::string format = cli.get("format");
+  require_result_sink_or_exit(format);
 
+  RunConfig base;
+  base.n = cli.get_int("n");
+  base.b = 0;  // auto-tune
+
+  Axis configs = strategy_axis_labeled(
+      {{"original", "Original"}, {"r2h", "R2H"}, {"sr", "SR"}});
+  configs.points.push_back({"BSR (max saving)", [](RunConfig& c) {
+                              c.strategy = "bsr";
+                              c.reclamation_ratio = 0.0;
+                            }});
+  configs.points.push_back({"BSR (r=0.25)", [](RunConfig& c) {
+                              c.strategy = "bsr";
+                              c.reclamation_ratio = 0.25;
+                            }});
+
+  Sweep sweep(base);
+  const SweepResult grid =
+      sweep
+          .over(factorization_axis({Factorization::Cholesky, Factorization::LU,
+                                    Factorization::QR}))
+          .over(configs)
+          .baseline("original")
+          .run();
+
+  if (format != "table") {
+    emit(grid, *make_result_sink(format, stdout_stream()));
+    return 0;
+  }
+
+  const hw::PlatformProfile platform = make_platform(base.platform);
   std::printf("Energy-management dashboard, n=%lld, b=%lld, double precision\n",
-              static_cast<long long>(n), static_cast<long long>(b));
-  std::printf("platform: %s + %s\n\n", dec.platform().cpu.name.c_str(),
-              dec.platform().gpu.name.c_str());
+              static_cast<long long>(base.n),
+              static_cast<long long>(base.block()));
+  std::printf("platform: %s + %s\n\n", platform.cpu.name.c_str(),
+              platform.gpu.name.c_str());
 
   for (auto f : {predict::Factorization::Cholesky, predict::Factorization::LU,
                  predict::Factorization::QR}) {
-    core::RunOptions o;
-    o.factorization = f;
-    o.n = n;
-    o.b = b;
-    o.strategy = core::StrategyKind::Original;
-    const core::RunReport org = dec.run(o);
-
     TablePrinter t({"Strategy", "time (s)", "GFLOP/s", "energy (J)",
                     "saving", "ED2P cut"});
-    auto add = [&](const char* name, const core::RunReport& r) {
-      t.add_row({name, TablePrinter::fmt(r.seconds(), 2),
+    for (const SweepRow* row : grid.where("factorization", predict::to_string(f))) {
+      const RunReport& r = *row->report;
+      t.add_row({row->coords.at("strategy"), TablePrinter::fmt(r.seconds(), 2),
                  TablePrinter::fmt(r.gflops(), 0),
                  TablePrinter::fmt(r.total_energy_j(), 0),
-                 TablePrinter::pct(r.energy_saving_vs(org)),
-                 TablePrinter::pct(r.ed2p_reduction_vs(org))});
-    };
-    add("Original", org);
-    for (auto s : {core::StrategyKind::R2H, core::StrategyKind::SR}) {
-      o.strategy = s;
-      add(core::to_string(s), dec.run(o));
+                 TablePrinter::pct(row->energy_saving()),
+                 TablePrinter::pct(row->ed2p_reduction())});
     }
-    o.strategy = core::StrategyKind::BSR;
-    o.reclamation_ratio = 0.0;
-    add("BSR (max saving)", dec.run(o));
-    o.reclamation_ratio = 0.25;
-    add("BSR (r=0.25)", dec.run(o));
     std::printf("-- %s --\n%s\n", predict::to_string(f), t.to_string().c_str());
   }
+  std::printf("sweep: %zu unique runs for %zu requested (%zu cache hits)\n",
+              grid.unique_runs, grid.requested_runs, grid.cache_hits);
   return 0;
 }

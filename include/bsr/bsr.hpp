@@ -1,0 +1,49 @@
+// bsr/bsr.hpp — umbrella header: the stable public API of the BSR library.
+//
+// Everything a driver needs to declare, run, and report experiment grids:
+//
+//   bsr::RunConfig   one validated configuration (bsr/run_config.hpp)
+//   bsr::Registry    string-keyed strategies / platforms / ABFT policies /
+//                    sinks (bsr/registry.hpp)
+//   bsr::Sweep       parallel grid execution with baseline caching
+//                    (bsr/sweep.hpp)
+//   bsr::ResultSink  Table / CSV / JSON structured output
+//                    (bsr/result_sink.hpp)
+//   bsr::Decomposer  the single-run facade, re-exported from core
+//   bsr::Cli         registered-flag command-line parsing with --help
+//
+// Quickstart:
+//   bsr::RunConfig cfg;                       // paper defaults: LU, n=30720
+//   cfg.strategy = "bsr";                     // any bsr::strategies() key
+//   cfg.reclamation_ratio = 0.0;              // r=0: maximum energy saving
+//   auto report = bsr::run(cfg);              // one run, or...
+//   auto grid = bsr::Sweep(cfg)               // ...a cached, parallel grid
+//                   .over(bsr::strategy_axis({"r2h", "sr", "bsr"}))
+//                   .baseline("original")
+//                   .run();
+//
+// The deeper module headers ("hw/platform.hpp", "sched/pipeline.hpp", ...)
+// remain available for advanced use but carry no stability promise; see
+// docs/ARCHITECTURE.md.
+#pragma once
+
+#include "bsr/registry.hpp"
+#include "bsr/result_sink.hpp"
+#include "bsr/run_config.hpp"
+#include "bsr/sweep.hpp"
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/stdio_stream.hpp"
+#include "common/table_printer.hpp"
+#include "core/decomposer.hpp"
+#include "core/report.hpp"
+#include "core/trace_io.hpp"
+#include "energy/pareto.hpp"
+#include "hw/platform.hpp"
+
+namespace bsr {
+
+using core::Decomposer;
+using core::tuned_block;
+
+}  // namespace bsr

@@ -1,0 +1,151 @@
+// bsr/registry.hpp — string-keyed registries behind the experiment API.
+//
+// Every pluggable ingredient of a run is resolved by name through a
+// bsr::Registry: energy strategies, ABFT policies, platform profiles, and
+// result sinks. The four paper strategies, the three built-in platforms, and
+// the Table/CSV/JSON sinks are pre-registered; new scenarios register
+// themselves at startup and immediately work with RunConfig, Sweep, and every
+// bench flag — no core/ edits required. The legacy enum surface
+// (core::StrategyKind, core::strategy_from_string) is a thin wrapper over
+// these registries.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bsr/result_sink.hpp"
+#include "bsr/run_config.hpp"
+#include "common/ascii.hpp"
+#include "energy/strategy.hpp"
+#include "hw/platform.hpp"
+
+namespace bsr {
+
+/// A flat name -> value map with case-insensitive keys, alias support,
+/// duplicate rejection, and lookup misses that name the registry and list
+/// every known key (so a typo'd --strategy tells you what exists).
+template <typename Value>
+class Registry {
+ public:
+  /// `kind` names the registry in error messages ("strategy", "platform"...).
+  explicit Registry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Registers `value` under `key`; throws std::invalid_argument if the key
+  /// (or an alias of the same spelling) already exists.
+  void add(const std::string& key, Value value) {
+    const std::string k = normalize(key);
+    if (entries_.count(k) != 0 || aliases_.count(k) != 0) {
+      throw std::invalid_argument(kind_ + " registry: duplicate key \"" + key +
+                                  '"');
+    }
+    entries_.emplace(k, std::move(value));
+  }
+
+  /// Registers `name` as an alternate spelling of the existing `target` key.
+  void alias(const std::string& name, const std::string& target) {
+    const std::string a = normalize(name);
+    const std::string t = normalize(target);
+    if (entries_.count(a) != 0 || aliases_.count(a) != 0) {
+      throw std::invalid_argument(kind_ + " registry: duplicate key \"" + name +
+                                  '"');
+    }
+    if (entries_.count(t) == 0) {
+      throw std::invalid_argument(kind_ + " registry: alias \"" + name +
+                                  "\" targets unknown key \"" + target + '"');
+    }
+    aliases_.emplace(a, t);
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const {
+    const std::string k = normalize(key);
+    return entries_.count(k) != 0 || aliases_.count(k) != 0;
+  }
+
+  /// Resolves `key` (canonical or alias, any case); the miss diagnostic lists
+  /// all known canonical keys.
+  [[nodiscard]] const Value& get(const std::string& key) const {
+    std::string k = normalize(key);
+    if (const auto a = aliases_.find(k); a != aliases_.end()) k = a->second;
+    const auto it = entries_.find(k);
+    if (it == entries_.end()) {
+      std::string known;
+      for (const auto& [name, value] : entries_) {
+        (void)value;
+        known += known.empty() ? "" : ", ";
+        known += name;
+      }
+      throw std::invalid_argument(kind_ + " registry: unknown key \"" + key +
+                                  "\" (known: " + known + ")");
+    }
+    return it->second;
+  }
+
+  /// Resolves `key` (any case, alias or canonical) to its canonical
+  /// spelling; throws like get() when unknown. Use this wherever keys are
+  /// compared or serialized (RunConfig::fingerprint does) so "BSR", "bsr",
+  /// and an alias like "org"/"original" denote one configuration.
+  [[nodiscard]] std::string canonical(const std::string& key) const {
+    std::string k = normalize(key);
+    if (const auto a = aliases_.find(k); a != aliases_.end()) return a->second;
+    if (entries_.count(k) == 0) (void)get(key);  // throw with known keys
+    return k;
+  }
+
+  /// Canonical keys (no aliases), sorted.
+  [[nodiscard]] std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, value] : entries_) {
+      (void)value;
+      out.push_back(name);
+    }
+    return out;
+  }
+
+ private:
+  static std::string normalize(std::string s) { return ascii_lower(std::move(s)); }
+
+  std::string kind_;
+  std::map<std::string, Value> entries_;   // canonical key -> value
+  std::map<std::string, std::string> aliases_;  // alias -> canonical key
+};
+
+/// One registered strategy: a factory, plus the legacy enum tag for the four
+/// built-ins (registry-only strategies leave it empty — they work everywhere
+/// except the deprecated StrategyKind surface).
+struct StrategyEntry {
+  std::optional<core::StrategyKind> kind;
+  std::function<std::unique_ptr<energy::Strategy>(
+      const RunConfig&, const predict::WorkloadModel&)>
+      make;
+};
+
+using PlatformFactory = std::function<hw::PlatformProfile()>;
+using SinkFactory = std::function<std::unique_ptr<ResultSink>(std::ostream&)>;
+
+/// Global registries, pre-loaded with the built-ins on first use:
+///   strategies:    original (alias org), r2h, sr, bsr
+///   platforms:     paper_default (aliases paper, default), test_small,
+///                  numeric_demo (alias numeric)
+///   abft_policies: adaptive, none, single, full (aliases force_*)
+///   result_sinks:  table, csv, json
+Registry<StrategyEntry>& strategies();
+Registry<PlatformFactory>& platforms();
+Registry<core::AbftPolicy>& abft_policies();
+Registry<SinkFactory>& result_sinks();
+
+/// Convenience lookups over the registries above.
+hw::PlatformProfile make_platform(const std::string& key);
+std::unique_ptr<energy::Strategy> make_strategy(
+    const RunConfig& cfg, const predict::WorkloadModel& wl);
+std::unique_ptr<ResultSink> make_result_sink(const std::string& key,
+                                             std::ostream& out);
+
+}  // namespace bsr

@@ -1,0 +1,77 @@
+// bsr/result_sink.hpp — structured output backends for experiment results.
+//
+// A ResultSink receives one header row followed by data rows (all values
+// pre-formatted as strings) and renders them to a stream. Three backends ship
+// built in — fixed-width paper-style tables, CSV, and JSON — and new ones
+// plug in through bsr::result_sinks() (see bsr/registry.hpp).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bsr {
+
+/// Driver fail-fast for a --format flag: exits(2) with the registry's live
+/// known-key list when `key` is not a registered sink, so a typo is caught
+/// before a long sweep runs (and runtime-registered sinks are listed too).
+void require_result_sink_or_exit(const std::string& key);
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Starts a result set. Must be called exactly once, before any add_row.
+  virtual void begin(const std::vector<std::string>& columns) = 0;
+  /// Appends one data row; `values` must match begin()'s column count.
+  virtual void add_row(const std::vector<std::string>& values) = 0;
+  /// Finishes the result set and flushes the rendering to the stream.
+  virtual void end() = 0;
+};
+
+/// Fixed-width table (common/table_printer.hpp rendering), the default
+/// human-facing backend. Buffers rows and prints on end().
+class TableSink final : public ResultSink {
+ public:
+  explicit TableSink(std::ostream& out) : out_(&out) {}
+  void begin(const std::vector<std::string>& columns) override;
+  void add_row(const std::vector<std::string>& values) override;
+  void end() override;
+
+ private:
+  std::ostream* out_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// RFC-4180-style CSV: header row first, fields quoted when they contain a
+/// comma, quote, or newline. Streams rows as they arrive.
+class CsvSink final : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(&out) {}
+  void begin(const std::vector<std::string>& columns) override;
+  void add_row(const std::vector<std::string>& values) override;
+  void end() override;
+
+ private:
+  std::ostream* out_;
+  std::size_t columns_ = 0;
+};
+
+/// JSON array of objects keyed by column name. Values that parse fully as
+/// finite numbers are emitted unquoted so downstream tooling gets real
+/// numbers; everything else is emitted as a JSON string.
+class JsonSink final : public ResultSink {
+ public:
+  explicit JsonSink(std::ostream& out) : out_(&out) {}
+  void begin(const std::vector<std::string>& columns) override;
+  void add_row(const std::vector<std::string>& values) override;
+  void end() override;
+
+ private:
+  std::ostream* out_;
+  std::vector<std::string> columns_;
+  bool first_row_ = true;
+};
+
+}  // namespace bsr

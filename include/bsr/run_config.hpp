@@ -1,0 +1,109 @@
+// bsr/run_config.hpp — the single validated configuration for one experiment.
+//
+// RunConfig merges the legacy core::RunOptions + core::ExtendedOptions pair
+// into one flat, string-keyed struct: strategies, ABFT policies, and platform
+// profiles are named by their bsr::Registry keys (see bsr/registry.hpp), so a
+// scenario registered at runtime plugs into RunConfig / Sweep without touching
+// core/. The legacy structs remain as a deprecated shim for one release
+// (docs/API_MIGRATION.md maps old calls to new ones).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/options.hpp"
+
+namespace bsr {
+
+namespace core {
+struct RunReport;
+}  // namespace core
+
+// Re-exported so facade users never spell the legacy namespaces.
+using core::AbftPolicy;
+using core::ExecutionMode;
+using core::StrategyKind;
+using predict::Factorization;
+
+/// All knobs for one run. Defaults reproduce the paper's headline
+/// configuration: LU, n = 30720, tuned block, BSR with r = 0 (maximum energy
+/// saving), adaptive ABFT, timing-only execution on the paper platform.
+struct RunConfig {
+  // -- workload ---------------------------------------------------------------
+  Factorization factorization = Factorization::LU;
+  std::int64_t n = 30720;  ///< matrix order
+  /// Block (panel) size; 0 = auto-tune via core::tuned_block(n).
+  std::int64_t b = 0;
+  int elem_bytes = 8;  ///< 8 = double precision, 4 = single
+
+  // -- strategy (bsr::strategies() registry key) ------------------------------
+  std::string strategy = "bsr";
+  /// BSR's r in [0, 1]: the fraction of each iteration's slack left
+  /// unreclaimed by overclocking. r = 0 maximizes energy saving; r = r*
+  /// (see energy/pareto.hpp) is energy-neutral with maximum speedup.
+  double reclamation_ratio = 0.0;
+  double fc_desired = 0.999999;  ///< target ABFT fault coverage
+  // BSR ablation switches (all on = the paper's full BSR).
+  bool bsr_use_optimized_guardband = true;
+  bool bsr_allow_overclocking = true;
+  bool bsr_use_enhanced_predictor = true;
+
+  // -- fault tolerance (bsr::abft_policies() registry key) --------------------
+  std::string abft_policy = "adaptive";
+  /// Numeric mode: when ABFT *detects* an error pattern it cannot correct,
+  /// roll the trailing update back and recompute it at a safe clock instead
+  /// of letting the corruption propagate.
+  bool recover_uncorrectable = false;
+
+  // -- execution --------------------------------------------------------------
+  ExecutionMode mode = ExecutionMode::TimingOnly;
+  std::uint64_t seed = 42;  ///< root seed for all stochastic parts
+  /// Scales the platform's entire SDC-rate table (exposure compression for
+  /// reduced-size numeric runs; see DESIGN.md).
+  double error_rate_multiplier = 1.0;
+  bool noise_enabled = true;  ///< per-task execution-time jitter on/off
+
+  // -- platform (bsr::platforms() registry key) -------------------------------
+  std::string platform = "paper_default";
+
+  /// The effective block size: b, or the auto-tuned size clamped to n.
+  [[nodiscard]] std::int64_t block() const;
+
+  /// Throws std::invalid_argument (message prefixed "RunConfig:") when any
+  /// field is out of range or any registry key is unknown: n <= 0, b > n,
+  /// reclamation_ratio outside [0, 1], fc_desired outside (0, 1),
+  /// elem_bytes not 4/8, negative error_rate_multiplier, or an unregistered
+  /// strategy / abft_policy / platform name.
+  void validate() const;
+
+  /// Lowers to the legacy pair. options() throws for registry-only strategies
+  /// (ones without a legacy StrategyKind tag).
+  [[nodiscard]] core::RunOptions options() const;
+  [[nodiscard]] core::ExtendedOptions extended() const;
+
+  /// Canonical "key=value;" serialization of every field. Fields with no
+  /// effect on the result under the current mode (recover_uncorrectable in
+  /// timing-only runs) are normalized out, so the fingerprint is usable as an
+  /// exact result-cache key (bsr::Sweep keys its run cache on it).
+  [[nodiscard]] std::string fingerprint() const;
+
+  [[nodiscard]] predict::WorkloadModel workload() const {
+    return predict::WorkloadModel{factorization, n, block(), elem_bytes};
+  }
+};
+
+/// Builds a RunConfig from the legacy option structs (migration shim).
+RunConfig from_legacy(const core::RunOptions& opts,
+                      const core::ExtendedOptions& ext = {});
+
+/// One-shot facade: validates, resolves the platform through the registry,
+/// and runs. Equivalent to core::Decomposer(make_platform(cfg.platform))
+/// .run(cfg) — prefer bsr::Sweep for grids (it parallelizes and caches).
+core::RunReport run(const RunConfig& cfg);
+
+/// Splitmix64-derived seed for cell `index` of a grid rooted at `root`.
+/// Depends only on (root, index) — never on the worker executing the cell —
+/// so sweeps are bitwise reproducible at any thread count.
+std::uint64_t derive_cell_seed(std::uint64_t root, std::uint64_t index);
+
+}  // namespace bsr

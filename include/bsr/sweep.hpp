@@ -1,0 +1,152 @@
+// bsr/sweep.hpp — grid expansion, parallel execution, and baseline caching.
+//
+// The paper's headline figures are grids of runs (strategy x factorization x
+// n x r), so grids are the API's default execution model: declare a base
+// RunConfig plus axes, and Sweep expands the cartesian product, runs the
+// unique configurations on the process-wide thread pool, and hands back rows
+// in deterministic expansion order. Two properties the benches rely on:
+//
+//  * Result cache. Runs are keyed by RunConfig::fingerprint(); a config
+//    requested twice (e.g. the Original baseline shared by every comparison
+//    row, or an Original cell that is also the baseline) executes exactly
+//    once. The cache persists across run() calls on the same Sweep.
+//  * Determinism. A cell's seed is part of its config: it is whatever the
+//    base config and axis mutators set (trial_axis derives per-trial seeds
+//    from (root seed, trial index)) and never depends on which worker runs
+//    the cell, so an N-thread sweep is bitwise identical to the same sweep
+//    on one thread, rows included, in the same order. Note the flip side:
+//    two cells with identical configs (e.g. a repetition axis that does not
+//    touch the seed) are ONE cached run, not independent noisy trials —
+//    repeat through trial_axis.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bsr/result_sink.hpp"
+#include "bsr/run_config.hpp"
+#include "core/report.hpp"
+
+namespace bsr {
+
+using core::RunReport;
+
+/// One point on an axis: a display label plus the config mutation it applies.
+struct AxisPoint {
+  std::string label;
+  std::function<void(RunConfig&)> apply;
+};
+
+/// A named dimension of the grid. Axes are expanded in the order they are
+/// added to the Sweep, first axis outermost.
+struct Axis {
+  std::string name;
+  std::vector<AxisPoint> points;
+};
+
+// Built-in axis builders for the common grid dimensions. Anything else is a
+// one-liner with a custom Axis{name, {AxisPoint{label, mutator}, ...}}.
+Axis strategy_axis(const std::vector<std::string>& keys);
+/// Same, with explicit display labels: {{"original", "Org"}, ...}. (Not an
+/// overload of strategy_axis — brace-init lists of string literals make the
+/// two signatures ambiguous.)
+Axis strategy_axis_labeled(
+    const std::vector<std::pair<std::string, std::string>>& key_labels);
+Axis factorization_axis(const std::vector<Factorization>& facts);
+/// Sets n per point; also re-tunes b (b = 0) unless retune_block is false.
+Axis size_axis(const std::vector<std::int64_t>& ns, bool retune_block = true);
+Axis ratio_axis(const std::vector<double>& rs);
+Axis abft_axis(const std::vector<std::string>& policies);
+Axis precision_axis(const std::vector<int>& elem_bytes);
+/// `trials` points labelled "0".."trials-1"; point t sets
+/// seed = derive_cell_seed(root_seed, t) (per-cell, thread-count independent).
+Axis trial_axis(int trials, std::uint64_t root_seed);
+
+/// One grid cell after execution. `report` is shared with every other row
+/// that requested the same fingerprint; `baseline` is null unless
+/// Sweep::baseline() was set.
+struct SweepRow {
+  std::size_t index = 0;  ///< position in expansion order
+  std::map<std::string, std::string> coords;  ///< axis name -> point label
+  RunConfig config;
+  std::shared_ptr<const RunReport> report;
+  std::shared_ptr<const RunReport> baseline;
+
+  // Baseline-relative conveniences (0 / 1.0x when no baseline was requested).
+  [[nodiscard]] double energy_saving() const;
+  [[nodiscard]] double ed2p_reduction() const;
+  [[nodiscard]] double speedup() const;
+};
+
+class SweepResult {
+ public:
+  std::vector<std::string> axis_names;
+  std::vector<SweepRow> rows;  ///< expansion order, invariant to thread count
+  std::size_t requested_runs = 0;  ///< cells + baselines, with multiplicity
+  std::size_t unique_runs = 0;     ///< configs actually executed this run()
+  std::size_t cache_hits = 0;      ///< requested_runs - unique_runs
+  double wall_seconds = 0.0;
+
+  /// The unique row matching every given (axis, label) pair; throws
+  /// std::out_of_range (listing the coords) when none or several match.
+  [[nodiscard]] const SweepRow& at(
+      const std::vector<std::pair<std::string, std::string>>& coords) const;
+  /// All rows whose `axis` coordinate equals `label`, in expansion order.
+  [[nodiscard]] std::vector<const SweepRow*> where(
+      const std::string& axis, const std::string& label) const;
+};
+
+class Sweep {
+ public:
+  explicit Sweep(RunConfig base = {});
+
+  Sweep& over(Axis axis);
+  /// Attach to every cell a baseline run of the same configuration with
+  /// `strategy_key` substituted (BSR-specific knobs reset to defaults unless
+  /// the baseline is BSR itself). Baselines go through the result cache, so
+  /// all cells of one comparison group share a single baseline execution.
+  Sweep& baseline(std::string strategy_key);
+  /// 1 = serial on the calling thread; 0 (default) = the process-wide
+  /// ThreadPool::shared(); k > 1 = a dedicated pool of k workers.
+  Sweep& threads(int n);
+
+  /// Expands the grid, validates every cell, executes all configurations not
+  /// already cached, and returns rows in expansion order. Worker exceptions
+  /// are captured and rethrown (first failing cell wins) after the pool
+  /// drains. Reusable: a second run() resolves repeats from the cache.
+  [[nodiscard]] SweepResult run();
+
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  Sweep& clear_cache();
+
+ private:
+  RunConfig base_;
+  std::vector<Axis> axes_;
+  std::optional<std::string> baseline_strategy_;
+  int threads_ = 0;
+  std::map<std::string, std::shared_ptr<const RunReport>> cache_;
+};
+
+/// One output column: name + extractor over a finished row.
+struct MetricColumn {
+  std::string name;
+  std::function<std::string(const SweepRow&)> value;
+};
+
+/// The default column set: one column per axis, then time_s / gflops /
+/// energy_j / ed2p, and — when the sweep carried a baseline — saving,
+/// ed2p_cut, and speedup relative to it.
+std::vector<MetricColumn> standard_columns(const SweepResult& result);
+
+/// Streams the result through a sink: begin(column names), one add_row per
+/// sweep row, end().
+void emit(const SweepResult& result, const std::vector<MetricColumn>& columns,
+          ResultSink& sink);
+void emit(const SweepResult& result, ResultSink& sink);
+
+}  // namespace bsr

@@ -1,0 +1,34 @@
+#include "common/stdio_stream.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <streambuf>
+
+namespace bsr {
+
+namespace {
+
+class StdoutBuf final : public std::streambuf {
+ protected:
+  int overflow(int c) override {
+    if (c != traits_type::eof()) {
+      if (std::fputc(c, stdout) == EOF) return traits_type::eof();
+    }
+    return c;
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    return static_cast<std::streamsize>(
+        std::fwrite(s, 1, static_cast<std::size_t>(n), stdout));
+  }
+  int sync() override { return std::fflush(stdout); }
+};
+
+}  // namespace
+
+std::ostream& stdout_stream() {
+  static StdoutBuf buf;
+  static std::ostream os(&buf);
+  return os;
+}
+
+}  // namespace bsr

@@ -1,0 +1,18 @@
+// A std::ostream over C stdout that avoids <iostream>.
+//
+// Linking any TU that includes <iostream> injects ios_base::Init, whose
+// static construction of the eight standard streams plus locale machinery
+// costs ~0.5 ms of process startup — real money for millisecond bench
+// drivers. This stream is built lazily on first use instead, so binaries
+// that only ever print through std::printf/ResultSink pay nothing.
+#pragma once
+
+#include <iosfwd>
+
+namespace bsr {
+
+/// Lazily-constructed ostream writing to stdout via std::fwrite. Safe to mix
+/// with std::printf (both go through the same stdio buffer).
+std::ostream& stdout_stream();
+
+}  // namespace bsr

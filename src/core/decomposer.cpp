@@ -1,13 +1,12 @@
 #include "core/decomposer.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "abft/update.hpp"
-#include "energy/baselines.hpp"
-#include "energy/bsr_strategy.hpp"
-#include "energy/sr.hpp"
+#include "bsr/registry.hpp"
 #include "fault/injector.hpp"
 #include "la/lapack.hpp"
 #include "la/verify.hpp"
@@ -15,16 +14,6 @@
 namespace bsr::core {
 
 using la::idx;
-
-const char* to_string(AbftPolicy p) {
-  switch (p) {
-    case AbftPolicy::Adaptive: return "Adaptive";
-    case AbftPolicy::ForceNone: return "ForceNone";
-    case AbftPolicy::ForceSingle: return "ForceSingle";
-    case AbftPolicy::ForceFull: return "ForceFull";
-  }
-  return "?";
-}
 
 namespace {
 
@@ -271,27 +260,39 @@ Decomposer::Decomposer(hw::PlatformProfile platform)
 std::unique_ptr<energy::Strategy> Decomposer::make_strategy(
     StrategyKind kind, const predict::WorkloadModel& wl, const RunOptions& opts,
     const ExtendedOptions& ext) {
-  switch (kind) {
-    case StrategyKind::Original:
-      return std::make_unique<energy::OriginalStrategy>();
-    case StrategyKind::R2H:
-      return std::make_unique<energy::RaceToHaltStrategy>();
-    case StrategyKind::SR:
-      return std::make_unique<energy::SlackReclamationStrategy>(wl);
-    case StrategyKind::BSR: {
-      energy::BsrConfig cfg;
-      cfg.reclamation_ratio = opts.reclamation_ratio;
-      cfg.fc_desired = opts.fc_desired;
-      cfg.use_optimized_guardband = ext.bsr_use_optimized_guardband;
-      cfg.allow_overclocking = ext.bsr_allow_overclocking;
-      cfg.use_enhanced_predictor = ext.bsr_use_enhanced_predictor;
-      return std::make_unique<energy::BsrStrategy>(wl, cfg);
-    }
+  RunOptions named = opts;
+  named.strategy = kind;
+  return bsr::make_strategy(from_legacy(named, ext), wl);
+}
+
+RunReport Decomposer::run(const RunConfig& cfg) const {
+  cfg.validate();
+  // Lower to the legacy structs the pipeline still speaks. Registry-only
+  // strategies carry no StrategyKind; the report's legacy `options.strategy`
+  // field is then a placeholder (BSR) — SweepRow::config keeps the real name.
+  const StrategyEntry& entry = strategies().get(cfg.strategy);
+  RunConfig lowered = cfg;
+  lowered.strategy = "bsr";
+  RunOptions opts = lowered.options();
+  opts.strategy = entry.kind.value_or(StrategyKind::BSR);
+  const ExtendedOptions ext = cfg.extended();
+  const auto strategy = entry.make(cfg, opts.workload());
+  RunReport report = run_with(opts, ext, *strategy);
+  if (!entry.kind) {
+    // No StrategyKind exists for registry-only strategies; record the real
+    // name so summarize()/consumers do not mislabel the run as BSR.
+    report.strategy_name = strategies().canonical(cfg.strategy);
   }
-  throw std::invalid_argument("unknown strategy kind");
+  return report;
 }
 
 RunReport Decomposer::run(const RunOptions& opts, const ExtendedOptions& ext) const {
+  const auto strategy = make_strategy(opts.strategy, opts.workload(), opts, ext);
+  return run_with(opts, ext, *strategy);
+}
+
+RunReport Decomposer::run_with(const RunOptions& opts, const ExtendedOptions& ext,
+                               energy::Strategy& strategy) const {
   if (opts.n <= 0 || opts.b <= 0 || opts.b > opts.n) {
     throw std::invalid_argument("RunOptions: need 0 < b <= n");
   }
@@ -303,12 +304,15 @@ RunReport Decomposer::run(const RunOptions& opts, const ExtendedOptions& ext) co
   // The error-rate multiplier rescales the *platform* so the coverage math,
   // the BSR/ABFT-OC frequency policy, and the fault injector all observe the
   // same world (DESIGN.md: exposure compression for reduced-size numerics).
-  hw::PlatformProfile platform = platform_;
+  // The deep copy is skipped at the default multiplier (sweeps run thousands
+  // of cells; the copy was pure overhead on every one of them).
+  std::optional<hw::PlatformProfile> scaled;
   if (opts.error_rate_multiplier != 1.0) {
-    platform.gpu.errors = platform.gpu.errors.scaled(opts.error_rate_multiplier);
+    scaled = platform_;
+    scaled->gpu.errors = scaled->gpu.errors.scaled(opts.error_rate_multiplier);
   }
+  const hw::PlatformProfile& platform = scaled ? *scaled : platform_;
   sched::HybridPipeline pipe(platform, cfg);
-  const auto strategy = make_strategy(opts.strategy, wl, opts, ext);
 
   RunReport report;
   report.options = opts;
@@ -324,7 +328,7 @@ RunReport Decomposer::run(const RunOptions& opts, const ExtendedOptions& ext) co
   }
 
   for (int k = 0; k < pipe.num_iterations(); ++k) {
-    sched::IterationDecision d = strategy->decide(k, pipe);
+    sched::IterationDecision d = strategy.decide(k, pipe);
     switch (ext.abft_policy) {
       case AbftPolicy::Adaptive: break;
       case AbftPolicy::ForceNone: d.abft_mode = abft::ChecksumMode::None; break;
@@ -334,7 +338,7 @@ RunReport Decomposer::run(const RunOptions& opts, const ExtendedOptions& ext) co
       case AbftPolicy::ForceFull: d.abft_mode = abft::ChecksumMode::Full; break;
     }
     const sched::IterationOutcome o = pipe.run_iteration(k, d);
-    strategy->observe(k, o);
+    strategy.observe(k, o);
     report.trace.add(o);
     switch (o.abft_mode) {
       case abft::ChecksumMode::None: ++report.abft.iterations_unprotected; break;

@@ -2,46 +2,23 @@
 // simulated CPU-GPU platform, optionally executing the real numerics with real
 // ABFT protection and fault injection.
 //
-// Quickstart:
-//   bsr::core::Decomposer dec;                       // paper-default platform
-//   bsr::core::RunOptions opt;
-//   opt.factorization = bsr::predict::Factorization::LU;
-//   opt.strategy = bsr::core::StrategyKind::BSR;
-//   opt.reclamation_ratio = 0.0;                     // max energy saving
-//   auto report = dec.run(opt);
+// Quickstart (new API — see include/bsr/bsr.hpp and docs/API_MIGRATION.md):
+//   bsr::RunConfig cfg;                              // paper defaults
+//   cfg.factorization = bsr::Factorization::LU;
+//   cfg.strategy = "bsr";                            // registry key
+//   cfg.reclamation_ratio = 0.0;                     // max energy saving
+//   auto report = bsr::run(cfg);
 //   std::cout << report.total_energy_j() << " J\n";
 #pragma once
 
 #include <memory>
 
+#include "bsr/run_config.hpp"
 #include "core/report.hpp"
 #include "energy/strategy.hpp"
 #include "hw/platform.hpp"
 
 namespace bsr::core {
-
-/// How the ABFT protection level is chosen each iteration. Adaptive is the
-/// paper's Algorithm 1; the Force* policies reproduce the always-on baselines
-/// of Fig. 9.
-enum class AbftPolicy {
-  Adaptive,     ///< Algorithm 1: cheapest scheme meeting fc_desired per iter.
-  ForceNone,    ///< No protection (fastest; SDCs propagate undetected).
-  ForceSingle,  ///< Single-side checksums every iteration.
-  ForceFull,    ///< Full checksums every iteration (strongest, costliest).
-};
-
-const char* to_string(AbftPolicy p);
-
-/// Knobs beyond RunOptions that benches use to isolate single ingredients;
-/// the defaults are the paper's full BSR configuration.
-struct ExtendedOptions {
-  AbftPolicy abft_policy = AbftPolicy::Adaptive;
-
-  // BSR ablation switches (bench_ablation; all on = the paper's BSR).
-  bool bsr_use_optimized_guardband = true;
-  bool bsr_allow_overclocking = true;
-  bool bsr_use_enhanced_predictor = true;
-};
 
 class Decomposer {
  public:
@@ -50,7 +27,14 @@ class Decomposer {
 
   [[nodiscard]] const hw::PlatformProfile& platform() const { return platform_; }
 
-  /// Runs one factorization under the options; see RunReport for outputs.
+  /// Runs one factorization under a validated RunConfig; the strategy and
+  /// ABFT policy are resolved through the bsr:: registries, so registry-only
+  /// strategies work here. The config's `platform` key is ignored — this
+  /// Decomposer's platform is used (bsr::run(cfg) resolves the key).
+  [[nodiscard]] RunReport run(const RunConfig& cfg) const;
+
+  /// DEPRECATED shims for the legacy RunOptions/ExtendedOptions pair; new
+  /// code should pass a RunConfig. Kept for one release.
   [[nodiscard]] RunReport run(const RunOptions& opts) const {
     return run(opts, ExtendedOptions{});
   }
@@ -58,11 +42,15 @@ class Decomposer {
                               const ExtendedOptions& ext) const;
 
   /// Builds the strategy object for a kind (exposed for tests and benches).
+  /// Thin wrapper over the bsr::strategies() registry.
   static std::unique_ptr<energy::Strategy> make_strategy(
       StrategyKind kind, const predict::WorkloadModel& wl,
       const RunOptions& opts, const ExtendedOptions& ext = ExtendedOptions{});
 
  private:
+  RunReport run_with(const RunOptions& opts, const ExtendedOptions& ext,
+                     energy::Strategy& strategy) const;
+
   hw::PlatformProfile platform_;
 };
 

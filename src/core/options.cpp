@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "bsr/registry.hpp"
+#include "common/ascii.hpp"
+
 namespace bsr::core {
 
 std::int64_t tuned_block(std::int64_t n) {
@@ -24,25 +27,33 @@ const char* to_string(ExecutionMode m) {
   return m == ExecutionMode::TimingOnly ? "TimingOnly" : "Numeric";
 }
 
-namespace {
-std::string lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  return s;
+const char* to_string(AbftPolicy p) {
+  switch (p) {
+    case AbftPolicy::Adaptive: return "Adaptive";
+    case AbftPolicy::ForceNone: return "ForceNone";
+    case AbftPolicy::ForceSingle: return "ForceSingle";
+    case AbftPolicy::ForceFull: return "ForceFull";
+  }
+  return "?";
 }
-}  // namespace
 
 StrategyKind strategy_from_string(const std::string& s) {
-  const std::string v = lower(s);
-  if (v == "original" || v == "org") return StrategyKind::Original;
-  if (v == "r2h") return StrategyKind::R2H;
-  if (v == "sr") return StrategyKind::SR;
-  if (v == "bsr") return StrategyKind::BSR;
-  throw std::invalid_argument("unknown strategy: " + s);
+  const StrategyEntry& entry = strategies().get(s);
+  if (!entry.kind) {
+    throw std::invalid_argument(
+        "strategy \"" + s +
+        "\" is registry-only (no legacy StrategyKind); use the bsr::RunConfig "
+        "API");
+  }
+  return *entry.kind;
+}
+
+AbftPolicy abft_policy_from_string(const std::string& s) {
+  return abft_policies().get(s);
 }
 
 predict::Factorization factorization_from_string(const std::string& s) {
-  const std::string v = lower(s);
+  const std::string v = ascii_lower(s);
   if (v == "cholesky" || v == "cho") return predict::Factorization::Cholesky;
   if (v == "lu") return predict::Factorization::LU;
   if (v == "qr") return predict::Factorization::QR;

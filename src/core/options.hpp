@@ -26,6 +26,16 @@ enum class StrategyKind {
 /// injection (bounded input sizes).
 enum class ExecutionMode { TimingOnly, Numeric };
 
+/// How the ABFT protection level is chosen each iteration. Adaptive is the
+/// paper's Algorithm 1; the Force* policies reproduce the always-on baselines
+/// of Fig. 9.
+enum class AbftPolicy {
+  Adaptive,     ///< Algorithm 1: cheapest scheme meeting fc_desired per iter.
+  ForceNone,    ///< No protection (fastest; SDCs propagate undetected).
+  ForceSingle,  ///< Single-side checksums every iteration.
+  ForceFull,    ///< Full checksums every iteration (strongest, costliest).
+};
+
 /// Options for one Decomposer::run. Defaults reproduce the paper's headline
 /// configuration: LU, n = 30720, b = 512, BSR with r = 0 (maximum energy
 /// saving), timing-only execution.
@@ -61,6 +71,21 @@ struct RunOptions {
   }
 };
 
+/// Knobs beyond RunOptions that benches use to isolate single ingredients;
+/// the defaults are the paper's full BSR configuration.
+///
+/// DEPRECATED: RunOptions + ExtendedOptions are kept as a compatibility shim
+/// for one release. New code should use the merged `bsr::RunConfig`
+/// (include/bsr/run_config.hpp); see docs/API_MIGRATION.md.
+struct ExtendedOptions {
+  AbftPolicy abft_policy = AbftPolicy::Adaptive;
+
+  // BSR ablation switches (bench_ablation; all on = the paper's BSR).
+  bool bsr_use_optimized_guardband = true;
+  bool bsr_allow_overclocking = true;
+  bool bsr_use_enhanced_predictor = true;
+};
+
 /// Performance-tuned block size for a given matrix order, mirroring the
 /// paper's "block size tuned for performance": roughly n/60 blocks rounded to
 /// the 64-grid and clamped to [64, 512] (512 at the paper's n = 30720).
@@ -68,10 +93,15 @@ std::int64_t tuned_block(std::int64_t n);
 
 const char* to_string(StrategyKind s);
 const char* to_string(ExecutionMode m);
+const char* to_string(AbftPolicy p);
 
 /// Parses "original" / "r2h" / "sr" / "bsr" (case-insensitive); throws on
-/// anything else.
+/// anything else. Thin wrapper over bsr::strategies() — only registry entries
+/// carrying a legacy StrategyKind tag (the four built-ins) resolve here.
 StrategyKind strategy_from_string(const std::string& s);
+/// Parses "adaptive" / "none" / "single" / "full" (case-insensitive) through
+/// bsr::abft_policies(); throws on anything else.
+AbftPolicy abft_policy_from_string(const std::string& s);
 predict::Factorization factorization_from_string(const std::string& s);
 
 }  // namespace bsr::core

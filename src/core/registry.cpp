@@ -1,0 +1,109 @@
+// Global registries and their built-in entries. Construction is lazy
+// (function-local statics) so registration order is well-defined and static
+// initialization order cannot bite user code that registers its own entries
+// from a namespace-scope initializer.
+#include "bsr/registry.hpp"
+
+#include "energy/baselines.hpp"
+#include "energy/bsr_strategy.hpp"
+#include "energy/sr.hpp"
+
+namespace bsr {
+
+Registry<StrategyEntry>& strategies() {
+  static Registry<StrategyEntry> reg = [] {
+    Registry<StrategyEntry> r("strategy");
+    r.add("original",
+          {StrategyKind::Original,
+           [](const RunConfig&, const predict::WorkloadModel&)
+               -> std::unique_ptr<energy::Strategy> {
+             return std::make_unique<energy::OriginalStrategy>();
+           }});
+    r.add("r2h", {StrategyKind::R2H,
+                  [](const RunConfig&, const predict::WorkloadModel&)
+                      -> std::unique_ptr<energy::Strategy> {
+                    return std::make_unique<energy::RaceToHaltStrategy>();
+                  }});
+    r.add("sr", {StrategyKind::SR,
+                 [](const RunConfig&, const predict::WorkloadModel& wl)
+                     -> std::unique_ptr<energy::Strategy> {
+                   return std::make_unique<energy::SlackReclamationStrategy>(wl);
+                 }});
+    r.add("bsr", {StrategyKind::BSR,
+                  [](const RunConfig& cfg, const predict::WorkloadModel& wl)
+                      -> std::unique_ptr<energy::Strategy> {
+                    energy::BsrConfig c;
+                    c.reclamation_ratio = cfg.reclamation_ratio;
+                    c.fc_desired = cfg.fc_desired;
+                    c.use_optimized_guardband = cfg.bsr_use_optimized_guardband;
+                    c.allow_overclocking = cfg.bsr_allow_overclocking;
+                    c.use_enhanced_predictor = cfg.bsr_use_enhanced_predictor;
+                    return std::make_unique<energy::BsrStrategy>(wl, c);
+                  }});
+    r.alias("org", "original");
+    return r;
+  }();
+  return reg;
+}
+
+Registry<PlatformFactory>& platforms() {
+  static Registry<PlatformFactory> reg = [] {
+    Registry<PlatformFactory> r("platform");
+    r.add("paper_default", [] { return hw::PlatformProfile::paper_default(); });
+    r.add("test_small", [] { return hw::PlatformProfile::test_small(); });
+    r.add("numeric_demo", [] { return hw::PlatformProfile::numeric_demo(); });
+    r.alias("paper", "paper_default");
+    r.alias("default", "paper_default");
+    r.alias("numeric", "numeric_demo");
+    return r;
+  }();
+  return reg;
+}
+
+Registry<core::AbftPolicy>& abft_policies() {
+  static Registry<core::AbftPolicy> reg = [] {
+    Registry<core::AbftPolicy> r("abft policy");
+    r.add("adaptive", core::AbftPolicy::Adaptive);
+    r.add("none", core::AbftPolicy::ForceNone);
+    r.add("single", core::AbftPolicy::ForceSingle);
+    r.add("full", core::AbftPolicy::ForceFull);
+    r.alias("force_none", "none");
+    r.alias("force_single", "single");
+    r.alias("force_full", "full");
+    return r;
+  }();
+  return reg;
+}
+
+Registry<SinkFactory>& result_sinks() {
+  static Registry<SinkFactory> reg = [] {
+    Registry<SinkFactory> r("result sink");
+    r.add("table", [](std::ostream& out) -> std::unique_ptr<ResultSink> {
+      return std::make_unique<TableSink>(out);
+    });
+    r.add("csv", [](std::ostream& out) -> std::unique_ptr<ResultSink> {
+      return std::make_unique<CsvSink>(out);
+    });
+    r.add("json", [](std::ostream& out) -> std::unique_ptr<ResultSink> {
+      return std::make_unique<JsonSink>(out);
+    });
+    return r;
+  }();
+  return reg;
+}
+
+hw::PlatformProfile make_platform(const std::string& key) {
+  return platforms().get(key)();
+}
+
+std::unique_ptr<energy::Strategy> make_strategy(
+    const RunConfig& cfg, const predict::WorkloadModel& wl) {
+  return strategies().get(cfg.strategy).make(cfg, wl);
+}
+
+std::unique_ptr<ResultSink> make_result_sink(const std::string& key,
+                                             std::ostream& out) {
+  return result_sinks().get(key)(out);
+}
+
+}  // namespace bsr

@@ -8,7 +8,9 @@ namespace bsr::core {
 // here so report.hpp stays header-light.)
 std::string summarize(const RunReport& r) {
   std::ostringstream ss;
-  ss << to_string(r.options.strategy) << " " << to_string(r.options.factorization)
+  ss << (r.strategy_name.empty() ? to_string(r.options.strategy)
+                                 : r.strategy_name.c_str())
+     << " " << to_string(r.options.factorization)
      << " n=" << r.options.n << " b=" << r.options.b << ": " << r.seconds()
      << " s, " << r.total_energy_j() << " J (CPU " << r.cpu_energy_j()
      << " + GPU " << r.gpu_energy_j() << "), " << r.gflops() << " GFLOP/s";

@@ -9,6 +9,11 @@ namespace bsr::core {
 
 struct RunReport {
   RunOptions options;
+  /// The strategy's registry key ("bsr", "original", or a runtime-registered
+  /// name). Authoritative where `options.strategy` is not: registry-only
+  /// strategies have no StrategyKind, so the enum field holds a BSR
+  /// placeholder for them.
+  std::string strategy_name;
   sched::RunTrace trace;
   abft::AbftStats abft;
 

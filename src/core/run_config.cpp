@@ -1,0 +1,173 @@
+#include "bsr/run_config.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "bsr/registry.hpp"
+#include "common/ascii.hpp"
+#include "core/decomposer.hpp"
+
+namespace bsr {
+
+std::int64_t RunConfig::block() const {
+  if (b > 0) return b;
+  return std::min(core::tuned_block(n), n);
+}
+
+void RunConfig::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("RunConfig: " + what);
+  };
+  if (n <= 0) fail("need n > 0 (got n=" + std::to_string(n) + ")");
+  if (b < 0) fail("need b >= 0 (0 = auto-tune; got b=" + std::to_string(b) + ")");
+  if (b > n) {
+    fail("need b <= n (got b=" + std::to_string(b) +
+         ", n=" + std::to_string(n) + ")");
+  }
+  if (!(reclamation_ratio >= 0.0 && reclamation_ratio <= 1.0)) {
+    fail("reclamation_ratio must be in [0, 1] (got " +
+         std::to_string(reclamation_ratio) + ")");
+  }
+  if (!(fc_desired > 0.0 && fc_desired < 1.0)) {
+    fail("fc_desired must be in (0, 1) (got " + std::to_string(fc_desired) +
+         ")");
+  }
+  if (elem_bytes != 4 && elem_bytes != 8) {
+    fail("elem_bytes must be 4 or 8 (got " + std::to_string(elem_bytes) + ")");
+  }
+  if (!(error_rate_multiplier >= 0.0)) {
+    fail("error_rate_multiplier must be >= 0 (got " +
+         std::to_string(error_rate_multiplier) + ")");
+  }
+  // Registry keys: get() throws listing the known keys on a miss.
+  try {
+    (void)strategies().get(strategy);
+    (void)abft_policies().get(abft_policy);
+    (void)platforms().get(platform);
+  } catch (const std::invalid_argument& e) {
+    fail(e.what());
+  }
+}
+
+core::RunOptions RunConfig::options() const {
+  core::RunOptions o;
+  o.factorization = factorization;
+  o.n = n;
+  o.b = block();
+  o.strategy = core::strategy_from_string(strategy);
+  o.reclamation_ratio = reclamation_ratio;
+  o.fc_desired = fc_desired;
+  o.mode = mode;
+  o.seed = seed;
+  o.error_rate_multiplier = error_rate_multiplier;
+  o.noise_enabled = noise_enabled;
+  o.elem_bytes = elem_bytes;
+  o.recover_uncorrectable = recover_uncorrectable;
+  return o;
+}
+
+core::ExtendedOptions RunConfig::extended() const {
+  core::ExtendedOptions e;
+  e.abft_policy = abft_policies().get(abft_policy);
+  e.bsr_use_optimized_guardband = bsr_use_optimized_guardband;
+  e.bsr_allow_overclocking = bsr_allow_overclocking;
+  e.bsr_use_enhanced_predictor = bsr_use_enhanced_predictor;
+  return e;
+}
+
+std::string RunConfig::fingerprint() const {
+  const auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  std::string fp;
+  fp.reserve(256);
+  fp += "fact=";
+  fp += predict::to_string(factorization);
+  fp += ";n=" + std::to_string(n);
+  fp += ";b=" + std::to_string(block());
+  fp += ";elem=" + std::to_string(elem_bytes);
+  // Keys are canonicalized so "BSR", "bsr", and alias spellings ("org" vs
+  // "original") fingerprint — and therefore cache — identically.
+  const std::string strat = strategies().canonical(strategy);
+  fp += ";strategy=" + strat;
+  // The built-in non-BSR strategies provably ignore the BSR-only knobs, so
+  // those are normalized out: a (strategy x r) grid runs Original once, not
+  // once per r. Registry-registered strategies keep the full fingerprint —
+  // their factories receive the whole config and may read any field.
+  const bool bsr_knobs_apply =
+      !(strat == "original" || strat == "r2h" || strat == "sr");
+  const RunConfig defaults;
+  fp += ";r=" + num(bsr_knobs_apply ? reclamation_ratio
+                                    : defaults.reclamation_ratio);
+  fp += ";fc=" + num(bsr_knobs_apply ? fc_desired : defaults.fc_desired);
+  fp += ";gb=" + std::to_string(bsr_knobs_apply ? bsr_use_optimized_guardband
+                                                : defaults.bsr_use_optimized_guardband);
+  fp += ";oc=" + std::to_string(bsr_knobs_apply ? bsr_allow_overclocking
+                                                : defaults.bsr_allow_overclocking);
+  fp += ";pred=" + std::to_string(bsr_knobs_apply ? bsr_use_enhanced_predictor
+                                                  : defaults.bsr_use_enhanced_predictor);
+  fp += ";abft=" + abft_policies().canonical(abft_policy);
+  // recover_uncorrectable only influences numeric execution; normalizing it
+  // out in timing-only runs lets e.g. fig09's "Single" and "Single+recovery"
+  // overhead rows share one cached timing run.
+  const bool recover =
+      mode == ExecutionMode::Numeric && recover_uncorrectable;
+  fp += ";recover=" + std::to_string(recover);
+  fp += ";mode=";
+  fp += core::to_string(mode);
+  fp += ";seed=" + std::to_string(seed);
+  fp += ";erm=" + num(error_rate_multiplier);
+  fp += ";noise=" + std::to_string(noise_enabled);
+  fp += ";platform=" + platforms().canonical(platform);
+  return fp;
+}
+
+RunConfig from_legacy(const core::RunOptions& opts,
+                      const core::ExtendedOptions& ext) {
+  RunConfig cfg;
+  cfg.factorization = opts.factorization;
+  cfg.n = opts.n;
+  cfg.b = opts.b;
+  cfg.elem_bytes = opts.elem_bytes;
+  cfg.strategy = ascii_lower(core::to_string(opts.strategy));
+  cfg.reclamation_ratio = opts.reclamation_ratio;
+  cfg.fc_desired = opts.fc_desired;
+  cfg.bsr_use_optimized_guardband = ext.bsr_use_optimized_guardband;
+  cfg.bsr_allow_overclocking = ext.bsr_allow_overclocking;
+  cfg.bsr_use_enhanced_predictor = ext.bsr_use_enhanced_predictor;
+  cfg.abft_policy = [&] {
+    switch (ext.abft_policy) {
+      case AbftPolicy::Adaptive: return "adaptive";
+      case AbftPolicy::ForceNone: return "none";
+      case AbftPolicy::ForceSingle: return "single";
+      case AbftPolicy::ForceFull: return "full";
+    }
+    return "adaptive";
+  }();
+  cfg.recover_uncorrectable = opts.recover_uncorrectable;
+  cfg.mode = opts.mode;
+  cfg.seed = opts.seed;
+  cfg.error_rate_multiplier = opts.error_rate_multiplier;
+  cfg.noise_enabled = opts.noise_enabled;
+  return cfg;
+}
+
+core::RunReport run(const RunConfig& cfg) {
+  cfg.validate();
+  const core::Decomposer dec(make_platform(cfg.platform));
+  return dec.run(cfg);
+}
+
+std::uint64_t derive_cell_seed(std::uint64_t root, std::uint64_t index) {
+  // splitmix64 over root + (index + 1) * golden gamma: cheap, well mixed, and
+  // cells of one grid never collide with the root seed itself.
+  std::uint64_t z = root + (index + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace bsr

@@ -1,0 +1,122 @@
+// ResultSink backends: Table/CSV/JSON rendering, escaping, width checking,
+// and registry resolution, plus emit() over a real SweepResult.
+#include "bsr/result_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "bsr/registry.hpp"
+#include "bsr/sweep.hpp"
+
+namespace bsr {
+namespace {
+
+TEST(ResultSink, CsvEscapesDelimitersAndQuotes) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.begin({"name", "value"});
+  sink.add_row({"plain", "1.5"});
+  sink.add_row({"with,comma", "say \"hi\""});
+  sink.end();
+  EXPECT_EQ(out.str(),
+            "name,value\n"
+            "plain,1.5\n"
+            "\"with,comma\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(ResultSink, JsonQuotesStringsAndPassesNumbers) {
+  std::ostringstream out;
+  JsonSink sink(out);
+  sink.begin({"strategy", "energy_j", "note"});
+  sink.add_row({"bsr", "123.5", "all \"good\""});
+  sink.add_row({"sr", "130", "a\nb"});
+  sink.end();
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"strategy\": \"bsr\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"energy_j\": 123.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"note\": \"all \\\"good\\\"\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"a\\nb\""), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(ResultSink, JsonQuotesStrtodAcceptedNonJsonTokens) {
+  // strtod accepts these, but strict JSON parsers do not — they must be
+  // emitted as strings, not bare tokens.
+  std::ostringstream out;
+  JsonSink sink(out);
+  sink.begin({"a", "b", "c", "d", "e"});
+  sink.add_row({".5", "+5", "0x1f", "5.", "01"});
+  sink.end();
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\".5\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"+5\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"0x1f\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"5.\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"01\""), std::string::npos) << json;
+  // Valid JSON numbers still pass through bare.
+  std::ostringstream out2;
+  JsonSink sink2(out2);
+  sink2.begin({"a", "b", "c"});
+  sink2.add_row({"-0.5", "1e5", "0"});
+  sink2.end();
+  EXPECT_NE(out2.str().find("\"a\": -0.5"), std::string::npos) << out2.str();
+  EXPECT_NE(out2.str().find("\"b\": 1e5"), std::string::npos) << out2.str();
+  EXPECT_NE(out2.str().find("\"c\": 0"), std::string::npos) << out2.str();
+}
+
+TEST(ResultSink, TableRendersHeadersAndRows) {
+  std::ostringstream out;
+  TableSink sink(out);
+  sink.begin({"Strategy", "Energy"});
+  sink.add_row({"bsr", "123"});
+  sink.end();
+  const std::string table = out.str();
+  EXPECT_NE(table.find("Strategy"), std::string::npos);
+  EXPECT_NE(table.find("bsr"), std::string::npos);
+  EXPECT_NE(table.find("123"), std::string::npos);
+}
+
+TEST(ResultSink, RowWidthMismatchThrows) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.begin({"a", "b"});
+  EXPECT_THROW(sink.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(ResultSink, RegistryResolvesAllBackends) {
+  std::ostringstream out;
+  for (const std::string& key : result_sinks().keys()) {
+    EXPECT_NE(make_result_sink(key, out), nullptr) << key;
+  }
+  EXPECT_THROW((void)make_result_sink("xml", out), std::invalid_argument);
+}
+
+TEST(ResultSink, EmitStreamsASweepGrid) {
+  RunConfig base;
+  base.n = 4096;
+  const SweepResult grid = Sweep(base)
+                               .over(strategy_axis({"original", "bsr"}))
+                               .baseline("original")
+                               .threads(1)
+                               .run();
+  std::ostringstream out;
+  CsvSink sink(out);
+  emit(grid, sink);
+  const std::string csv = out.str();
+  // Header: axis column + metrics + baseline-relative columns.
+  EXPECT_NE(csv.find("strategy,time_s,gflops,energy_j,ed2p,saving"),
+            std::string::npos)
+      << csv;
+  // One line per row plus the header.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("original,"), std::string::npos);
+  EXPECT_NE(csv.find("bsr,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bsr
