@@ -25,7 +25,9 @@ int main(int argc, char** argv) {
       .arg_int("trials", 40, "numeric trials per scheme")
       .arg_double("rate_multiplier", 150.0,
                   "SDC exposure compression factor (see DESIGN.md)");
+  add_list_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
+  if (handled_list_flag(cli)) return 0;
   const std::int64_t n = cli.get_int("n");
   const std::int64_t b = cli.get_int("b");
   const int trials = static_cast<int>(cli.get_int("trials"));

@@ -11,7 +11,9 @@ using namespace bsr;
 int main(int argc, char** argv) {
   Cli cli;
   cli.arg_string("format", "table", "output: table, csv, or json");
+  add_list_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
+  if (handled_list_flag(cli)) return 0;
   const std::string format = cli.get("format");
   require_result_sink_or_exit(format);
 

@@ -1,0 +1,204 @@
+// Fig. 14 (beyond the paper): strong and weak scaling of the energy
+// strategies over 1-8 GPUs on the event-driven cluster engine.
+//
+// The paper evaluates BSR on exactly one CPU+GPU pair; its slack-reclamation
+// model is per-device-pair and nothing in it is limited to two devices
+// (ISSUE 3). This driver stresses that claim at cluster scale: the same
+// factorization distributed block-cyclically over N replicated paper GPUs,
+// swept through bsr::Sweep.
+//
+//   strong scaling: fixed n, devices in {1, 2, 4, 8};
+//   weak scaling:   n grows as devices^(1/3), constant flops per device.
+//
+// --format=csv|json emits one machine-readable result set with a `device`
+// column: per-device rows ("host", "gpu0", ...) plus a "total" row per cell,
+// so per-device and total energy/time/ED2P flow through every ResultSink.
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bsr/bsr.hpp"
+
+using namespace bsr;
+
+namespace {
+
+/// Fail-fast parser for --devices, in the repo's loud-CLI style: a bad token
+/// names itself and exits 2 instead of escaping as std::terminate.
+std::vector<int> parse_counts_or_exit(const std::string& csv) {
+  std::vector<int> out;
+  std::string cur;
+  const auto bad = [](const std::string& token) {
+    std::fprintf(stderr,
+                 "error: --devices: \"%s\" is not a GPU count >= 1 "
+                 "(expected e.g. --devices 1,2,4,8)\n",
+                 token.c_str());
+    std::exit(2);
+  };
+  for (const char ch : csv + ",") {
+    if (ch != ',') {
+      cur += ch;
+      continue;
+    }
+    if (cur.empty()) continue;
+    int value = 0;
+    try {
+      std::size_t used = 0;
+      value = std::stoi(cur, &used);
+      if (used != cur.size()) bad(cur);
+    } catch (const std::exception&) {
+      bad(cur);
+    }
+    if (value < 1) bad(cur);
+    out.push_back(value);
+    cur.clear();
+  }
+  if (out.empty()) bad(csv);
+  return out;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// One scaling curve: pointers into the single sweep's rows, in GPU-count
+/// order, with the device count recovered from each cell label.
+struct Curve {
+  const char* scaling;
+  std::vector<const SweepRow*> rows;
+  std::vector<int> counts;
+};
+
+/// Emits per-device rows plus a total row for every cell of the curve.
+void emit_device_rows(const Curve& curve, ResultSink& sink) {
+  for (std::size_t i = 0; i < curve.rows.size(); ++i) {
+    const core::RunReport& r = *curve.rows[i]->report;
+    const std::string devices = std::to_string(curve.counts[i]);
+    const std::string n = std::to_string(r.options.n);
+    int gpu = 0;
+    for (const DeviceUsage& d : r.device_usage) {
+      const bool host = &d == &r.device_usage.front();
+      const double t = d.busy_s + d.idle_s + d.dvfs_s;
+      sink.add_row({curve.scaling, devices, n,
+                    host ? "host" : "gpu" + std::to_string(gpu++),
+                    num(t), num(d.energy_j), num(d.ed2p()), num(d.gflops())});
+    }
+    sink.add_row({curve.scaling, devices, n, "total", num(r.seconds()),
+                  num(r.total_energy_j()), num(r.ed2p()), num(r.gflops())});
+  }
+}
+
+void print_totals_table(const Curve& curve, const char* title) {
+  TablePrinter t({"GPUs", "n", "Time (s)", "Energy (J)", "ED2P",
+                  "GFLOP/s", "Speedup", "Efficiency"});
+  const core::RunReport& first = *curve.rows.front()->report;
+  for (std::size_t i = 0; i < curve.rows.size(); ++i) {
+    const core::RunReport& r = *curve.rows[i]->report;
+    // Weak-scaling cells grow n, so speedup is work-scaled ("scaled
+    // speedup"); for strong scaling the flops ratio is exactly 1.
+    const double speedup = first.seconds() / r.seconds() *
+                           r.options.workload().total_flops() /
+                           first.options.workload().total_flops();
+    char sp[32];
+    std::snprintf(sp, sizeof(sp), "%.2fx", speedup);
+    // Efficiency relative to the curve's own base point: speedup per
+    // *added* device scaling, so a curve starting at 2 GPUs reads 100%.
+    const double scale = static_cast<double>(curve.counts[i]) /
+                         static_cast<double>(curve.counts.front());
+    t.add_row({std::to_string(curve.counts[i]), std::to_string(r.options.n),
+               num(r.seconds()), num(r.total_energy_j()), num(r.ed2p()),
+               num(r.gflops()), sp, TablePrinter::pct(speedup / scale)});
+  }
+  std::printf("-- %s --\n%s\n", title, t.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.arg_int("n", 30720, "matrix order (fixed for strong scaling)")
+      .arg_int("b", 0, "block (panel) size; 0 = auto-tune per n "
+                       "(weak-scaled cells with grown n always re-tune)")
+      .arg_string("strategy", "bsr", "strategy registry key")
+      .arg_double("r", 0.0, "BSR reclamation ratio in [0, 1]")
+      .arg_string("cluster", "paper_cluster", "cluster profile registry key")
+      .arg_string("devices", "1,2,4,8", "comma-separated GPU counts")
+      .arg_string("format", "table", "output: table, csv, or json");
+  add_list_flag(cli);
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  if (handled_list_flag(cli)) return 0;
+  const std::string format = cli.get("format");
+  require_result_sink_or_exit(format);
+  const std::vector<int> counts = parse_counts_or_exit(cli.get("devices"));
+  const std::int64_t n = cli.get_int("n");
+
+  RunConfig base;
+  base.n = n;
+  base.b = cli.get_int("b");
+  base.strategy = cli.get("strategy");
+  base.reclamation_ratio = cli.get_double("r");
+  base.cluster = cli.get("cluster");
+
+  // Both curves run as one grid so the shared result cache executes the
+  // 1-GPU cell — identical in strong and weak scaling, and the single most
+  // expensive simulation — exactly once.
+  Axis cells{"cell", {}};
+  for (const int g : counts) {
+    cells.points.push_back(
+        {"strong/" + std::to_string(g), [g](RunConfig& c) { c.devices = g; }});
+  }
+  for (const AxisPoint& p : weak_devices_axis(counts, n).points) {
+    cells.points.push_back({"weak/" + p.label, p.apply});
+  }
+  SweepResult grid;
+  try {
+    grid = Sweep(base).over(cells).run();
+  } catch (const std::invalid_argument& e) {
+    // Cell validation failures (--r 2, unknown --strategy / --cluster) fail
+    // loudly, in the same style as Cli::parse_or_exit.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  Curve strong{"strong", {}, counts};
+  Curve weak{"weak", {}, counts};
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    strong.rows.push_back(&grid.rows[i]);
+    weak.rows.push_back(&grid.rows[counts.size() + i]);
+  }
+
+  if (format != "table") {
+    auto sink = make_result_sink(format, stdout_stream());
+    sink->begin({"scaling", "devices", "n", "device", "time_s", "energy_j",
+                 "ed2p", "gflops"});
+    emit_device_rows(strong, *sink);
+    emit_device_rows(weak, *sink);
+    sink->end();
+    return 0;
+  }
+
+  std::printf(
+      "== Fig. 14: strong / weak scaling, %s on %s, base n=%lld ==\n\n",
+      base.strategy.c_str(), base.cluster.c_str(), static_cast<long long>(n));
+  print_totals_table(strong, "strong scaling (fixed n)");
+  print_totals_table(weak, "weak scaling (constant flops per GPU)");
+
+  // Per-device breakdown of the largest strong-scaling cell.
+  const SweepRow& big = *strong.rows.back();
+  TablePrinter t({"Device", "Busy (s)", "Idle (s)", "Energy (J)", "GFLOP/s",
+                  "Final MHz", "ABFT iters"});
+  for (const DeviceUsage& d : big.report->device_usage) {
+    t.add_row({d.name, num(d.busy_s), num(d.idle_s), num(d.energy_j),
+               num(d.gflops()), std::to_string(d.final_mhz),
+               std::to_string(d.iters_single + d.iters_full)});
+  }
+  std::printf("-- per-device breakdown, %d GPUs (strong) --\n%s\n",
+              counts.back(), t.to_string().c_str());
+  std::printf("sweep: %zu unique runs for %zu requested, %.1f ms\n",
+              grid.unique_runs, grid.requested_runs, grid.wall_seconds * 1e3);
+  return 0;
+}

@@ -9,6 +9,8 @@
 //                    (bsr/sweep.hpp)
 //   bsr::ResultSink  Table / CSV / JSON structured output
 //                    (bsr/result_sink.hpp)
+//   bsr::ClusterConfig  N-device scale-out runs on the event-driven cluster
+//                    engine, with per-device reporting (bsr/cluster.hpp)
 //   bsr::Decomposer  the single-run facade, re-exported from core
 //   bsr::Cli         registered-flag command-line parsing with --help
 //
@@ -27,6 +29,7 @@
 // docs/ARCHITECTURE.md.
 #pragma once
 
+#include "bsr/cluster.hpp"
 #include "bsr/registry.hpp"
 #include "bsr/result_sink.hpp"
 #include "bsr/run_config.hpp"

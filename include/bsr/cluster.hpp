@@ -1,0 +1,98 @@
+// bsr/cluster.hpp — cluster-scale simulation behind the stable facade.
+//
+// Generalizes the single CPU+GPU pair to one host plus N accelerator devices
+// on an event-driven simulated clock (src/cluster/): a ClusterProfile names
+// the devices and the link topology (per-device links behind a shared host
+// bus, optional NVLink-style peer links), the factorization's per-iteration
+// tasks distribute block-cyclically across devices, and the energy strategies
+// generalize to per-device slack with per-device ABFT-OC coverage.
+//
+// Two entry points:
+//
+//  * RunConfig::devices >= 1 routes bsr::run() / bsr::Sweep through the
+//    cluster engine (devices = number of accelerators; the profile is the
+//    bsr::cluster_profiles() key in RunConfig::cluster). The default
+//    devices = 0 keeps the classic single-node pipeline, bit-for-bit.
+//  * bsr::ClusterConfig is the explicit facade for scale-out experiments:
+//
+//      bsr::ClusterConfig cc;            // paper host + N x RTX 2080 Ti
+//      cc.devices = 4;
+//      cc.base.strategy = "bsr";
+//      auto report = bsr::run_cluster(cc);
+//      for (const auto& dev : report.device_usage) { ... }  // per device
+//
+// Scaling grids sweep the device count like any other axis:
+//
+//      auto grid = bsr::Sweep(cc.lowered())
+//                      .over(bsr::devices_axis({1, 2, 4, 8}))
+//                      .run();
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bsr/registry.hpp"
+#include "bsr/run_config.hpp"
+#include "bsr/sweep.hpp"
+#include "cluster/engine.hpp"
+#include "cluster/report.hpp"
+#include "cluster/topology.hpp"
+
+namespace bsr {
+
+using cluster::ClusterProfile;
+using cluster::ClusterReport;
+using cluster::DeviceUsage;
+
+/// Builds a ClusterProfile for a given accelerator count.
+using ClusterProfileFactory = std::function<cluster::ClusterProfile(int)>;
+
+/// Registry of cluster topologies, pre-loaded with the built-ins:
+///   paper_cluster (alias pcie): N replicated paper GPUs on per-device PCIe
+///     x16 links behind a shared host bus;
+///   nvlink_pairs (alias nvlink): paper_cluster plus 40 GB/s peer links
+///     between adjacent device pairs.
+Registry<ClusterProfileFactory>& cluster_profiles();
+cluster::ClusterProfile make_cluster_profile(const std::string& key,
+                                             int devices);
+
+/// Explicit scale-out configuration: a base RunConfig (strategy, workload,
+/// ABFT, seed) plus the cluster shape.
+struct ClusterConfig {
+  RunConfig base;
+  int devices = 2;                        ///< accelerator count (>= 1)
+  std::string profile = "paper_cluster";  ///< cluster_profiles() key
+
+  /// The equivalent RunConfig (base with devices/cluster filled in) — what
+  /// Sweep cells carry and fingerprints are computed over.
+  [[nodiscard]] RunConfig lowered() const;
+};
+
+/// Runs one cluster factorization; the returned RunReport aggregates time /
+/// energy / ED2P across devices and carries the per-device breakdown in
+/// RunReport::device_usage (host first, then each accelerator).
+core::RunReport run_cluster(const ClusterConfig& cfg);
+
+/// Same engine for a RunConfig with devices >= 1 (what bsr::run() and the
+/// Sweep engine dispatch to). Throws std::invalid_argument when devices < 1,
+/// when the strategy has no built-in generalization (registry-only
+/// strategies), or when mode is Numeric (cluster runs are timing-only).
+core::RunReport run_cluster(const RunConfig& cfg);
+
+/// The detailed per-device view (makespan + DeviceUsage per lane) of the same
+/// deterministic run.
+cluster::ClusterReport run_cluster_detailed(const ClusterConfig& cfg);
+
+/// Sweep axis over accelerator counts (strong scaling: fixed problem).
+Axis devices_axis(const std::vector<int>& counts);
+
+/// Weak-scaling axis: point d runs `devices = d` with n scaled so the
+/// per-device flop volume stays constant (n = n1 * d^(1/3), rounded to the
+/// 256 grid; the block size re-tunes for the grown sizes). The d = 1 point
+/// leaves n and the block size untouched, so it is the same cell as a
+/// strong-scaling base at the same config (one cached run covers both).
+Axis weak_devices_axis(const std::vector<int>& counts, std::int64_t n1);
+
+}  // namespace bsr

@@ -141,6 +141,20 @@ Registry<PlatformFactory>& platforms();
 Registry<core::AbftPolicy>& abft_policies();
 Registry<SinkFactory>& result_sinks();
 
+/// Prints every registry's canonical keys (strategies, platforms, ABFT
+/// policies, result sinks, cluster profiles from bsr/cluster.hpp) to `out`,
+/// one registry per line — the implementation behind the grid benches'
+/// --list flag, so users can discover keys without reading source.
+void print_registered_keys(std::ostream& out);
+
+class Cli;
+
+/// Registers the grid benches' standard `--list` switch (chainable).
+Cli& add_list_flag(Cli& cli);
+/// True when --list was given: the registry keys have been printed to
+/// stdout and the driver should `return 0`.
+bool handled_list_flag(const Cli& cli);
+
 /// Convenience lookups over the registries above.
 hw::PlatformProfile make_platform(const std::string& key);
 std::unique_ptr<energy::Strategy> make_strategy(

@@ -66,6 +66,16 @@ struct RunConfig {
   // -- platform (bsr::platforms() registry key) -------------------------------
   std::string platform = "paper_default";
 
+  // -- cluster (bsr/cluster.hpp) ----------------------------------------------
+  /// Number of accelerator devices for the event-driven cluster engine.
+  /// 0 (default) runs the classic single-node CPU+GPU pipeline — bit-for-bit
+  /// the pre-cluster behavior; >= 1 distributes the factorization
+  /// block-cyclically over that many devices of the `cluster` profile
+  /// (timing-only; the single-node `platform` key is then ignored).
+  int devices = 0;
+  /// bsr::cluster_profiles() registry key, consulted when devices >= 1.
+  std::string cluster = "paper_cluster";
+
   /// The effective block size: b, or the auto-tuned size clamped to n.
   [[nodiscard]] std::int64_t block() const;
 

@@ -1,0 +1,26 @@
+#include "cluster/distribution.hpp"
+
+namespace bsr::cluster {
+
+std::int64_t BlockCyclic::local_cols(const predict::WorkloadModel& wl, int k,
+                                     int d) const {
+  const std::int64_t first = static_cast<std::int64_t>(k) + 1;
+  const std::int64_t last = wl.num_iterations();  // exclusive
+  if (first >= last) return 0;
+  // Count j in [first, last) with j mod devices == d.
+  const std::int64_t dd = devices;
+  const std::int64_t lo = first + ((d - first) % dd + dd) % dd;
+  if (lo >= last) return 0;
+  return (last - 1 - lo) / dd + 1;
+}
+
+double BlockCyclic::share(const predict::WorkloadModel& wl, int k,
+                          int d) const {
+  const std::int64_t total =
+      static_cast<std::int64_t>(wl.num_iterations()) - k - 1;
+  if (total <= 0) return 0.0;
+  return static_cast<double>(local_cols(wl, k, d)) /
+         static_cast<double>(total);
+}
+
+}  // namespace bsr::cluster

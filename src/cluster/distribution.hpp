@@ -1,0 +1,38 @@
+// Block-cyclic distribution of the factorization's per-iteration tasks.
+//
+// Block column j of the matrix is owned by device j mod D (ScaLAPACK-style
+// 1-D block-cyclic layout). At iteration k the trailing block columns
+// k+1 .. K-1 are updated in place by their owners, so a device's share of the
+// iteration's PU/TMU/checksum work is the fraction of trailing columns it
+// owns — balanced early, and degrading gracefully to a single owner in the
+// last iterations when fewer trailing columns remain than devices.
+#pragma once
+
+#include <cstdint>
+
+#include "predict/workload.hpp"
+
+namespace bsr::cluster {
+
+struct BlockCyclic {
+  int devices = 1;
+
+  /// Owner of block column j.
+  [[nodiscard]] int owner(std::int64_t block_col) const {
+    return static_cast<int>(block_col % devices);
+  }
+
+  /// Number of trailing block columns (k+1 .. K-1) device d updates at
+  /// iteration k. Zero once the trailing matrix has fewer columns than
+  /// devices and d owns none of them.
+  [[nodiscard]] std::int64_t local_cols(const predict::WorkloadModel& wl,
+                                        int k, int d) const;
+
+  /// d's fraction of iteration k's trailing-update work, in [0, 1]; the
+  /// shares over all devices sum to 1 while trailing columns remain, and to 0
+  /// at the final iteration (no trailing matrix left).
+  [[nodiscard]] double share(const predict::WorkloadModel& wl, int k,
+                             int d) const;
+};
+
+}  // namespace bsr::cluster

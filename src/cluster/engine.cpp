@@ -1,0 +1,597 @@
+#include "cluster/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "abft/adaptive.hpp"
+#include "cluster/distribution.hpp"
+#include "cluster/event_engine.hpp"
+#include "common/rng.hpp"
+#include "predict/slack_predictor.hpp"
+
+namespace bsr::cluster {
+
+namespace {
+
+using predict::OpKind;
+
+/// What the strategy decided for one lane of one iteration. The checksum
+/// mode is NOT part of the plan: protection must match the clock that
+/// actually runs, and a lane's transition can be skipped (projection guard)
+/// or clamped after the plan is made, so ABFT-OC is re-consulted at update
+/// start against the live frequency. `core_t` carries the predicted
+/// base-clock compute seconds that consultation needs.
+struct LaneDecision {
+  hw::Mhz freq = 0;  ///< 0 = keep current
+  bool adjust = false;
+  hw::Guardband gb = hw::Guardband::Default;
+  bool halt_idle = false;
+  double core_t = 0.0;  ///< predicted base-clock compute time (seconds)
+};
+
+/// One compute resource: lane 0 is the host, lanes 1..N the accelerators.
+struct Lane {
+  const hw::DeviceModel* dev = nullptr;
+  hw::DvfsController dvfs;
+  hw::Guardband gb = hw::Guardband::Default;
+  bool halt_idle = false;
+  SimTime busy_until;
+  DeviceUsage use;
+  std::vector<double> noise;  ///< per-iteration multiplicative factors
+  std::unique_ptr<predict::EnhancedPredictor> enhanced;
+  std::unique_ptr<predict::FirstIterationPredictor> first;
+  // A retirement park (drop to the floor clock) in flight: the transition
+  // window is settled against the makespan at the final barrier, because the
+  // run may end mid-transition.
+  bool parked = false;
+  double park_power_w = 0.0;  ///< idle power at the pre-park clock
+  SimTime park_start;
+  SimTime park_lat;
+};
+
+class ClusterRun {
+ public:
+  ClusterRun(const ClusterProfile& profile,
+             const predict::WorkloadModel& workload,
+             const ClusterOptions& options)
+      : profile_(profile),
+        wl_(workload),
+        opt_(options),
+        dist_{std::max(1, profile.num_devices())},
+        iters_(workload.num_iterations()),
+        blocks_total_((workload.n / workload.b) * (workload.n / workload.b)) {
+    lanes_.resize(1 + static_cast<std::size_t>(profile_.num_devices()));
+    init_lane(lanes_[0], profile_.host, /*lane=*/0);
+    for (int d = 0; d < profile_.num_devices(); ++d) {
+      init_lane(lanes_[1 + static_cast<std::size_t>(d)],
+                profile_.devices[static_cast<std::size_t>(d)], 1 + d);
+    }
+    link_free_.assign(lanes_.size(), SimTime::zero());
+    plans_.resize(static_cast<std::size_t>(iters_));
+    upd_scheduled_.assign(
+        static_cast<std::size_t>(iters_) * lanes_.size(), false);
+  }
+
+  ClusterReport run() {
+    // Devices owning no trailing columns at all (more devices than block
+    // columns) never receive work: the reclaiming strategies park them
+    // immediately, and under R2H the hardware governor halts them — neither
+    // should idle at base-clock power for the whole run.
+    for (int d = 0; d < profile_.num_devices(); ++d) {
+      if (dist_.local_cols(wl_, 0, d) != 0) continue;
+      Lane& lane = lanes_[static_cast<std::size_t>(1 + d)];
+      if (opt_.strategy == ClusterStrategy::R2H) {
+        lane.halt_idle = true;
+      } else {
+        park_lane(lane);  // no-op under Original (clocks stay pinned)
+      }
+    }
+    // Panel 0 is resident on the host (the matrix is generated there and
+    // distributed as the factorization proceeds), so PD(0) is ready at t=0.
+    start_pd(0, SimTime::zero());
+    const SimTime makespan = engine_.run();
+
+    ClusterReport report;
+    report.makespan = makespan;
+    for (Lane& lane : lanes_) {
+      // Settle an in-flight retirement park: its transition window burns
+      // pre-park idle power and is clipped to the makespan (the run may end
+      // while the clock is still stepping down).
+      if (lane.parked) {
+        const SimTime end = min(lane.park_start + lane.park_lat, makespan);
+        if (end > lane.busy_until) {
+          const double gap = (end - lane.busy_until).seconds();
+          lane.use.energy_j += lane.park_power_w * gap;
+          lane.use.dvfs_s += gap;
+          lane.busy_until = end;
+        }
+      }
+      // Final barrier: every lane idles (or stays halted) until the run ends.
+      charge_idle(lane, makespan);
+      lane.use.final_mhz = lane.dvfs.current();
+      lane.use.dvfs_transitions = lane.dvfs.transitions();
+    }
+    report.host = lanes_[0].use;
+    for (std::size_t d = 1; d < lanes_.size(); ++d) {
+      report.devices.push_back(lanes_[d].use);
+    }
+    return report;
+  }
+
+ private:
+  // -- lane helpers -----------------------------------------------------------
+
+  void init_lane(Lane& lane, const hw::DeviceModel& dev, int index) {
+    lane.dev = &dev;
+    lane.dvfs = dev.make_dvfs();
+    lane.use.name = dev.name;
+    lane.enhanced = std::make_unique<predict::EnhancedPredictor>(wl_);
+    lane.first = std::make_unique<predict::FirstIterationPredictor>(wl_);
+    lane.noise.assign(static_cast<std::size_t>(iters_), 1.0);
+    if (opt_.noise.enabled && iters_ > 1) {
+      const double drift = index == 0 ? opt_.noise.cpu_drift
+                                      : opt_.noise.gpu_drift;
+      Rng rng(opt_.seed +
+              0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1));
+      for (int k = 0; k < iters_; ++k) {
+        const double progress =
+            static_cast<double>(k) / static_cast<double>(iters_ - 1);
+        lane.noise[static_cast<std::size_t>(k)] =
+            (1.0 + drift * progress * progress) *
+            std::exp(rng.normal(0.0, opt_.noise.sigma));
+      }
+    }
+  }
+
+  [[nodiscard]] double idle_power(const Lane& lane) const {
+    const hw::Mhz f = lane.dvfs.current();
+    return lane.halt_idle ? sched::halted_idle_power(*lane.dev, f)
+                          : lane.dev->idle_power(f);
+  }
+
+  /// Integrates idle energy from the lane's last busy instant to `until`.
+  void charge_idle(Lane& lane, SimTime until) {
+    if (until <= lane.busy_until) return;
+    const double gap = (until - lane.busy_until).seconds();
+    lane.use.energy_j += idle_power(lane) * gap;
+    lane.use.idle_s += gap;
+    lane.busy_until = until;
+  }
+
+  /// Applies a decision and runs `busy` seconds of compute on the lane,
+  /// starting no earlier than `ready`; returns the completion time.
+  SimTime run_compute(Lane& lane, SimTime ready, const LaneDecision& d,
+                      SimTime busy, double flops) {
+    const SimTime start = max(ready, lane.busy_until);
+    charge_idle(lane, start);
+    lane.halt_idle = d.halt_idle;
+    lane.gb = d.gb;
+    lane.dvfs.set_guardband(d.gb);
+    SimTime lat;
+    if (d.adjust && d.freq > 0) {
+      lat = lane.dvfs.set_frequency(d.freq);
+      if (lat > SimTime::zero()) {
+        lane.use.energy_j += idle_power(lane) * lat.seconds();
+        lane.use.dvfs_s += lat.seconds();
+      }
+    }
+    const double p = lane.dev->busy_power(lane.dvfs.current(), lane.gb);
+    lane.use.energy_j += p * busy.seconds();
+    lane.use.busy_s += busy.seconds();
+    lane.use.flops += flops;
+    lane.busy_until = start + lat + busy;
+    return lane.busy_until;
+  }
+
+  /// Occupies link `device` and the shared host bus; returns completion.
+  /// The link is held for the whole transfer; the bus only for its *service
+  /// time* (the transfer's share of the aggregate bus bandwidth), so a
+  /// 2x-link bus genuinely carries two concurrent link-speed streams before
+  /// later transfers start queueing.
+  SimTime run_transfer(int device, SimTime ready, double bytes) {
+    const LinkTopology& links = profile_.links;
+    const SimTime dur_link =
+        links.host_links[static_cast<std::size_t>(device)].time_for_bytes(
+            bytes);
+    const SimTime dur_bus = links.host_bus.time_for_bytes(bytes);
+    const SimTime start =
+        max(max(ready, link_free_[static_cast<std::size_t>(1 + device)]),
+            bus_free_);
+    const SimTime done = start + max(dur_link, dur_bus);
+    link_free_[static_cast<std::size_t>(1 + device)] = done;
+    bus_free_ = start + dur_bus;
+    return done;
+  }
+
+  // -- workload shares --------------------------------------------------------
+
+  [[nodiscard]] double one_way_bytes(int k) const {
+    // The full factored panel region the trailing update consumes: m x b
+    // elements (L / Householder vectors). For LU and QR this equals the
+    // single-node transfer_bytes / 2; for Cholesky the single-node pipeline
+    // only ships the b x b diagonal block (the GPU computes L21 in place),
+    // but a *distributed* update needs the whole L21 panel at every device,
+    // so the broadcast is modeled on the panel area for all three.
+    const double m = static_cast<double>(wl_.remaining(k));
+    const double b = static_cast<double>(
+        std::min<std::int64_t>(wl_.b, wl_.remaining(k)));
+    return m * b * static_cast<double>(wl_.elem_bytes);
+  }
+
+  /// Noise-free compute duration of device d's local share of iteration k at
+  /// clock f, split into the useful update and the checksum overhead.
+  struct DeviceWork {
+    SimTime update;
+    SimTime abft;
+    double flops = 0.0;
+  };
+  [[nodiscard]] DeviceWork device_work(int k, int d, hw::Mhz f,
+                                       abft::ChecksumMode mode) const {
+    const predict::IterationWork w = wl_.iteration(k);
+    const double share = dist_.share(wl_, k, d);
+    const hw::DeviceModel& dev = profile_.devices[static_cast<std::size_t>(d)];
+    DeviceWork out;
+    out.flops = w.gpu_flops() * share;
+    out.update = dev.perf.time_for_flops(out.flops, hw::KernelClass::Blas3, f,
+                                         dev.freq);
+    double chk_flops = 0.0;
+    double chk_bytes = 0.0;
+    if (mode == abft::ChecksumMode::SingleSide) {
+      chk_flops = w.checksum_update_flops_single * share;
+      chk_bytes = w.checksum_verify_bytes_single * share;
+    } else if (mode == abft::ChecksumMode::Full) {
+      chk_flops = w.checksum_update_flops_full * share;
+      chk_bytes = w.checksum_verify_bytes_full * share;
+    }
+    if (chk_flops > 0.0 || chk_bytes > 0.0) {
+      // Checksum work costs time and energy but is deliberately NOT added to
+      // `flops`: DeviceUsage reports *useful* factorization throughput, like
+      // RunReport::gflops().
+      out.abft = dev.perf.time_for_flops(chk_flops,
+                                         hw::KernelClass::ChecksumUpdate, f,
+                                         dev.freq) +
+                 dev.perf.time_for_bytes(chk_bytes, f, dev.freq);
+    }
+    return out;
+  }
+
+  // -- strategy ---------------------------------------------------------------
+
+  [[nodiscard]] const predict::SlackPredictor& predictor(
+      const Lane& lane) const {
+    const bool enhanced = opt_.strategy == ClusterStrategy::BSR &&
+                          opt_.bsr.use_enhanced_predictor;
+    if (enhanced) return *lane.enhanced;
+    return *lane.first;
+  }
+
+  /// Device d's share of the (n/b)^2 protected blocks at iteration k — the S
+  /// that per-device ABFT-OC covers (both for the frequency cap at plan time
+  /// and the mode choice at update start, so the two cannot disagree).
+  [[nodiscard]] std::int64_t local_blocks(int k, int d) const {
+    const double share = dist_.share(wl_, k, d);
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::llround(share * static_cast<double>(blocks_total_))));
+  }
+
+  [[nodiscard]] abft::ChecksumMode abft_mode_for(int d, hw::Mhz f,
+                                                 double t_base, int k) const {
+    if (opt_.forced_abft) return *opt_.forced_abft;
+    const hw::DeviceModel& dev = profile_.devices[static_cast<std::size_t>(d)];
+    return abft::abft_oc(opt_.bsr.fc_desired, f, dev, t_base, local_blocks(k, d))
+        .mode;
+  }
+
+  /// Computes the full per-lane plan for iteration k. Called once, when PD(k)
+  /// starts (deterministic point in event order), using whatever the
+  /// predictors have absorbed by then.
+  [[nodiscard]] std::vector<LaneDecision> decide(int k) const {
+    const std::size_t n_lanes = lanes_.size();
+    std::vector<LaneDecision> plan(n_lanes);
+    const bool bsr = opt_.strategy == ClusterStrategy::BSR;
+    const hw::Guardband gb = bsr && opt_.bsr.use_optimized_guardband
+                                 ? hw::Guardband::Optimized
+                                 : hw::Guardband::Default;
+    for (LaneDecision& d : plan) d.gb = gb;
+
+    if (opt_.strategy == ClusterStrategy::Original ||
+        opt_.strategy == ClusterStrategy::R2H || k == 0) {
+      const bool r2h = opt_.strategy == ClusterStrategy::R2H;
+      for (std::size_t i = 0; i < n_lanes; ++i) {
+        const hw::FrequencyDomain& dom = lanes_[i].dev->freq;
+        plan[i].freq = r2h ? dom.max_default_mhz : dom.base_mhz;
+        plan[i].adjust = plan[i].freq != lanes_[i].dvfs.current();
+        plan[i].halt_idle = r2h;
+        if (i > 0) {
+          plan[i].core_t =
+              predictor(lanes_[i]).predict(OpKind::TMU, k) *
+              dist_.share(wl_, k, static_cast<int>(i) - 1);
+        }
+      }
+      return plan;
+    }
+
+    // -- SR / BSR: lane time estimates at base clocks -------------------------
+    // Host lane: panel factorization plus pulling the next panel home.
+    // Device lane d: receiving the broadcast plus its local update share.
+    std::vector<double> core(n_lanes, 0.0);   // compute part (clock-scalable)
+    std::vector<double> over(n_lanes, 0.0);   // fixed transfer part
+    core[0] = predictor(lanes_[0]).predict(OpKind::PD, k);
+    if (k + 1 < iters_) {
+      over[0] = profile_.links
+                    .device_to_host(dist_.owner(k + 1), one_way_bytes(k + 1))
+                    .seconds();
+    }
+    for (std::size_t i = 1; i < n_lanes; ++i) {
+      const int d = static_cast<int>(i) - 1;
+      const double share = dist_.share(wl_, k, d);
+      core[i] = predictor(lanes_[i]).predict(OpKind::TMU, k) * share;
+      over[i] = share > 0.0
+                    ? profile_.links.host_to_device(d, one_way_bytes(k))
+                          .seconds()
+                    : 0.0;
+    }
+    std::vector<double> lane_t(n_lanes);
+    for (std::size_t i = 0; i < n_lanes; ++i) lane_t[i] = core[i] + over[i];
+    std::size_t crit = 0;
+    for (std::size_t i = 1; i < n_lanes; ++i) {
+      if (lane_t[i] > lane_t[crit]) crit = i;
+    }
+    double t_second = 0.0;
+    for (std::size_t i = 0; i < n_lanes; ++i) {
+      if (i != crit) t_second = std::max(t_second, lane_t[i]);
+    }
+    const double t_max = lane_t[crit];
+    const bool oc = bsr && opt_.bsr.allow_overclocking;
+
+    // Critical lane: BSR reclaims r of the gap to the second-longest lane by
+    // speeding up (plus its own DVFS latency, paper Algorithm 2 lines 6/9);
+    // SR leaves it at base.
+    {
+      const Lane& lane = lanes_[crit];
+      const double l = lane.dev->dvfs_latency.seconds();
+      double t_desired = core[crit];
+      const double slack = t_max - t_second;
+      if (bsr && opt_.bsr.reclamation_ratio > 0.0 && slack > 0.0) {
+        t_desired = core[crit] - (opt_.bsr.reclamation_ratio * slack + l);
+      }
+      hw::Mhz f = energy::freq_for_time(core[crit], t_desired, *lane.dev, oc);
+      if (!oc) f = std::min(f, lane.dev->freq.base_mhz);
+      if (crit > 0 && !opt_.forced_abft) {
+        // ABFT-OC may cap the clock at the coverable frequency (the checksum
+        // mode itself is chosen at update start, against the live clock).
+        const abft::AbftDecision ad = abft::abft_oc(
+            opt_.bsr.fc_desired, f, *lane.dev, core[crit],
+            local_blocks(k, static_cast<int>(crit) - 1));
+        f = oc ? ad.freq : std::min(ad.freq, lane.dev->freq.base_mhz);
+      }
+      plan[crit].freq = f;
+    }
+    const double t_crit_proj =
+        energy::time_at_freq(core[crit], plan[crit].freq, *lanes_[crit].dev) +
+        over[crit];
+    const double t_new = std::max(t_crit_proj, t_second);
+
+    // Non-critical lanes stretch into their own slack (never past base).
+    // Lanes with no work left get no plan — they never run an update again;
+    // finish_update() parks them at the floor clock when they retire.
+    for (std::size_t i = 0; i < n_lanes; ++i) {
+      if (i == crit) continue;
+      const Lane& lane = lanes_[i];
+      if (core[i] <= 0.0) continue;
+      const double t_target =
+          t_new - over[i] - lane.dev->dvfs_latency.seconds();
+      hw::Mhz f = energy::freq_for_time(core[i], t_target, *lane.dev,
+                                        gb == hw::Guardband::Optimized);
+      plan[i].freq = std::min(f, lane.dev->freq.base_mhz);
+    }
+
+    // Projection guard (Algorithm 2 lines 16-22): skip any transition whose
+    // projected lane time would push past the iteration's critical path.
+    const double eps = 1e-3 * std::max(t_max, 1e-12);
+    for (std::size_t i = 0; i < n_lanes; ++i) {
+      plan[i].core_t = core[i];
+      if (plan[i].freq <= 0) continue;
+      const double proj =
+          energy::time_at_freq(core[i], plan[i].freq, *lanes_[i].dev) +
+          over[i];
+      const double bound = (i == crit ? t_max : std::max(t_new, t_max)) + eps;
+      plan[i].adjust = proj <= bound && plan[i].freq != lanes_[i].dvfs.current();
+    }
+    return plan;
+  }
+
+  // -- event graph ------------------------------------------------------------
+
+  void start_pd(int k, SimTime ready) {
+    plans_[static_cast<std::size_t>(k)] = decide(k);
+    Lane& host = lanes_[0];
+    const LaneDecision& d = plans_[static_cast<std::size_t>(k)][0];
+    const predict::IterationWork w = wl_.iteration(k);
+    // Apply the clock first so the busy time reflects the new frequency.
+    const hw::Mhz f_before = host.dvfs.current();
+    hw::Mhz f = d.adjust && d.freq > 0 ? d.freq : f_before;
+    f = host.dev->freq.clamp(f, d.gb == hw::Guardband::Optimized);
+    SimTime busy = host.dev->perf.time_for_flops(
+        w.pd_flops, hw::KernelClass::Panel, f, host.dev->freq);
+    busy = busy * lane_noise(0, k);
+    const SimTime done = run_compute(host, ready, d, busy, w.pd_flops);
+    record(lanes_[0], OpKind::PD, k, busy.seconds(), 1.0);
+    engine_.schedule_at(done, [this, k] { finish_pd(k); });
+  }
+
+  /// Occupies the direct peer link between src and dst (one registration
+  /// covers both directions); peer traffic bypasses the host bus entirely.
+  SimTime run_peer_transfer(int src, int dst, SimTime ready, double bytes,
+                            const hw::TransferModel& link) {
+    const auto key = std::minmax(src, dst);
+    SimTime& free = peer_free_[{key.first, key.second}];
+    const SimTime start = max(ready, free);
+    free = start + link.time_for_bytes(bytes);
+    return free;
+  }
+
+  void finish_pd(int k) {
+    // Broadcast the factored panel to every device that owns trailing
+    // columns; each transfer fires that device's update on arrival. Devices
+    // with a direct peer link to a lower-indexed device that also needs the
+    // panel receive it as a one-hop relay over that link instead (NCCL-style
+    // pair forwarding), halving the pressure on the shared host bus.
+    const double bytes = one_way_bytes(k);
+    std::vector<SimTime> arrival(
+        static_cast<std::size_t>(profile_.num_devices()));
+    for (int d = 0; d < profile_.num_devices(); ++d) {
+      if (dist_.local_cols(wl_, k, d) == 0) continue;
+      const hw::TransferModel* relay_link = nullptr;
+      int relay_src = -1;
+      for (int q = 0; q < d; ++q) {
+        if (dist_.local_cols(wl_, k, q) == 0) continue;
+        if (const hw::TransferModel* peer = profile_.links.peer(q, d)) {
+          relay_link = peer;
+          relay_src = q;
+          break;
+        }
+      }
+      arrival[static_cast<std::size_t>(d)] =
+          relay_link != nullptr
+              ? run_peer_transfer(relay_src, d,
+                                  arrival[static_cast<std::size_t>(relay_src)],
+                                  bytes, *relay_link)
+              : run_transfer(d, lanes_[0].busy_until, bytes);
+      engine_.schedule_at(arrival[static_cast<std::size_t>(d)],
+                          [this, k, d] { start_update(k, d); });
+    }
+  }
+
+  void start_update(int k, int d) {
+    // Purely defensive: today each (k, d) update has exactly one scheduling
+    // site (finish_pd's broadcast/relay loop runs once per k), so this guard
+    // never fires. It exists so a future second arrival path — e.g. a
+    // multi-hop relay or a re-broadcast on failure — degrades to a no-op
+    // instead of double-charging the lane.
+    const std::size_t slot =
+        static_cast<std::size_t>(k) * lanes_.size() +
+        static_cast<std::size_t>(1 + d);
+    if (upd_scheduled_[slot]) return;
+    upd_scheduled_[slot] = true;
+
+    Lane& lane = lanes_[static_cast<std::size_t>(1 + d)];
+    const LaneDecision& dec = plans_[static_cast<std::size_t>(k)]
+                                    [static_cast<std::size_t>(1 + d)];
+    const hw::Mhz f_before = lane.dvfs.current();
+    hw::Mhz f = dec.adjust && dec.freq > 0 ? dec.freq : f_before;
+    f = lane.dev->freq.clamp(f, dec.gb == hw::Guardband::Optimized);
+    // Protection matches the clock that actually runs: by now the lane's
+    // plan may have been guarded off or overtaken by a skipped transition,
+    // so ABFT-OC is consulted here, against `f`, not at plan time.
+    const abft::ChecksumMode mode = abft_mode_for(d, f, dec.core_t, k);
+    const DeviceWork work = device_work(k, d, f, mode);
+    const double noise = lane_noise(1 + d, k);
+    const SimTime busy = (work.update + work.abft) * noise;
+    const SimTime done =
+        run_compute(lane, engine_.now(), dec, busy, work.flops);
+    switch (mode) {
+      case abft::ChecksumMode::None: ++lane.use.iters_unprotected; break;
+      case abft::ChecksumMode::SingleSide: ++lane.use.iters_single; break;
+      case abft::ChecksumMode::Full: ++lane.use.iters_full; break;
+    }
+    const double share = dist_.share(wl_, k, d);
+    if (share > 0.0) {
+      record(lane, OpKind::TMU, k, (work.update * noise).seconds(), share);
+    }
+    engine_.schedule_at(done, [this, k, d] { finish_update(k, d); });
+  }
+
+  void finish_update(int k, int d) {
+    // Look-ahead: the owner of panel k+1 ships it home the moment its own
+    // update is done; the host can then factor it while the other devices
+    // are still updating iteration k.
+    if (k + 1 < iters_ && d == dist_.owner(k + 1)) {
+      const SimTime arrived = run_transfer(
+          d, lanes_[static_cast<std::size_t>(1 + d)].busy_until,
+          one_way_bytes(k + 1));
+      engine_.schedule_at(arrived,
+                          [this, k] { start_pd(k + 1, engine_.now()); });
+    }
+    // Once a device owns no trailing columns it never works again
+    // (block-cyclic ownership only shrinks): park the retired lane so it
+    // does not burn last-clock idle power until the makespan barrier.
+    if (k + 1 >= iters_ || dist_.local_cols(wl_, k + 1, d) == 0) {
+      park_lane(lanes_[static_cast<std::size_t>(1 + d)]);
+    }
+  }
+
+  /// Drops a lane that will never work again to its floor clock (SR/BSR
+  /// only; Original pins clocks and R2H's halt model already covers idling).
+  /// The transition window is settled against the makespan at the barrier.
+  void park_lane(Lane& lane) {
+    if (opt_.strategy != ClusterStrategy::SR &&
+        opt_.strategy != ClusterStrategy::BSR) {
+      return;
+    }
+    lane.park_power_w = idle_power(lane);  // at the pre-park clock
+    lane.park_start = lane.busy_until;
+    lane.park_lat = lane.dvfs.set_frequency(lane.dev->freq.min_mhz);
+    lane.parked = lane.park_lat > SimTime::zero();
+  }
+
+  /// Records a measured duration, normalized to the device's base clock and
+  /// (for devices) scaled from the local share back to the global task, so
+  /// the Table-2 complexity ratios stay applicable.
+  void record(Lane& lane, OpKind op, int k, double seconds, double share) {
+    const hw::Mhz f = lane.dvfs.current();
+    const double scale =
+        std::pow(static_cast<double>(f) /
+                     static_cast<double>(lane.dev->freq.base_mhz),
+                 lane.dev->perf.freq_exponent);
+    const double base_global = seconds * scale / share;
+    lane.enhanced->record(op, k, base_global);
+    lane.first->record(op, k, base_global);
+  }
+
+  [[nodiscard]] double lane_noise(int lane, int k) const {
+    return lanes_[static_cast<std::size_t>(lane)]
+        .noise[static_cast<std::size_t>(k)];
+  }
+
+  const ClusterProfile& profile_;
+  const predict::WorkloadModel& wl_;
+  const ClusterOptions& opt_;
+  BlockCyclic dist_;
+  int iters_ = 0;
+  std::int64_t blocks_total_ = 0;
+
+  EventEngine engine_;
+  std::vector<Lane> lanes_;
+  std::vector<SimTime> link_free_;  ///< indexed like lanes_ (slot 0 unused)
+  SimTime bus_free_;
+  std::map<std::pair<int, int>, SimTime> peer_free_;  ///< key (min, max)
+  std::vector<std::vector<LaneDecision>> plans_;
+  std::vector<char> upd_scheduled_;
+};
+
+}  // namespace
+
+ClusterReport run_cluster(const ClusterProfile& profile,
+                          const predict::WorkloadModel& workload,
+                          const ClusterOptions& options) {
+  if (profile.num_devices() < 1) {
+    throw std::invalid_argument("run_cluster: profile has no devices");
+  }
+  if (profile.links.num_devices() !=
+      static_cast<std::size_t>(profile.num_devices())) {
+    throw std::invalid_argument(
+        "run_cluster: link topology covers " +
+        std::to_string(profile.links.num_devices()) + " devices, profile has " +
+        std::to_string(profile.num_devices()));
+  }
+  ClusterRun run(profile, workload, options);
+  return run.run();
+}
+
+}  // namespace bsr::cluster

@@ -1,0 +1,57 @@
+// Event-driven cluster factorization engine.
+//
+// Generalizes the two-lane sched::HybridPipeline to one host plus N
+// accelerators: per iteration k the host factors panel k (PD), the panel is
+// broadcast over the per-device links (queueing on the shared host bus), and
+// every device applies the update to the trailing block columns it owns
+// (block-cyclic). The owner of panel k+1 ships it back to the host as soon as
+// *its own* update finishes — the look-ahead that lets PD(k+1) overlap the
+// other devices' Upd(k, .) work. There is no per-iteration barrier: tasks are
+// ordered only by their true dependencies on a discrete-event queue
+// (cluster/event_engine.hpp), so slack is a per-device quantity.
+//
+// Energy-management strategies generalize per device: the slowest lane
+// (host or any device) is the critical path; BSR overclocks it to reclaim the
+// r fraction of its gap to the second-longest lane and down-clocks every
+// other lane into its own slack, with ABFT-OC (Algorithm 1) consulted per
+// device at that device's clock, covering that device's local block count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "abft/checksum.hpp"
+#include "cluster/report.hpp"
+#include "cluster/topology.hpp"
+#include "energy/bsr_strategy.hpp"
+#include "predict/workload.hpp"
+#include "sched/pipeline.hpp"
+
+namespace bsr::cluster {
+
+/// The four built-in policies, generalized to N devices. (Registry-only
+/// strategies implement the two-lane energy::Strategy interface and cannot
+/// drive the cluster engine; core rejects them with a clear message.)
+enum class ClusterStrategy { Original, R2H, SR, BSR };
+
+struct ClusterOptions {
+  ClusterStrategy strategy = ClusterStrategy::BSR;
+  /// r / fc_desired / ablation switches, shared by every device pair.
+  energy::BsrConfig bsr;
+  /// Force one checksum mode on every device-iteration; nullopt = adaptive
+  /// (ABFT-OC per device at its chosen clock).
+  std::optional<abft::ChecksumMode> forced_abft;
+  std::uint64_t seed = 42;
+  /// Same efficiency-drift + lognormal-jitter model as the single-node
+  /// pipeline; every lane gets an independent per-iteration stream derived
+  /// from `seed`, so runs are bitwise reproducible.
+  sched::NoiseModel noise;
+};
+
+/// Runs the whole factorization on the cluster; bitwise deterministic in
+/// (profile, workload, options).
+ClusterReport run_cluster(const ClusterProfile& profile,
+                          const predict::WorkloadModel& workload,
+                          const ClusterOptions& options);
+
+}  // namespace bsr::cluster

@@ -1,0 +1,59 @@
+// Discrete-event engine on the simulated integer-nanosecond clock.
+//
+// The single-node pipeline advances in lockstep — one iteration at a time,
+// both lanes barriered at the iteration boundary. At cluster scale that
+// barrier would serialize devices that have no data dependency on each other,
+// so the cluster engine schedules *events*: task completions fire handlers
+// that check successor readiness and enqueue the next completions. Events at
+// equal simulated times fire in schedule order (a monotone sequence number
+// breaks ties), which makes every run bitwise deterministic regardless of how
+// the surrounding sweep is threaded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace bsr::cluster {
+
+class EventEngine {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `fn` at absolute simulated time `t`. Scheduling in the past
+  /// (t < now()) is clamped to now(): the event fires next, after already
+  /// queued events of the same time.
+  void schedule_at(SimTime t, Handler fn);
+  void schedule_after(SimTime delay, Handler fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+  /// Drains the queue, advancing now() monotonically; returns the time of the
+  /// last processed event (the makespan when the graph ran to completion).
+  SimTime run();
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq = 0;  ///< tie-break: equal-time events fire in order
+    Handler fn;
+  };
+  /// Min-heap ordering over (time, seq).
+  static bool later(const Event& a, const Event& b) {
+    if (a.time != b.time) return b.time < a.time;
+    return b.seq < a.seq;
+  }
+
+  std::vector<Event> heap_;
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace bsr::cluster

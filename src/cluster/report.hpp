@@ -1,0 +1,67 @@
+// Per-device usage and the aggregated result of one cluster run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "hw/frequency.hpp"
+
+namespace bsr::cluster {
+
+/// One device's (or the host's) aggregate over a cluster run. Flows into
+/// core::RunReport::device_usage so per-device energy/time reaches the
+/// ResultSink backends unchanged.
+struct DeviceUsage {
+  std::string name;
+  double busy_s = 0.0;     ///< compute (incl. checksum work)
+  double idle_s = 0.0;     ///< waiting for panels / peers / the final barrier
+  double dvfs_s = 0.0;     ///< transition latency charged to this device
+  double energy_j = 0.0;
+  double flops = 0.0;      ///< useful factorization flops executed here
+  int dvfs_transitions = 0;
+  hw::Mhz final_mhz = 0;
+  // ABFT coverage accounting, per device (iterations where this device ran
+  // its local update under the given protection level).
+  std::int64_t iters_unprotected = 0;
+  std::int64_t iters_single = 0;
+  std::int64_t iters_full = 0;
+
+  [[nodiscard]] double gflops() const {
+    const double t = busy_s + dvfs_s + idle_s;
+    return t <= 0.0 ? 0.0 : flops / t / 1e9;
+  }
+  [[nodiscard]] double ed2p() const {
+    const double t = busy_s + dvfs_s + idle_s;
+    return energy_j * t * t;
+  }
+};
+
+struct ClusterReport {
+  SimTime makespan;
+  DeviceUsage host;
+  std::vector<DeviceUsage> devices;
+
+  [[nodiscard]] double total_energy_j() const {
+    double e = host.energy_j;
+    for (const DeviceUsage& d : devices) e += d.energy_j;
+    return e;
+  }
+  [[nodiscard]] double device_energy_j() const {
+    double e = 0.0;
+    for (const DeviceUsage& d : devices) e += d.energy_j;
+    return e;
+  }
+  [[nodiscard]] double seconds() const { return makespan.seconds(); }
+  [[nodiscard]] double ed2p() const {
+    return total_energy_j() * seconds() * seconds();
+  }
+  [[nodiscard]] std::int64_t iters_protected() const {
+    std::int64_t n = 0;
+    for (const DeviceUsage& d : devices) n += d.iters_single + d.iters_full;
+    return n;
+  }
+};
+
+}  // namespace bsr::cluster

@@ -1,0 +1,83 @@
+#include "cluster/topology.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace bsr::cluster {
+
+namespace {
+
+const hw::TransferModel& link_or_throw(
+    const std::vector<hw::TransferModel>& links, int device) {
+  if (device < 0 || static_cast<std::size_t>(device) >= links.size()) {
+    throw std::out_of_range("LinkTopology: no link for device " +
+                            std::to_string(device) + " (have " +
+                            std::to_string(links.size()) + ")");
+  }
+  return links[static_cast<std::size_t>(device)];
+}
+
+}  // namespace
+
+SimTime LinkTopology::host_to_device(int device, double bytes) const {
+  const hw::TransferModel& link = link_or_throw(host_links, device);
+  return max(link.time_for_bytes(bytes), host_bus.time_for_bytes(bytes));
+}
+
+SimTime LinkTopology::device_to_host(int device, double bytes) const {
+  // Links are symmetric; the distinction exists for callers' readability.
+  return host_to_device(device, bytes);
+}
+
+const hw::TransferModel* LinkTopology::peer(int src, int dst) const {
+  if (auto it = peer_links.find({src, dst}); it != peer_links.end()) {
+    return &it->second;
+  }
+  if (auto it = peer_links.find({dst, src}); it != peer_links.end()) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+SimTime LinkTopology::device_to_device(int src, int dst, double bytes) const {
+  if (src == dst) return SimTime::zero();
+  if (const hw::TransferModel* direct = peer(src, dst)) {
+    return direct->time_for_bytes(bytes);
+  }
+  return device_to_host(src, bytes) + staging_latency +
+         host_to_device(dst, bytes);
+}
+
+ClusterProfile ClusterProfile::paper_scaleout(int num_gpus) {
+  if (num_gpus < 1) {
+    throw std::invalid_argument("ClusterProfile: need num_gpus >= 1 (got " +
+                                std::to_string(num_gpus) + ")");
+  }
+  const hw::PlatformProfile single = hw::PlatformProfile::paper_default();
+  ClusterProfile c;
+  c.host = single.cpu;
+  c.devices.assign(static_cast<std::size_t>(num_gpus), single.gpu);
+  for (int d = 0; d < num_gpus; ++d) {
+    c.devices[static_cast<std::size_t>(d)].name =
+        single.gpu.name + " #" + std::to_string(d);
+  }
+  // Every device keeps the paper's x16 link; the shared root complex sustains
+  // roughly two concurrent x16 streams before transfers start queueing.
+  c.links.host_links.assign(static_cast<std::size_t>(num_gpus), single.link);
+  c.links.host_bus = {.bandwidth_gbs = 2.0 * single.link.bandwidth_gbs,
+                      .latency = single.link.latency};
+  c.links.staging_latency = SimTime::from_micros(25.0);
+  return c;
+}
+
+ClusterProfile ClusterProfile::nvlink_pairs(int num_gpus) {
+  ClusterProfile c = paper_scaleout(num_gpus);
+  const hw::TransferModel nvlink{.bandwidth_gbs = 40.0,
+                                 .latency = SimTime::from_micros(3.0)};
+  for (int d = 0; d + 1 < num_gpus; d += 2) {
+    c.links.peer_links.emplace(std::make_pair(d, d + 1), nvlink);
+  }
+  return c;
+}
+
+}  // namespace bsr::cluster

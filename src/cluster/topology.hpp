@@ -1,0 +1,71 @@
+// Cluster platform: N accelerator devices behind one host, with a link
+// topology generalizing the single PCIe link of hw::PlatformProfile.
+//
+// Every accelerator hangs off the host on its own hw::TransferModel link
+// (dedicated lanes), but all host<->device traffic additionally crosses the
+// shared host bus (root complex / host memory system): a transfer occupies
+// both its link and the bus, so broadcasting a panel to eight devices is
+// bus-bound even though the eight links are independent. Device-to-device
+// traffic is staged through host memory (d2h + staging + h2d) unless an
+// explicit peer link (NVLink-style) is registered for the pair.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "hw/platform.hpp"
+#include "hw/transfer.hpp"
+
+namespace bsr::cluster {
+
+struct LinkTopology {
+  /// host_links[d] carries all traffic between the host and accelerator d.
+  std::vector<hw::TransferModel> host_links;
+  /// The shared root-complex / host-memory bus every host<->device transfer
+  /// also crosses. A transfer's duration is the slower of its link and the
+  /// bus; concurrent transfers on different links still serialize on the bus.
+  hw::TransferModel host_bus;
+  /// Fixed software cost of staging one device-to-device hop through host
+  /// memory (pinned-buffer bounce).
+  SimTime staging_latency;
+  /// Optional direct device<->device links, keyed by (src, dst); lookups fall
+  /// back to the (dst, src) entry, so one registration covers both directions.
+  std::map<std::pair<int, int>, hw::TransferModel> peer_links;
+
+  [[nodiscard]] std::size_t num_devices() const { return host_links.size(); }
+
+  /// Uncontended transfer times (the engine adds queueing on top).
+  [[nodiscard]] SimTime host_to_device(int device, double bytes) const;
+  [[nodiscard]] SimTime device_to_host(int device, double bytes) const;
+  /// Peer link when registered, else d2h + staging + h2d through the host.
+  [[nodiscard]] SimTime device_to_device(int src, int dst, double bytes) const;
+  /// The registered peer link for (src, dst) in either orientation, if any.
+  [[nodiscard]] const hw::TransferModel* peer(int src, int dst) const;
+};
+
+/// The full simulated cluster: one host (panel factorization, staging) plus
+/// `devices.size()` accelerators sharing the trailing-matrix work.
+struct ClusterProfile {
+  hw::DeviceModel host;
+  std::vector<hw::DeviceModel> devices;
+  LinkTopology links;
+
+  [[nodiscard]] int num_devices() const {
+    return static_cast<int>(devices.size());
+  }
+
+  /// The paper's i7-9700K host with `num_gpus` replicated RTX 2080 Ti
+  /// devices: per-device PCIe 3.0 x16 links behind a shared 24 GB/s host bus.
+  /// At num_gpus = 1 the device and link match hw::PlatformProfile::
+  /// paper_default() exactly.
+  static ClusterProfile paper_scaleout(int num_gpus);
+
+  /// paper_scaleout with NVLink-style 40 GB/s peer links between adjacent
+  /// device pairs (0-1, 2-3, ...), for topologies where peer traffic should
+  /// not stage through the host.
+  static ClusterProfile nvlink_pairs(int num_gpus);
+};
+
+}  // namespace bsr::cluster

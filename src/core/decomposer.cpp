@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "abft/update.hpp"
+#include "bsr/cluster.hpp"
 #include "bsr/registry.hpp"
 #include "fault/injector.hpp"
 #include "la/lapack.hpp"
@@ -267,6 +268,11 @@ std::unique_ptr<energy::Strategy> Decomposer::make_strategy(
 
 RunReport Decomposer::run(const RunConfig& cfg) const {
   cfg.validate();
+  if (cfg.devices >= 1) {
+    // Cluster runs resolve their own profile (cfg.cluster); this Decomposer's
+    // single-node platform does not apply.
+    return bsr::run_cluster(cfg);
+  }
   // Lower to the legacy structs the pipeline still speaks. Registry-only
   // strategies carry no StrategyKind; the report's legacy `options.strategy`
   // field is then a placeholder (BSR) — SweepRow::config keeps the real name.

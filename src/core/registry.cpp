@@ -4,6 +4,11 @@
 // from a namespace-scope initializer.
 #include "bsr/registry.hpp"
 
+#include <ostream>
+
+#include "bsr/cluster.hpp"
+#include "common/cli.hpp"
+#include "common/stdio_stream.hpp"
 #include "energy/baselines.hpp"
 #include "energy/bsr_strategy.hpp"
 #include "energy/sr.hpp"
@@ -90,6 +95,34 @@ Registry<SinkFactory>& result_sinks() {
     return r;
   }();
   return reg;
+}
+
+void print_registered_keys(std::ostream& out) {
+  const auto line = [&out](const char* label,
+                           const std::vector<std::string>& keys) {
+    out << label;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      out << (i == 0 ? " " : ", ") << keys[i];
+    }
+    out << '\n';
+  };
+  line("strategies:      ", strategies().keys());
+  line("platforms:       ", platforms().keys());
+  line("abft policies:   ", abft_policies().keys());
+  line("result sinks:    ", result_sinks().keys());
+  line("cluster profiles:", cluster_profiles().keys());
+}
+
+Cli& add_list_flag(Cli& cli) {
+  return cli.arg_flag("list",
+                      "print registered strategy/platform/ABFT/sink/cluster "
+                      "keys and exit");
+}
+
+bool handled_list_flag(const Cli& cli) {
+  if (!cli.get_bool("list")) return false;
+  print_registered_keys(stdout_stream());
+  return true;
 }
 
 hw::PlatformProfile make_platform(const std::string& key) {

@@ -1,7 +1,10 @@
 // Run report: everything a caller (or bench) wants to know about one run.
 #pragma once
 
+#include <vector>
+
 #include "abft/verify.hpp"
+#include "cluster/report.hpp"
 #include "core/options.hpp"
 #include "sched/timeline.hpp"
 
@@ -25,6 +28,12 @@ struct RunReport {
   /// (RunOptions::recover_uncorrectable); included in seconds()/energy.
   SimTime recovery_time;
   double recovery_energy_j = 0.0;
+
+  /// Per-device breakdown when the run executed on the cluster engine
+  /// (RunConfig::devices >= 1): element 0 is the host, then one entry per
+  /// accelerator. Empty for classic single-node runs. Totals above already
+  /// aggregate these (cpu_energy = host, gpu_energy = all accelerators).
+  std::vector<cluster::DeviceUsage> device_usage;
 
   [[nodiscard]] double seconds() const {
     return (trace.total_time + recovery_time).seconds();

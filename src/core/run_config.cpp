@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "bsr/cluster.hpp"
 #include "bsr/registry.hpp"
 #include "common/ascii.hpp"
 #include "core/decomposer.hpp"
@@ -40,13 +41,26 @@ void RunConfig::validate() const {
     fail("error_rate_multiplier must be >= 0 (got " +
          std::to_string(error_rate_multiplier) + ")");
   }
+  if (devices < 0 || devices > 4096) {
+    fail("devices must be in [0, 4096] (got " + std::to_string(devices) + ")");
+  }
+  if (devices >= 1 && mode == ExecutionMode::Numeric) {
+    fail("cluster runs (devices >= 1) are timing-only; numeric execution is "
+         "single-node");
+  }
   // Registry keys: get() throws listing the known keys on a miss.
   try {
     (void)strategies().get(strategy);
     (void)abft_policies().get(abft_policy);
     (void)platforms().get(platform);
+    if (devices >= 1) (void)cluster_profiles().get(cluster);
   } catch (const std::invalid_argument& e) {
     fail(e.what());
+  }
+  if (devices >= 1 && !strategies().get(strategy).kind) {
+    fail("strategy \"" + strategy +
+         "\" is registry-only (no built-in generalization); the cluster "
+         "engine supports original/r2h/sr/bsr");
   }
 }
 
@@ -99,10 +113,14 @@ std::string RunConfig::fingerprint() const {
   // their factories receive the whole config and may read any field.
   const bool bsr_knobs_apply =
       !(strat == "original" || strat == "r2h" || strat == "sr");
+  // The cluster engine consults fc_desired for *every* strategy (per-device
+  // ABFT-OC runs under Original/R2H/SR too), so fc stays significant on
+  // cluster runs even when the other BSR knobs normalize out.
+  const bool fc_applies = bsr_knobs_apply || devices >= 1;
   const RunConfig defaults;
   fp += ";r=" + num(bsr_knobs_apply ? reclamation_ratio
                                     : defaults.reclamation_ratio);
-  fp += ";fc=" + num(bsr_knobs_apply ? fc_desired : defaults.fc_desired);
+  fp += ";fc=" + num(fc_applies ? fc_desired : defaults.fc_desired);
   fp += ";gb=" + std::to_string(bsr_knobs_apply ? bsr_use_optimized_guardband
                                                 : defaults.bsr_use_optimized_guardband);
   fp += ";oc=" + std::to_string(bsr_knobs_apply ? bsr_allow_overclocking
@@ -121,7 +139,14 @@ std::string RunConfig::fingerprint() const {
   fp += ";seed=" + std::to_string(seed);
   fp += ";erm=" + num(error_rate_multiplier);
   fp += ";noise=" + std::to_string(noise_enabled);
-  fp += ";platform=" + platforms().canonical(platform);
+  // Exactly one of the two platform keys applies per run, so the other is
+  // normalized out (mirrors the BSR-knob normalization above): cluster runs
+  // ignore the single-node `platform`, single-node runs ignore `cluster`.
+  fp += ";platform=" +
+        (devices >= 1 ? std::string("-") : platforms().canonical(platform));
+  fp += ";devices=" + std::to_string(devices);
+  fp += ";cluster=" + (devices >= 1 ? cluster_profiles().canonical(cluster)
+                                    : std::string("-"));
   return fp;
 }
 

@@ -195,7 +195,9 @@ RunConfig baseline_config(RunConfig cfg, const std::string& strategy_key_raw) {
       strategy_key == "sr") {
     const RunConfig defaults;
     cfg.reclamation_ratio = defaults.reclamation_ratio;
-    cfg.fc_desired = defaults.fc_desired;
+    // fc_desired stays on cluster runs: per-device ABFT-OC consults it under
+    // every strategy there (mirrors RunConfig::fingerprint()).
+    if (cfg.devices < 1) cfg.fc_desired = defaults.fc_desired;
     cfg.bsr_use_optimized_guardband = defaults.bsr_use_optimized_guardband;
     cfg.bsr_allow_overclocking = defaults.bsr_allow_overclocking;
     cfg.bsr_use_enhanced_predictor = defaults.bsr_use_enhanced_predictor;

@@ -32,6 +32,18 @@ double HybridPipeline::noise_factor(hw::DeviceId dev, int k) const {
   return dev == hw::DeviceId::Cpu ? cpu_noise_[k] : gpu_noise_[k];
 }
 
+double halted_idle_power(const hw::DeviceModel& dev, hw::Mhz current) {
+  // Race-to-Halt's drop to the floor state is hardware-governed: the
+  // governor needs to observe idleness and step the clock down, so a
+  // fraction of every slack period still burns current-clock idle power.
+  // Explicit DVFS (SR/BSR) does not pay this, which is one reason slack
+  // reclamation beats R2H in the paper's measurements.
+  constexpr double kGovernorReactionFraction = 0.35;
+  return kGovernorReactionFraction * dev.idle_power(current) +
+         (1.0 - kGovernorReactionFraction) *
+             dev.idle_power(dev.freq.min_mhz);
+}
+
 IterationOutcome HybridPipeline::run_iteration(int k, const IterationDecision& d) {
   cpu_dvfs_.set_guardband(d.cpu_guardband);
   gpu_dvfs_.set_guardband(d.gpu_guardband);
@@ -79,20 +91,10 @@ IterationOutcome HybridPipeline::run_iteration(int k, const IterationDecision& d
                                                  cpu.guardband, cpu.freq);
   const double gpu_busy_p = gpu.power.busy_power(fg, d.gpu_guardband,
                                                  gpu.guardband, gpu.freq);
-  // Race-to-Halt's drop to the floor state is hardware-governed: the
-  // governor needs to observe idleness and step the clock down, so a fraction
-  // of every slack period still burns current-clock idle power. Explicit DVFS
-  // (SR/BSR) does not pay this, which is one reason slack reclamation beats
-  // R2H in the paper's measurements.
-  constexpr double kGovernorReactionFraction = 0.35;
-  auto halted_idle = [&](const hw::DeviceModel& dev, hw::Mhz f) {
-    return kGovernorReactionFraction * dev.idle_power(f) +
-           (1.0 - kGovernorReactionFraction) * dev.idle_power(dev.freq.min_mhz);
-  };
   const double cpu_idle_p =
-      d.halt_idle_cpu ? halted_idle(cpu, fc) : cpu.idle_power(fc);
+      d.halt_idle_cpu ? halted_idle_power(cpu, fc) : cpu.idle_power(fc);
   const double gpu_idle_p =
-      d.halt_idle_gpu ? halted_idle(gpu, fg) : gpu.idle_power(fg);
+      d.halt_idle_gpu ? halted_idle_power(gpu, fg) : gpu.idle_power(fg);
 
   SimTime at = now_;
   auto rec = [&](hw::DeviceId dev, SimTime dur, double p, const char* tag,

@@ -33,6 +33,13 @@ struct PipelineConfig {
   std::uint64_t seed = 12345;
 };
 
+/// Idle power of a lane whose strategy "halted" it (Race-to-Halt): the drop
+/// to the floor state is hardware-governed, so a fraction of every slack
+/// period still burns current-clock idle power while the governor observes
+/// idleness. Shared by the single-node pipeline and the cluster engine so
+/// the two models cannot drift apart.
+double halted_idle_power(const hw::DeviceModel& dev, hw::Mhz current);
+
 class HybridPipeline {
  public:
   HybridPipeline(const hw::PlatformProfile& platform, PipelineConfig config);

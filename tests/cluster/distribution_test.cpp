@@ -1,0 +1,79 @@
+#include "cluster/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr::cluster {
+namespace {
+
+predict::WorkloadModel workload(std::int64_t n, std::int64_t b) {
+  return predict::WorkloadModel{predict::Factorization::LU, n, b, 8};
+}
+
+TEST(BlockCyclic, OwnerCycles) {
+  const BlockCyclic dist{4};
+  EXPECT_EQ(dist.owner(0), 0);
+  EXPECT_EQ(dist.owner(1), 1);
+  EXPECT_EQ(dist.owner(4), 0);
+  EXPECT_EQ(dist.owner(7), 3);
+}
+
+TEST(BlockCyclic, LocalColsPartitionTheTrailingMatrix) {
+  const predict::WorkloadModel wl = workload(4096, 256);  // 16 iterations
+  for (const int devices : {1, 2, 3, 4, 8}) {
+    const BlockCyclic dist{devices};
+    for (int k = 0; k < wl.num_iterations(); ++k) {
+      std::int64_t sum = 0;
+      for (int d = 0; d < devices; ++d) sum += dist.local_cols(wl, k, d);
+      EXPECT_EQ(sum, wl.num_iterations() - k - 1)
+          << "devices=" << devices << " k=" << k;
+    }
+  }
+}
+
+TEST(BlockCyclic, SharesSumToOneWhileWorkRemains) {
+  const predict::WorkloadModel wl = workload(4096, 256);
+  const BlockCyclic dist{5};
+  for (int k = 0; k + 1 < wl.num_iterations(); ++k) {
+    double sum = 0.0;
+    for (int d = 0; d < dist.devices; ++d) sum += dist.share(wl, k, d);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "k=" << k;
+  }
+  // Final iteration: no trailing matrix, all shares zero.
+  const int last = wl.num_iterations() - 1;
+  for (int d = 0; d < dist.devices; ++d) {
+    EXPECT_EQ(dist.share(wl, last, d), 0.0);
+  }
+}
+
+TEST(BlockCyclic, BalancedEarlySingleOwnerLate) {
+  const predict::WorkloadModel wl = workload(4096, 256);  // K = 16
+  const BlockCyclic dist{4};
+  // Early: 15 trailing cols over 4 devices: shares within one column.
+  std::int64_t lo = 1000, hi = 0;
+  for (int d = 0; d < 4; ++d) {
+    const std::int64_t c = dist.local_cols(wl, 0, d);
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  EXPECT_LE(hi - lo, 1);
+  // Late (one trailing column): exactly one device owns it.
+  const int k = wl.num_iterations() - 2;
+  int owners = 0;
+  for (int d = 0; d < 4; ++d) {
+    owners += dist.local_cols(wl, k, d) > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(owners, 1);
+  EXPECT_GT(dist.local_cols(wl, k, dist.owner(wl.num_iterations() - 1)), 0);
+}
+
+TEST(BlockCyclic, MoreDevicesThanColumns) {
+  const predict::WorkloadModel wl = workload(1024, 256);  // K = 4
+  const BlockCyclic dist{8};
+  std::int64_t sum = 0;
+  for (int d = 0; d < 8; ++d) sum += dist.local_cols(wl, 0, d);
+  EXPECT_EQ(sum, 3);
+  EXPECT_EQ(dist.local_cols(wl, 0, 5), 0);  // cols 1..3 only
+}
+
+}  // namespace
+}  // namespace bsr::cluster

@@ -1,0 +1,72 @@
+#include "cluster/event_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bsr::cluster {
+namespace {
+
+TEST(EventEngine, FiresInTimeOrder) {
+  EventEngine e;
+  std::vector<int> order;
+  e.schedule_at(SimTime(30), [&] { order.push_back(3); });
+  e.schedule_at(SimTime(10), [&] { order.push_back(1); });
+  e.schedule_at(SimTime(20), [&] { order.push_back(2); });
+  const SimTime end = e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(end, SimTime(30));
+  EXPECT_EQ(e.processed(), 3u);
+}
+
+TEST(EventEngine, EqualTimesFireInScheduleOrder) {
+  EventEngine e;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    e.schedule_at(SimTime(5), [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventEngine, HandlersMayScheduleFurtherEvents) {
+  EventEngine e;
+  std::vector<int> order;
+  e.schedule_at(SimTime(10), [&] {
+    order.push_back(1);
+    e.schedule_after(SimTime(5), [&] { order.push_back(2); });
+  });
+  const SimTime end = e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(end, SimTime(15));
+}
+
+TEST(EventEngine, PastSchedulingClampsToNow) {
+  EventEngine e;
+  std::vector<int> order;
+  e.schedule_at(SimTime(10), [&] {
+    order.push_back(1);
+    // "In the past": fires immediately after already queued time-10 events.
+    e.schedule_at(SimTime(3), [&] { order.push_back(3); });
+  });
+  e.schedule_at(SimTime(10), [&] { order.push_back(2); });
+  const SimTime end = e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(end, SimTime(10));  // clock never runs backwards
+}
+
+TEST(EventEngine, NowAdvancesMonotonically) {
+  EventEngine e;
+  SimTime last = SimTime::zero();
+  for (int i = 0; i < 50; ++i) {
+    e.schedule_at(SimTime(i % 7), [&, i] {
+      EXPECT_GE(e.now(), last);
+      last = e.now();
+      (void)i;
+    });
+  }
+  e.run();
+}
+
+}  // namespace
+}  // namespace bsr::cluster

@@ -1,0 +1,100 @@
+#include "cluster/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bsr::cluster {
+namespace {
+
+LinkTopology two_device_topology() {
+  LinkTopology t;
+  t.host_links = {hw::TransferModel{.bandwidth_gbs = 10.0,
+                                    .latency = SimTime::from_micros(10.0)},
+                  hw::TransferModel{.bandwidth_gbs = 5.0,
+                                    .latency = SimTime::from_micros(20.0)}};
+  t.host_bus = {.bandwidth_gbs = 100.0, .latency = SimTime::from_micros(1.0)};
+  t.staging_latency = SimTime::from_micros(50.0);
+  return t;
+}
+
+TEST(LinkTopology, HostLinkLatencyPlusBandwidthComposition) {
+  const LinkTopology t = two_device_topology();
+  // 10 GB over the 10 GB/s link: 1 s + 10 us (link slower than the bus).
+  EXPECT_NEAR(t.host_to_device(0, 10e9).seconds(), 1.0 + 10e-6, 1e-9);
+  // Device 1's link is half the bandwidth and twice the latency.
+  EXPECT_NEAR(t.host_to_device(1, 10e9).seconds(), 2.0 + 20e-6, 1e-9);
+  // Links are symmetric.
+  EXPECT_EQ(t.device_to_host(1, 10e9), t.host_to_device(1, 10e9));
+}
+
+TEST(LinkTopology, SharedBusDominatesWhenSlower) {
+  LinkTopology t = two_device_topology();
+  t.host_bus = {.bandwidth_gbs = 2.0, .latency = SimTime::from_micros(1.0)};
+  // The 10 GB/s link would take ~1 s, but the 2 GB/s bus takes 5 s: the
+  // transfer runs at the slower of the two.
+  EXPECT_NEAR(t.host_to_device(0, 10e9).seconds(), 5.0 + 1e-6, 1e-9);
+}
+
+TEST(LinkTopology, DeviceToDeviceStagesThroughHost) {
+  const LinkTopology t = two_device_topology();
+  const SimTime expected = t.device_to_host(0, 1e9) + t.staging_latency +
+                           t.host_to_device(1, 1e9);
+  EXPECT_EQ(t.device_to_device(0, 1, 1e9), expected);
+  EXPECT_EQ(t.device_to_device(0, 0, 1e9), SimTime::zero());
+}
+
+TEST(LinkTopology, PeerLinkBypassesHostStagingBothDirections) {
+  LinkTopology t = two_device_topology();
+  t.peer_links.emplace(std::make_pair(0, 1),
+                       hw::TransferModel{.bandwidth_gbs = 40.0,
+                                         .latency = SimTime::from_micros(3.0)});
+  const SimTime direct = t.device_to_device(0, 1, 4e9);
+  EXPECT_NEAR(direct.seconds(), 0.1 + 3e-6, 1e-9);
+  // One registration covers both orientations.
+  EXPECT_EQ(t.device_to_device(1, 0, 4e9), direct);
+  ASSERT_NE(t.peer(1, 0), nullptr);
+  EXPECT_EQ(t.peer(0, 1), t.peer(1, 0));
+}
+
+TEST(LinkTopology, UnknownDeviceThrows) {
+  const LinkTopology t = two_device_topology();
+  EXPECT_THROW((void)t.host_to_device(2, 1.0), std::out_of_range);
+  EXPECT_THROW((void)t.host_to_device(-1, 1.0), std::out_of_range);
+}
+
+TEST(ClusterProfile, PaperScaleoutSingleGpuMatchesPaperPlatform) {
+  const ClusterProfile c = ClusterProfile::paper_scaleout(1);
+  const hw::PlatformProfile p = hw::PlatformProfile::paper_default();
+  ASSERT_EQ(c.num_devices(), 1);
+  EXPECT_EQ(c.host.name, p.cpu.name);
+  EXPECT_EQ(c.host.freq.base_mhz, p.cpu.freq.base_mhz);
+  EXPECT_EQ(c.devices[0].freq.base_mhz, p.gpu.freq.base_mhz);
+  EXPECT_EQ(c.devices[0].perf.blas3_gflops_base, p.gpu.perf.blas3_gflops_base);
+  EXPECT_EQ(c.links.host_links[0].bandwidth_gbs, p.link.bandwidth_gbs);
+  EXPECT_EQ(c.links.host_links[0].latency, p.link.latency);
+}
+
+TEST(ClusterProfile, PaperScaleoutReplicatesAndNames) {
+  const ClusterProfile c = ClusterProfile::paper_scaleout(4);
+  ASSERT_EQ(c.num_devices(), 4);
+  EXPECT_EQ(c.links.num_devices(), 4u);
+  EXPECT_NE(c.devices[0].name, c.devices[3].name);
+  for (const hw::DeviceModel& d : c.devices) {
+    EXPECT_EQ(d.freq.max_oc_mhz, c.devices[0].freq.max_oc_mhz);
+  }
+  // The shared bus sustains about two x16 streams.
+  EXPECT_NEAR(c.links.host_bus.bandwidth_gbs,
+              2.0 * c.links.host_links[0].bandwidth_gbs, 1e-12);
+  EXPECT_THROW(ClusterProfile::paper_scaleout(0), std::invalid_argument);
+}
+
+TEST(ClusterProfile, NvlinkPairsAddsAdjacentPeerLinks) {
+  const ClusterProfile c = ClusterProfile::nvlink_pairs(4);
+  EXPECT_NE(c.links.peer(0, 1), nullptr);
+  EXPECT_NE(c.links.peer(2, 3), nullptr);
+  EXPECT_EQ(c.links.peer(1, 2), nullptr);  // across pairs: host-staged
+  EXPECT_LT(c.links.device_to_device(0, 1, 1e9),
+            c.links.device_to_device(1, 2, 1e9));
+}
+
+}  // namespace
+}  // namespace bsr::cluster

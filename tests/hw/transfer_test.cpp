@@ -34,6 +34,32 @@ TEST(Transfer, TimeScalesLinearlyInBytes) {
   EXPECT_NEAR(t2, 2.0 * t1, 1e-12);
 }
 
+TEST(Transfer, CompositionPaysLatencyOncePerTransfer) {
+  // Splitting a message in two pays the fixed latency twice: time(a + b) ==
+  // time(a) + time(b) - latency, the latency+bandwidth composition law.
+  const TransferModel m{.bandwidth_gbs = 12.0,
+                        .latency = SimTime::from_micros(10.0)};
+  const double a = 3e8;
+  const double b = 7e8;
+  EXPECT_NEAR(m.time_for_bytes(a + b).seconds(),
+              m.time_for_bytes(a).seconds() + m.time_for_bytes(b).seconds() -
+                  m.latency.seconds(),
+              1e-9);
+}
+
+TEST(Transfer, HigherBandwidthNeverSlower) {
+  const TransferModel slow{.bandwidth_gbs = 6.0,
+                           .latency = SimTime::from_micros(10.0)};
+  const TransferModel fast{.bandwidth_gbs = 24.0,
+                           .latency = SimTime::from_micros(10.0)};
+  for (const double bytes : {1.0, 1e3, 1e6, 1e9, 1e12}) {
+    // Below ~1 KB the bandwidth-term difference rounds away at nanosecond
+    // resolution, so only monotonicity (never slower) is guaranteed.
+    EXPECT_LE(fast.time_for_bytes(bytes), slow.time_for_bytes(bytes));
+  }
+  EXPECT_LT(fast.time_for_bytes(1e9), slow.time_for_bytes(1e9));
+}
+
 TEST(Transfer, PanelTransferAtPaperScaleIsMilliseconds) {
   // A 30720 x 512 double panel both ways over PCIe 3 x16: ~2.1 ms + latency.
   const TransferModel m{.bandwidth_gbs = 12.0,
