@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   Cli cli;
   cli.arg_int("n", 30720, "matrix order")
       .arg_int("b", 0, "block (panel) size (0 = auto-tune)");
+  add_variability_flags(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
   const std::int64_t n = cli.get_int("n");
 
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   base.n = n;
   base.b = cli.get_int("b");
   base.strategy = "original";
+  apply_variability_flags_or_exit(cli, base);
 
   std::printf("== Fig. 2: slack per iteration (n=%lld, b=%lld, Original)\n",
               static_cast<long long>(n), static_cast<long long>(base.block()));

@@ -7,6 +7,7 @@
 // process thread pool. --format=csv|json dumps the full grid through a
 // ResultSink for machine consumption.
 #include <cstdio>
+#include <stdexcept>
 
 #include "bsr/bsr.hpp"
 
@@ -16,7 +17,13 @@ int main(int argc, char** argv) {
   Cli cli;
   cli.arg_int("n", 30720, "matrix order")
       .arg_int("b", 512, "block (panel) size")
+      .arg_int("devices", 0,
+               "accelerator count: 0 = classic single-node CPU+GPU pipeline, "
+               ">= 1 = event-driven cluster engine")
+      .arg_string("cluster", "paper_cluster",
+                  "cluster profile registry key (used when --devices >= 1)")
       .arg_string("format", "table", "output: table, csv, or json");
+  add_variability_flags(cli);
   add_list_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
   if (handled_list_flag(cli)) return 0;
@@ -27,14 +34,24 @@ int main(int argc, char** argv) {
   RunConfig base;
   base.n = n;
   base.b = cli.get_int("b");
+  base.devices = static_cast<int>(cli.get_int("devices"));
+  base.cluster = cli.get("cluster");
+  apply_variability_flags_or_exit(cli, base);
 
-  SweepResult grid =
-      Sweep(base)
-          .over(factorization_axis({Factorization::Cholesky, Factorization::LU,
-                                    Factorization::QR}))
-          .over(strategy_axis({"r2h", "sr", "bsr"}))
-          .baseline("original")
-          .run();
+  SweepResult grid;
+  try {
+    grid = Sweep(base)
+               .over(factorization_axis({Factorization::Cholesky,
+                                         Factorization::LU, Factorization::QR}))
+               .over(strategy_axis({"r2h", "sr", "bsr"}))
+               .baseline("original")
+               .run();
+  } catch (const std::invalid_argument& e) {
+    // Cell validation failures (unknown --cluster, bad device count) fail
+    // loudly, in the same style as Cli::parse_or_exit.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
   if (format != "table") {
     emit(grid, *make_result_sink(format, stdout_stream()));

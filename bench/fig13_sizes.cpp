@@ -3,6 +3,7 @@
 // grid runs through bsr::Sweep (one cached Original baseline per size);
 // --format=csv|json dumps the grid through a ResultSink.
 #include <cstdio>
+#include <stdexcept>
 
 #include "bsr/bsr.hpp"
 
@@ -10,20 +11,37 @@ using namespace bsr;
 
 int main(int argc, char** argv) {
   Cli cli;
-  cli.arg_string("format", "table", "output: table, csv, or json");
+  cli.arg_int("devices", 0,
+              "accelerator count: 0 = classic single-node CPU+GPU pipeline, "
+              ">= 1 = event-driven cluster engine")
+      .arg_string("cluster", "paper_cluster",
+                  "cluster profile registry key (used when --devices >= 1)")
+      .arg_string("format", "table", "output: table, csv, or json");
+  add_variability_flags(cli);
   add_list_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
   if (handled_list_flag(cli)) return 0;
   const std::string format = cli.get("format");
   require_result_sink_or_exit(format);
 
+  RunConfig base;
+  base.devices = static_cast<int>(cli.get_int("devices"));
+  base.cluster = cli.get("cluster");
+  apply_variability_flags_or_exit(cli, base);
+
   const std::vector<std::int64_t> sizes = {5120,  10240, 15360,
                                            20480, 25600, 30720};
-  SweepResult grid = Sweep()
-                         .over(size_axis(sizes))  // retunes b per size
-                         .over(strategy_axis({"r2h", "sr", "bsr"}))
-                         .baseline("original")
-                         .run();
+  SweepResult grid;
+  try {
+    grid = Sweep(base)
+               .over(size_axis(sizes))  // retunes b per size
+               .over(strategy_axis({"r2h", "sr", "bsr"}))
+               .baseline("original")
+               .run();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
   if (format != "table") {
     emit(grid, *make_result_sink(format, stdout_stream()));

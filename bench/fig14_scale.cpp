@@ -59,12 +59,6 @@ std::vector<int> parse_counts_or_exit(const std::string& csv) {
   return out;
 }
 
-std::string num(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
-
 /// One scaling curve: pointers into the single sweep's rows, in GPU-count
 /// order, with the device count recovered from each cell label.
 struct Curve {
@@ -85,10 +79,14 @@ void emit_device_rows(const Curve& curve, ResultSink& sink) {
       const double t = d.busy_s + d.idle_s + d.dvfs_s;
       sink.add_row({curve.scaling, devices, n,
                     host ? "host" : "gpu" + std::to_string(gpu++),
-                    num(t), num(d.energy_j), num(d.ed2p()), num(d.gflops())});
+                    TablePrinter::num(t), TablePrinter::num(d.energy_j),
+                    TablePrinter::num(d.ed2p()),
+                    TablePrinter::num(d.gflops())});
     }
-    sink.add_row({curve.scaling, devices, n, "total", num(r.seconds()),
-                  num(r.total_energy_j()), num(r.ed2p()), num(r.gflops())});
+    sink.add_row({curve.scaling, devices, n, "total",
+                  TablePrinter::num(r.seconds()),
+                  TablePrinter::num(r.total_energy_j()),
+                  TablePrinter::num(r.ed2p()), TablePrinter::num(r.gflops())});
   }
 }
 
@@ -110,8 +108,10 @@ void print_totals_table(const Curve& curve, const char* title) {
     const double scale = static_cast<double>(curve.counts[i]) /
                          static_cast<double>(curve.counts.front());
     t.add_row({std::to_string(curve.counts[i]), std::to_string(r.options.n),
-               num(r.seconds()), num(r.total_energy_j()), num(r.ed2p()),
-               num(r.gflops()), sp, TablePrinter::pct(speedup / scale)});
+               TablePrinter::num(r.seconds()),
+               TablePrinter::num(r.total_energy_j()),
+               TablePrinter::num(r.ed2p()), TablePrinter::num(r.gflops()), sp,
+               TablePrinter::pct(speedup / scale)});
   }
   std::printf("-- %s --\n%s\n", title, t.to_string().c_str());
 }
@@ -128,6 +128,7 @@ int main(int argc, char** argv) {
       .arg_string("cluster", "paper_cluster", "cluster profile registry key")
       .arg_string("devices", "1,2,4,8", "comma-separated GPU counts")
       .arg_string("format", "table", "output: table, csv, or json");
+  add_variability_flags(cli);
   add_list_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
   if (handled_list_flag(cli)) return 0;
@@ -142,6 +143,7 @@ int main(int argc, char** argv) {
   base.strategy = cli.get("strategy");
   base.reclamation_ratio = cli.get_double("r");
   base.cluster = cli.get("cluster");
+  apply_variability_flags_or_exit(cli, base);
 
   // Both curves run as one grid so the shared result cache executes the
   // 1-GPU cell — identical in strong and weak scaling, and the single most
@@ -192,8 +194,9 @@ int main(int argc, char** argv) {
   TablePrinter t({"Device", "Busy (s)", "Idle (s)", "Energy (J)", "GFLOP/s",
                   "Final MHz", "ABFT iters"});
   for (const DeviceUsage& d : big.report->device_usage) {
-    t.add_row({d.name, num(d.busy_s), num(d.idle_s), num(d.energy_j),
-               num(d.gflops()), std::to_string(d.final_mhz),
+    t.add_row({d.name, TablePrinter::num(d.busy_s),
+               TablePrinter::num(d.idle_s), TablePrinter::num(d.energy_j),
+               TablePrinter::num(d.gflops()), std::to_string(d.final_mhz),
                std::to_string(d.iters_single + d.iters_full)});
   }
   std::printf("-- per-device breakdown, %d GPUs (strong) --\n%s\n",

@@ -11,6 +11,8 @@
 //                    (bsr/result_sink.hpp)
 //   bsr::ClusterConfig  N-device scale-out runs on the event-driven cluster
 //                    engine, with per-device reporting (bsr/cluster.hpp)
+//   bsr::VariabilityConfig  seeded stochastic execution models (drift,
+//                    jitter, thermal throttling) (bsr/variability.hpp)
 //   bsr::Decomposer  the single-run facade, re-exported from core
 //   bsr::Cli         registered-flag command-line parsing with --help
 //
@@ -34,6 +36,7 @@
 #include "bsr/result_sink.hpp"
 #include "bsr/run_config.hpp"
 #include "bsr/sweep.hpp"
+#include "bsr/variability.hpp"
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/stdio_stream.hpp"
@@ -44,9 +47,17 @@
 #include "energy/pareto.hpp"
 #include "hw/platform.hpp"
 
+/// The stable public API of the BSR library: one-run and grid execution,
+/// string-keyed registries of every pluggable ingredient, structured result
+/// sinks, cluster scale-out, and seeded execution-variability models.
 namespace bsr {
 
+/// Re-exported single-run engine (construct with a resolved platform, call
+/// run(RunConfig)); prefer bsr::run / bsr::Sweep unless you need to pin a
+/// platform object across runs.
 using core::Decomposer;
+/// Re-exported performance-tuned block size for a matrix order (the paper's
+/// "block size tuned for performance"; RunConfig::b = 0 applies it).
 using core::tuned_block;
 
 }  // namespace bsr

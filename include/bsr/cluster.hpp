@@ -42,8 +42,12 @@
 
 namespace bsr {
 
+/// Re-exported cluster shape: host + N accelerator models + link topology.
 using cluster::ClusterProfile;
+/// Re-exported per-run cluster result: makespan + per-lane DeviceUsage.
 using cluster::ClusterReport;
+/// Re-exported per-device accounting (busy/idle/DVFS seconds, energy,
+/// flops, ABFT iteration counts, final clock).
 using cluster::DeviceUsage;
 
 /// Builds a ClusterProfile for a given accelerator count.
@@ -55,13 +59,15 @@ using ClusterProfileFactory = std::function<cluster::ClusterProfile(int)>;
 ///   nvlink_pairs (alias nvlink): paper_cluster plus 40 GB/s peer links
 ///     between adjacent device pairs.
 Registry<ClusterProfileFactory>& cluster_profiles();
+/// Resolves `key` through bsr::cluster_profiles() and builds the profile
+/// for `devices` accelerators.
 cluster::ClusterProfile make_cluster_profile(const std::string& key,
                                              int devices);
 
 /// Explicit scale-out configuration: a base RunConfig (strategy, workload,
 /// ABFT, seed) plus the cluster shape.
 struct ClusterConfig {
-  RunConfig base;
+  RunConfig base;  ///< strategy, workload, ABFT, seed — everything per-run
   int devices = 2;                        ///< accelerator count (>= 1)
   std::string profile = "paper_cluster";  ///< cluster_profiles() key
 

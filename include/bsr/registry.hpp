@@ -63,6 +63,7 @@ class Registry {
     aliases_.emplace(a, t);
   }
 
+  /// True when `key` (canonical or alias, any case) resolves.
   [[nodiscard]] bool contains(const std::string& key) const {
     const std::string k = normalize(key);
     return entries_.count(k) != 0 || aliases_.count(k) != 0;
@@ -121,24 +122,29 @@ class Registry {
 /// built-ins (registry-only strategies leave it empty — they work everywhere
 /// except the deprecated StrategyKind surface).
 struct StrategyEntry {
+  /// Legacy enum tag of the four built-ins; empty for registry-only entries.
   std::optional<core::StrategyKind> kind;
+  /// Builds the strategy object for one run; receives the whole RunConfig,
+  /// so custom strategies may read any field.
   std::function<std::unique_ptr<energy::Strategy>(
       const RunConfig&, const predict::WorkloadModel&)>
       make;
 };
 
+/// Builds one simulated platform profile (a platforms() registry value).
 using PlatformFactory = std::function<hw::PlatformProfile()>;
+/// Builds one result sink writing to the stream (a result_sinks() value).
 using SinkFactory = std::function<std::unique_ptr<ResultSink>(std::ostream&)>;
 
-/// Global registries, pre-loaded with the built-ins on first use:
-///   strategies:    original (alias org), r2h, sr, bsr
-///   platforms:     paper_default (aliases paper, default), test_small,
-///                  numeric_demo (alias numeric)
-///   abft_policies: adaptive, none, single, full (aliases force_*)
-///   result_sinks:  table, csv, json
+/// Strategy registry, pre-loaded on first use with the paper's four:
+/// original (alias org), r2h, sr, bsr.
 Registry<StrategyEntry>& strategies();
+/// Platform registry: paper_default (aliases paper, default), test_small,
+/// numeric_demo (alias numeric).
 Registry<PlatformFactory>& platforms();
+/// ABFT policy registry: adaptive, none, single, full (aliases force_*).
 Registry<core::AbftPolicy>& abft_policies();
+/// Result-sink registry: table, csv, json.
 Registry<SinkFactory>& result_sinks();
 
 /// Prints every registry's canonical keys (strategies, platforms, ABFT
@@ -155,10 +161,12 @@ Cli& add_list_flag(Cli& cli);
 /// stdout and the driver should `return 0`.
 bool handled_list_flag(const Cli& cli);
 
-/// Convenience lookups over the registries above.
+/// Resolves `key` through bsr::platforms() and builds the profile.
 hw::PlatformProfile make_platform(const std::string& key);
+/// Resolves cfg.strategy through bsr::strategies() and builds the strategy.
 std::unique_ptr<energy::Strategy> make_strategy(
     const RunConfig& cfg, const predict::WorkloadModel& wl);
+/// Resolves `key` through bsr::result_sinks() and builds a sink on `out`.
 std::unique_ptr<ResultSink> make_result_sink(const std::string& key,
                                              std::ostream& out);
 

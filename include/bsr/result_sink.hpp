@@ -17,9 +17,12 @@ namespace bsr {
 /// before a long sweep runs (and runtime-registered sinks are listed too).
 void require_result_sink_or_exit(const std::string& key);
 
+/// Structured-output backend interface: one begin(columns), rows, one end().
+/// Implementations render to a stream; register new ones in
+/// bsr::result_sinks() to make them reachable from every --format flag.
 class ResultSink {
  public:
-  virtual ~ResultSink() = default;
+  virtual ~ResultSink() = default;  ///< virtual: deleted through the base
 
   /// Starts a result set. Must be called exactly once, before any add_row.
   virtual void begin(const std::vector<std::string>& columns) = 0;
@@ -33,10 +36,11 @@ class ResultSink {
 /// human-facing backend. Buffers rows and prints on end().
 class TableSink final : public ResultSink {
  public:
+  /// Renders to `out` (kept by reference; must outlive the sink).
   explicit TableSink(std::ostream& out) : out_(&out) {}
-  void begin(const std::vector<std::string>& columns) override;
-  void add_row(const std::vector<std::string>& values) override;
-  void end() override;
+  void begin(const std::vector<std::string>& columns) override;  ///< \copydoc ResultSink::begin
+  void add_row(const std::vector<std::string>& values) override;  ///< \copydoc ResultSink::add_row
+  void end() override;  ///< \copydoc ResultSink::end
 
  private:
   std::ostream* out_;
@@ -48,10 +52,11 @@ class TableSink final : public ResultSink {
 /// comma, quote, or newline. Streams rows as they arrive.
 class CsvSink final : public ResultSink {
  public:
+  /// Renders to `out` (kept by reference; must outlive the sink).
   explicit CsvSink(std::ostream& out) : out_(&out) {}
-  void begin(const std::vector<std::string>& columns) override;
-  void add_row(const std::vector<std::string>& values) override;
-  void end() override;
+  void begin(const std::vector<std::string>& columns) override;  ///< \copydoc ResultSink::begin
+  void add_row(const std::vector<std::string>& values) override;  ///< \copydoc ResultSink::add_row
+  void end() override;  ///< \copydoc ResultSink::end
 
  private:
   std::ostream* out_;
@@ -63,10 +68,11 @@ class CsvSink final : public ResultSink {
 /// numbers; everything else is emitted as a JSON string.
 class JsonSink final : public ResultSink {
  public:
+  /// Renders to `out` (kept by reference; must outlive the sink).
   explicit JsonSink(std::ostream& out) : out_(&out) {}
-  void begin(const std::vector<std::string>& columns) override;
-  void add_row(const std::vector<std::string>& values) override;
-  void end() override;
+  void begin(const std::vector<std::string>& columns) override;  ///< \copydoc ResultSink::begin
+  void add_row(const std::vector<std::string>& values) override;  ///< \copydoc ResultSink::add_row
+  void end() override;  ///< \copydoc ResultSink::end
 
  private:
   std::ostream* out_;

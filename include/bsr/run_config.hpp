@@ -19,10 +19,15 @@ namespace core {
 struct RunReport;
 }  // namespace core
 
-// Re-exported so facade users never spell the legacy namespaces.
+/// Re-exported per-iteration ABFT policy (adaptive / force-none / -single /
+/// -full) so facade users never spell the legacy namespaces.
 using core::AbftPolicy;
+/// Re-exported execution mode: TimingOnly (simulated clocks) or Numeric
+/// (real kernels + real ABFT + fault injection).
 using core::ExecutionMode;
+/// Re-exported legacy strategy enum; prefer registry keys ("bsr", "sr", ...).
 using core::StrategyKind;
+/// Re-exported factorization selector: Cholesky, LU, or QR.
 using predict::Factorization;
 
 /// All knobs for one run. Defaults reproduce the paper's headline
@@ -30,13 +35,15 @@ using predict::Factorization;
 /// saving), adaptive ABFT, timing-only execution on the paper platform.
 struct RunConfig {
   // -- workload ---------------------------------------------------------------
-  Factorization factorization = Factorization::LU;
+  Factorization factorization = Factorization::LU;  ///< which decomposition
   std::int64_t n = 30720;  ///< matrix order
   /// Block (panel) size; 0 = auto-tune via core::tuned_block(n).
   std::int64_t b = 0;
   int elem_bytes = 8;  ///< 8 = double precision, 4 = single
 
-  // -- strategy (bsr::strategies() registry key) ------------------------------
+  // -- strategy ---------------------------------------------------------------
+  /// Energy-management strategy, a bsr::strategies() registry key
+  /// ("original", "r2h", "sr", "bsr", or anything registered at runtime).
   std::string strategy = "bsr";
   /// BSR's r in [0, 1]: the fraction of each iteration's slack left
   /// unreclaimed by overclocking. r = 0 maximizes energy saving; r = r*
@@ -44,11 +51,13 @@ struct RunConfig {
   double reclamation_ratio = 0.0;
   double fc_desired = 0.999999;  ///< target ABFT fault coverage
   // BSR ablation switches (all on = the paper's full BSR).
-  bool bsr_use_optimized_guardband = true;
-  bool bsr_allow_overclocking = true;
-  bool bsr_use_enhanced_predictor = true;
+  bool bsr_use_optimized_guardband = true;  ///< apply the -150 mV guardband
+  bool bsr_allow_overclocking = true;       ///< permit above-base clocks
+  bool bsr_use_enhanced_predictor = true;   ///< enhanced vs first-iteration
 
-  // -- fault tolerance (bsr::abft_policies() registry key) --------------------
+  // -- fault tolerance --------------------------------------------------------
+  /// Per-iteration checksum policy, a bsr::abft_policies() registry key
+  /// ("adaptive", "none", "single", "full").
   std::string abft_policy = "adaptive";
   /// Numeric mode: when ABFT *detects* an error pattern it cannot correct,
   /// roll the trailing update back and recompute it at a safe clock instead
@@ -56,15 +65,26 @@ struct RunConfig {
   bool recover_uncorrectable = false;
 
   // -- execution --------------------------------------------------------------
-  ExecutionMode mode = ExecutionMode::TimingOnly;
+  ExecutionMode mode = ExecutionMode::TimingOnly;  ///< simulate, or run real
   std::uint64_t seed = 42;  ///< root seed for all stochastic parts
   /// Scales the platform's entire SDC-rate table (exposure compression for
   /// reduced-size numeric runs; see DESIGN.md).
   double error_rate_multiplier = 1.0;
   bool noise_enabled = true;  ///< per-task execution-time jitter on/off
 
-  // -- platform (bsr::platforms() registry key) -------------------------------
+  // -- platform ---------------------------------------------------------------
+  /// Simulated platform, a bsr::platforms() registry key ("paper_default",
+  /// "test_small", "numeric_demo"). Ignored on cluster runs (devices >= 1).
   std::string platform = "paper_default";
+
+  // -- variability (bsr/variability.hpp) --------------------------------------
+  /// Seeded stochastic execution models: per-device efficiency drift,
+  /// transfer jitter, DVFS transition jitter + P-state quantization, and a
+  /// sustained-boost thermal budget. Disabled by default (bit-for-bit the
+  /// deterministic simulator); when enabled, streams derive from `seed`
+  /// (or variability.seed when non-zero) so runs stay bitwise reproducible
+  /// at any sweep thread count. Presets: bsr::make_variability(key).
+  var::Spec variability;
 
   // -- cluster (bsr/cluster.hpp) ----------------------------------------------
   /// Number of accelerator devices for the event-driven cluster engine.
@@ -86,9 +106,10 @@ struct RunConfig {
   /// strategy / abft_policy / platform name.
   void validate() const;
 
-  /// Lowers to the legacy pair. options() throws for registry-only strategies
+  /// Lowers to the legacy RunOptions; throws for registry-only strategies
   /// (ones without a legacy StrategyKind tag).
   [[nodiscard]] core::RunOptions options() const;
+  /// Lowers the extension knobs to the legacy ExtendedOptions.
   [[nodiscard]] core::ExtendedOptions extended() const;
 
   /// Canonical "key=value;" serialization of every field. Fields with no
@@ -97,6 +118,7 @@ struct RunConfig {
   /// exact result-cache key (bsr::Sweep keys its run cache on it).
   [[nodiscard]] std::string fingerprint() const;
 
+  /// The per-iteration flop/byte model of this configuration's workload.
   [[nodiscard]] predict::WorkloadModel workload() const {
     return predict::WorkloadModel{factorization, n, block(), elem_bytes};
   }

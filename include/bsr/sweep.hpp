@@ -34,34 +34,41 @@
 
 namespace bsr {
 
+/// Re-exported per-run result (time, energy, ED2P, ABFT stats, residual).
 using core::RunReport;
 
 /// One point on an axis: a display label plus the config mutation it applies.
 struct AxisPoint {
-  std::string label;
-  std::function<void(RunConfig&)> apply;
+  std::string label;                      ///< coordinate label in SweepRow
+  std::function<void(RunConfig&)> apply;  ///< mutation this point applies
 };
 
 /// A named dimension of the grid. Axes are expanded in the order they are
 /// added to the Sweep, first axis outermost.
 struct Axis {
-  std::string name;
-  std::vector<AxisPoint> points;
+  std::string name;               ///< axis (column) name, unique per sweep
+  std::vector<AxisPoint> points;  ///< the axis's values, in display order
 };
 
 // Built-in axis builders for the common grid dimensions. Anything else is a
 // one-liner with a custom Axis{name, {AxisPoint{label, mutator}, ...}}.
+
+/// Axis over strategy registry keys (labels = the keys as given).
 Axis strategy_axis(const std::vector<std::string>& keys);
 /// Same, with explicit display labels: {{"original", "Org"}, ...}. (Not an
 /// overload of strategy_axis — brace-init lists of string literals make the
 /// two signatures ambiguous.)
 Axis strategy_axis_labeled(
     const std::vector<std::pair<std::string, std::string>>& key_labels);
+/// Axis over factorizations (labels "Cholesky" / "LU" / "QR").
 Axis factorization_axis(const std::vector<Factorization>& facts);
 /// Sets n per point; also re-tunes b (b = 0) unless retune_block is false.
 Axis size_axis(const std::vector<std::int64_t>& ns, bool retune_block = true);
+/// Axis over BSR reclamation ratios r.
 Axis ratio_axis(const std::vector<double>& rs);
+/// Axis over ABFT policy registry keys.
 Axis abft_axis(const std::vector<std::string>& policies);
+/// Axis over element widths (8 = "double", 4 = "single").
 Axis precision_axis(const std::vector<int>& elem_bytes);
 /// `trials` points labelled "0".."trials-1"; point t sets
 /// seed = derive_cell_seed(root_seed, t) (per-cell, thread-count independent).
@@ -73,24 +80,27 @@ Axis trial_axis(int trials, std::uint64_t root_seed);
 struct SweepRow {
   std::size_t index = 0;  ///< position in expansion order
   std::map<std::string, std::string> coords;  ///< axis name -> point label
-  RunConfig config;
-  std::shared_ptr<const RunReport> report;
-  std::shared_ptr<const RunReport> baseline;
+  RunConfig config;                         ///< the cell's full configuration
+  std::shared_ptr<const RunReport> report;  ///< the cell's executed result
+  std::shared_ptr<const RunReport> baseline;  ///< baseline result, or null
 
-  // Baseline-relative conveniences (0 / 1.0x when no baseline was requested).
+  /// Energy saved vs the baseline (0 when no baseline was requested).
   [[nodiscard]] double energy_saving() const;
+  /// ED2P reduction vs the baseline (0 when no baseline was requested).
   [[nodiscard]] double ed2p_reduction() const;
+  /// Speedup vs the baseline (1.0 when no baseline was requested).
   [[nodiscard]] double speedup() const;
 };
 
+/// A finished grid: rows in expansion order plus execution statistics.
 class SweepResult {
  public:
-  std::vector<std::string> axis_names;
+  std::vector<std::string> axis_names;  ///< axis names, outermost first
   std::vector<SweepRow> rows;  ///< expansion order, invariant to thread count
   std::size_t requested_runs = 0;  ///< cells + baselines, with multiplicity
   std::size_t unique_runs = 0;     ///< configs actually executed this run()
   std::size_t cache_hits = 0;      ///< requested_runs - unique_runs
-  double wall_seconds = 0.0;
+  double wall_seconds = 0.0;       ///< wall-clock time of this run() call
 
   /// The unique row matching every given (axis, label) pair; throws
   /// std::out_of_range (listing the coords) when none or several match.
@@ -101,10 +111,14 @@ class SweepResult {
       const std::string& axis, const std::string& label) const;
 };
 
+/// Declarative grid runner: a base RunConfig plus axes, executed in parallel
+/// with fingerprint-keyed caching (see the file comment for the guarantees).
 class Sweep {
  public:
+  /// Every cell starts from `base`; axis points mutate copies of it.
   explicit Sweep(RunConfig base = {});
 
+  /// Appends a grid dimension (expanded outermost-first, chainable).
   Sweep& over(Axis axis);
   /// Attach to every cell a baseline run of the same configuration with
   /// `strategy_key` substituted (BSR-specific knobs reset to defaults unless
@@ -121,7 +135,9 @@ class Sweep {
   /// drains. Reusable: a second run() resolves repeats from the cache.
   [[nodiscard]] SweepResult run();
 
+  /// Number of distinct fingerprints in the persistent result cache.
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  /// Drops every cached result (subsequent run() calls re-execute).
   Sweep& clear_cache();
 
  private:
@@ -134,8 +150,8 @@ class Sweep {
 
 /// One output column: name + extractor over a finished row.
 struct MetricColumn {
-  std::string name;
-  std::function<std::string(const SweepRow&)> value;
+  std::string name;                                  ///< column header
+  std::function<std::string(const SweepRow&)> value;  ///< cell renderer
 };
 
 /// The default column set: one column per axis, then time_s / gflops /
@@ -147,6 +163,7 @@ std::vector<MetricColumn> standard_columns(const SweepResult& result);
 /// sweep row, end().
 void emit(const SweepResult& result, const std::vector<MetricColumn>& columns,
           ResultSink& sink);
+/// emit() with the standard_columns() column set.
 void emit(const SweepResult& result, ResultSink& sink);
 
 }  // namespace bsr

@@ -1,0 +1,64 @@
+// bsr/variability.hpp — seeded stochastic execution models behind the facade.
+//
+// The default simulator is perfectly repeatable, so the paper's predictors
+// (§3.2.1) are exact and Fig. 8's comparison degenerates. Enabling the
+// variability block puts a run in the regime the paper actually targets:
+// per-device efficiency drift (a seeded random walk), transfer jitter, DVFS
+// transition jitter plus coarse P-state grids, and a sustained-boost thermal
+// budget that makes BSR's overclocked critical lane pay for long boosts.
+//
+//   bsr::RunConfig cfg;
+//   cfg.variability = bsr::make_variability("drift");  // a preset, or...
+//   cfg.variability.enabled = true;                    // ...field by field
+//   cfg.variability.drift = 0.02;
+//   cfg.seed = 7;                  // variability streams derive from here
+//   auto report = bsr::run(cfg);
+//
+// Guarantees:
+//   * Off by default: a disabled block is bit-for-bit the pre-variability
+//     simulator, and no random numbers are drawn.
+//   * Deterministic on: for a fixed (config, seed) a run is bitwise
+//     identical at any sweep thread count — streams derive from the seed
+//     with the same splitmix64 mixing as bsr::derive_cell_seed, never from
+//     execution order across cells.
+//   * Fingerprinted: every field participates in RunConfig::fingerprint(),
+//     so the sweep cache never conflates two different worlds.
+#pragma once
+
+#include <string>
+
+#include "bsr/registry.hpp"
+#include "var/models.hpp"
+
+namespace bsr {
+
+/// The variability block carried by bsr::RunConfig (see var::Spec for the
+/// field-by-field model documentation).
+using VariabilityConfig = var::Spec;
+
+/// Registry of named variability presets, pre-loaded with the built-ins:
+///   off      — the disabled default (alias: none);
+///   drift    — calibrated efficiency drift only, the Fig. 8 regime where
+///              the enhanced predictor separates from first-iteration
+///              profiling (alias: fig08);
+///   jitter   — mild all-around noise: small drift, transfer and DVFS
+///              jitter, no throttling (alias: mild);
+///   hostile  — a pessimistic machine: drift, heavy jitter, a coarse
+///              P-state grid, and a tight boost budget (alias: throttle).
+Registry<VariabilityConfig>& variability_presets();
+
+/// Resolves a preset key to its VariabilityConfig (throws like Registry::get
+/// on a miss, listing the known presets).
+VariabilityConfig make_variability(const std::string& key);
+
+/// Registers the grid benches' standard `--variability <preset>` and
+/// `--seed <n>` flags (chainable, mirrors add_list_flag).
+Cli& add_variability_flags(Cli& cli);
+
+/// Applies the flags registered by add_variability_flags to `cfg`: sets
+/// cfg.seed and resolves the preset into cfg.variability. An unknown preset
+/// prints "error: ..." (listing the known presets) to stderr and exits 2,
+/// in the same style as Cli::parse_or_exit.
+void apply_variability_flags_or_exit(const Cli& cli, RunConfig& cfg);
+
+}  // namespace bsr

@@ -51,6 +51,7 @@ struct Lane {
   double park_power_w = 0.0;  ///< idle power at the pre-park clock
   SimTime park_start;
   SimTime park_lat;
+  var::LaneVariability var;  ///< inert unless options.variability.enabled
 };
 
 class ClusterRun {
@@ -145,6 +146,28 @@ class ClusterRun {
             std::exp(rng.normal(0.0, opt_.noise.sigma));
       }
     }
+    if (opt_.variability.enabled) {
+      lane.var = var::LaneVariability(opt_.variability, opt_.seed, index,
+                                      iters_, dev.freq.base_mhz);
+    }
+  }
+
+  /// Realizes a plan's clock through the lane's variability models
+  /// (quantization + thermal admission) and rewrites the decision so
+  /// run_compute transitions to exactly the granted clock. Returns the clock
+  /// the lane's work will run at (the pre-variability behavior when the
+  /// block is disabled).
+  [[nodiscard]] hw::Mhz realize_clock(Lane& lane, LaneDecision& d) const {
+    const hw::Mhz f_before = lane.dvfs.current();
+    hw::Mhz f = d.adjust && d.freq > 0 ? d.freq : f_before;
+    f = lane.dev->freq.clamp(f, d.gb == hw::Guardband::Optimized);
+    if (opt_.variability.enabled) {
+      f = lane.var.admit_clock(f, lane.dev->freq,
+                               d.gb == hw::Guardband::Optimized);
+      d.freq = f;
+      d.adjust = f != f_before;
+    }
+    return f;
   }
 
   [[nodiscard]] double idle_power(const Lane& lane) const {
@@ -167,6 +190,7 @@ class ClusterRun {
   SimTime run_compute(Lane& lane, SimTime ready, const LaneDecision& d,
                       SimTime busy, double flops) {
     const SimTime start = max(ready, lane.busy_until);
+    const double idle_gap = (start - lane.busy_until).seconds();
     charge_idle(lane, start);
     lane.halt_idle = d.halt_idle;
     lane.gb = d.gb;
@@ -174,6 +198,7 @@ class ClusterRun {
     SimTime lat;
     if (d.adjust && d.freq > 0) {
       lat = lane.dvfs.set_frequency(d.freq);
+      if (opt_.variability.enabled) lat = lane.var.dvfs_latency(lat);
       if (lat > SimTime::zero()) {
         lane.use.energy_j += idle_power(lane) * lat.seconds();
         lane.use.dvfs_s += lat.seconds();
@@ -184,6 +209,12 @@ class ClusterRun {
     lane.use.busy_s += busy.seconds();
     lane.use.flops += flops;
     lane.busy_until = start + lat + busy;
+    if (opt_.variability.enabled) {
+      // Thermal accounting: the busy window at the granted clock drains the
+      // boost budget; the preceding idle gap and the transition recover it.
+      lane.var.account(lane.dvfs.current(), busy.seconds(),
+                       idle_gap + lat.seconds());
+    }
     return lane.busy_until;
   }
 
@@ -194,10 +225,18 @@ class ClusterRun {
   /// later transfers start queueing.
   SimTime run_transfer(int device, SimTime ready, double bytes) {
     const LinkTopology& links = profile_.links;
-    const SimTime dur_link =
+    SimTime dur_link =
         links.host_links[static_cast<std::size_t>(device)].time_for_bytes(
             bytes);
-    const SimTime dur_bus = links.host_bus.time_for_bytes(bytes);
+    SimTime dur_bus = links.host_bus.time_for_bytes(bytes);
+    if (opt_.variability.enabled) {
+      // One jitter draw per realized transfer, from the device lane's
+      // stream, scaling both the link and its bus share.
+      const double j =
+          lanes_[static_cast<std::size_t>(1 + device)].var.transfer_factor();
+      dur_link = dur_link * j;
+      dur_bus = dur_bus * j;
+    }
     const SimTime start =
         max(max(ready, link_free_[static_cast<std::size_t>(1 + device)]),
             bus_free_);
@@ -411,15 +450,15 @@ class ClusterRun {
   void start_pd(int k, SimTime ready) {
     plans_[static_cast<std::size_t>(k)] = decide(k);
     Lane& host = lanes_[0];
-    const LaneDecision& d = plans_[static_cast<std::size_t>(k)][0];
+    LaneDecision d = plans_[static_cast<std::size_t>(k)][0];
     const predict::IterationWork w = wl_.iteration(k);
-    // Apply the clock first so the busy time reflects the new frequency.
-    const hw::Mhz f_before = host.dvfs.current();
-    hw::Mhz f = d.adjust && d.freq > 0 ? d.freq : f_before;
-    f = host.dev->freq.clamp(f, d.gb == hw::Guardband::Optimized);
+    // Realize the clock first so the busy time reflects the new frequency
+    // (variability may quantize or thermally clamp the plan's choice).
+    const hw::Mhz f = realize_clock(host, d);
     SimTime busy = host.dev->perf.time_for_flops(
         w.pd_flops, hw::KernelClass::Panel, f, host.dev->freq);
     busy = busy * lane_noise(0, k);
+    if (opt_.variability.enabled) busy = busy * host.var.compute_factor(k);
     const SimTime done = run_compute(host, ready, d, busy, w.pd_flops);
     record(lanes_[0], OpKind::PD, k, busy.seconds(), 1.0);
     engine_.schedule_at(done, [this, k] { finish_pd(k); });
@@ -432,7 +471,12 @@ class ClusterRun {
     const auto key = std::minmax(src, dst);
     SimTime& free = peer_free_[{key.first, key.second}];
     const SimTime start = max(ready, free);
-    free = start + link.time_for_bytes(bytes);
+    SimTime dur = link.time_for_bytes(bytes);
+    if (opt_.variability.enabled) {
+      dur = dur *
+            lanes_[static_cast<std::size_t>(1 + dst)].var.transfer_factor();
+    }
+    free = start + dur;
     return free;
   }
 
@@ -481,17 +525,18 @@ class ClusterRun {
     upd_scheduled_[slot] = true;
 
     Lane& lane = lanes_[static_cast<std::size_t>(1 + d)];
-    const LaneDecision& dec = plans_[static_cast<std::size_t>(k)]
-                                    [static_cast<std::size_t>(1 + d)];
-    const hw::Mhz f_before = lane.dvfs.current();
-    hw::Mhz f = dec.adjust && dec.freq > 0 ? dec.freq : f_before;
-    f = lane.dev->freq.clamp(f, dec.gb == hw::Guardband::Optimized);
+    LaneDecision dec = plans_[static_cast<std::size_t>(k)]
+                             [static_cast<std::size_t>(1 + d)];
     // Protection matches the clock that actually runs: by now the lane's
-    // plan may have been guarded off or overtaken by a skipped transition,
-    // so ABFT-OC is consulted here, against `f`, not at plan time.
+    // plan may have been guarded off, overtaken by a skipped transition, or
+    // thermally clamped, so ABFT-OC is consulted here, against the realized
+    // `f`, not at plan time.
+    const hw::Mhz f = realize_clock(lane, dec);
     const abft::ChecksumMode mode = abft_mode_for(d, f, dec.core_t, k);
     const DeviceWork work = device_work(k, d, f, mode);
-    const double noise = lane_noise(1 + d, k);
+    const double noise =
+        lane_noise(1 + d, k) *
+        (opt_.variability.enabled ? lane.var.compute_factor(k) : 1.0);
     const SimTime busy = (work.update + work.abft) * noise;
     const SimTime done =
         run_compute(lane, engine_.now(), dec, busy, work.flops);

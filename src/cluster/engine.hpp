@@ -46,6 +46,14 @@ struct ClusterOptions {
   /// pipeline; every lane gets an independent per-iteration stream derived
   /// from `seed`, so runs are bitwise reproducible.
   sched::NoiseModel noise;
+  /// Seeded stochastic execution models (bsr/variability.hpp) on top of the
+  /// calibrated noise: per-lane drift walks diverge the devices into genuine
+  /// stragglers, transfers jitter per realized leg, DVFS transitions jitter
+  /// and quantize, and boost budgets throttle long-overclocked lanes.
+  /// Disabled by default — the engine is then bit-for-bit the deterministic
+  /// one. Streams derive from `seed` (or variability.seed) per lane, so runs
+  /// stay bitwise reproducible at any sweep thread count.
+  var::Spec variability;
 };
 
 /// Runs the whole factorization on the cluster; bitwise deterministic in

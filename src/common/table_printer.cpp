@@ -1,6 +1,7 @@
 #include "common/table_printer.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -24,6 +25,12 @@ std::string TablePrinter::pct(double fraction, int precision) {
   std::ostringstream ss;
   ss << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
   return ss.str();
+}
+
+std::string TablePrinter::num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
 }
 
 void TablePrinter::print(std::ostream& os) const {

@@ -19,6 +19,9 @@ class TablePrinter {
   /// Format helpers.
   static std::string fmt(double v, int precision = 3);
   static std::string pct(double fraction, int precision = 1);  // 0.283 -> "28.3%"
+  /// Shortest-form %.6g rendering — the benches' machine-readable number
+  /// format (matches the sweep engine's standard_columns()).
+  static std::string num(double v);
 
   /// Render with a header rule and column alignment.
   void print(std::ostream& os) const;

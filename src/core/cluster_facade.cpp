@@ -78,6 +78,7 @@ cluster::ClusterOptions lower_options(const RunConfig& cfg) {
   }
   o.seed = cfg.seed;
   o.noise.enabled = cfg.noise_enabled;
+  o.variability = cfg.variability;
   return o;
 }
 

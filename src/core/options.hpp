@@ -5,6 +5,7 @@
 #include <string>
 
 #include "predict/workload.hpp"
+#include "var/models.hpp"
 
 namespace bsr::core {
 
@@ -65,6 +66,9 @@ struct RunOptions {
   /// charged to the run (the "recovery with high overhead" the paper
   /// mentions as the alternative to sufficient checksum strength).
   bool recover_uncorrectable = false;
+  /// Stochastic execution models (efficiency drift, transfer/DVFS jitter,
+  /// thermal throttling); disabled by default. See bsr/variability.hpp.
+  var::Spec variability;
 
   [[nodiscard]] predict::WorkloadModel workload() const {
     return predict::WorkloadModel{factorization, n, b, elem_bytes};

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "bsr/cluster.hpp"
+#include "bsr/variability.hpp"
 #include "common/cli.hpp"
 #include "common/stdio_stream.hpp"
 #include "energy/baselines.hpp"
@@ -111,12 +112,13 @@ void print_registered_keys(std::ostream& out) {
   line("abft policies:   ", abft_policies().keys());
   line("result sinks:    ", result_sinks().keys());
   line("cluster profiles:", cluster_profiles().keys());
+  line("variability:     ", variability_presets().keys());
 }
 
 Cli& add_list_flag(Cli& cli) {
   return cli.arg_flag("list",
-                      "print registered strategy/platform/ABFT/sink/cluster "
-                      "keys and exit");
+                      "print registered strategy/platform/ABFT/sink/cluster/"
+                      "variability keys and exit");
 }
 
 bool handled_list_flag(const Cli& cli) {

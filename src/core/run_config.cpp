@@ -8,6 +8,7 @@
 #include "bsr/registry.hpp"
 #include "common/ascii.hpp"
 #include "core/decomposer.hpp"
+#include "var/models.hpp"
 
 namespace bsr {
 
@@ -48,6 +49,12 @@ void RunConfig::validate() const {
     fail("cluster runs (devices >= 1) are timing-only; numeric execution is "
          "single-node");
   }
+  // The variability block validates itself; its message gets our prefix.
+  try {
+    var::validate(variability);
+  } catch (const std::invalid_argument& e) {
+    fail(e.what());
+  }
   // Registry keys: get() throws listing the known keys on a miss.
   try {
     (void)strategies().get(strategy);
@@ -78,6 +85,7 @@ core::RunOptions RunConfig::options() const {
   o.noise_enabled = noise_enabled;
   o.elem_bytes = elem_bytes;
   o.recover_uncorrectable = recover_uncorrectable;
+  o.variability = variability;
   return o;
 }
 
@@ -147,6 +155,9 @@ std::string RunConfig::fingerprint() const {
   fp += ";devices=" + std::to_string(devices);
   fp += ";cluster=" + (devices >= 1 ? cluster_profiles().canonical(cluster)
                                     : std::string("-"));
+  // Disabled variability collapses to "var=0" whatever the other fields say,
+  // so toggling a block off restores the deterministic-world cache key.
+  fp += ';' + var::fingerprint_fragment(variability);
   return fp;
 }
 
@@ -177,6 +188,7 @@ RunConfig from_legacy(const core::RunOptions& opts,
   cfg.seed = opts.seed;
   cfg.error_rate_multiplier = opts.error_rate_multiplier;
   cfg.noise_enabled = opts.noise_enabled;
+  cfg.variability = opts.variability;
   return cfg;
 }
 

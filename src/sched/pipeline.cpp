@@ -26,6 +26,14 @@ HybridPipeline::HybridPipeline(const hw::PlatformProfile& platform,
           (1.0 + config_.noise.gpu_drift * progress * progress) * jitter_gpu;
     }
   }
+  if (config_.variability.enabled) {
+    cpu_var_ = var::LaneVariability(config_.variability, config_.seed,
+                                    /*lane=*/0, iters,
+                                    platform_.cpu.freq.base_mhz);
+    gpu_var_ = var::LaneVariability(config_.variability, config_.seed,
+                                    /*lane=*/1, iters,
+                                    platform_.gpu.freq.base_mhz);
+  }
 }
 
 double HybridPipeline::noise_factor(hw::DeviceId dev, int k) const {
@@ -50,11 +58,36 @@ IterationOutcome HybridPipeline::run_iteration(int k, const IterationDecision& d
 
   SimTime cpu_dvfs_lat;
   SimTime gpu_dvfs_lat;
-  if (d.adjust_cpu && d.cpu_freq > 0) {
-    cpu_dvfs_lat = cpu_dvfs_.set_frequency(d.cpu_freq);
-  }
-  if (d.adjust_gpu && d.gpu_freq > 0) {
-    gpu_dvfs_lat = gpu_dvfs_.set_frequency(d.gpu_freq);
+  if (config_.variability.enabled) {
+    // Realize the requested clocks through the variability models: quantize
+    // to the P-state grid and pass the thermal throttle. A throttled lane is
+    // forced to base even when the plan kept its boosted clock, so the
+    // admission runs every iteration, not only on explicit adjustments.
+    const hw::Mhz cpu_req = d.adjust_cpu && d.cpu_freq > 0
+                                ? d.cpu_freq
+                                : cpu_dvfs_.current();
+    const hw::Mhz gpu_req = d.adjust_gpu && d.gpu_freq > 0
+                                ? d.gpu_freq
+                                : gpu_dvfs_.current();
+    const hw::Mhz cpu_granted = cpu_var_.admit_clock(
+        cpu_req, platform_.cpu.freq,
+        d.cpu_guardband == hw::Guardband::Optimized);
+    const hw::Mhz gpu_granted = gpu_var_.admit_clock(
+        gpu_req, platform_.gpu.freq,
+        d.gpu_guardband == hw::Guardband::Optimized);
+    if (cpu_granted != cpu_dvfs_.current()) {
+      cpu_dvfs_lat = cpu_var_.dvfs_latency(cpu_dvfs_.set_frequency(cpu_granted));
+    }
+    if (gpu_granted != gpu_dvfs_.current()) {
+      gpu_dvfs_lat = gpu_var_.dvfs_latency(gpu_dvfs_.set_frequency(gpu_granted));
+    }
+  } else {
+    if (d.adjust_cpu && d.cpu_freq > 0) {
+      cpu_dvfs_lat = cpu_dvfs_.set_frequency(d.cpu_freq);
+    }
+    if (d.adjust_gpu && d.gpu_freq > 0) {
+      gpu_dvfs_lat = gpu_dvfs_.set_frequency(d.gpu_freq);
+    }
   }
   const hw::Mhz fc = cpu_dvfs_.current();
   const hw::Mhz fg = gpu_dvfs_.current();
@@ -67,6 +100,18 @@ IterationOutcome HybridPipeline::run_iteration(int k, const IterationDecision& d
   t.tmu = t.tmu * gpu_noise_[k];
   t.chk_update = t.chk_update * gpu_noise_[k];
   t.chk_verify = t.chk_verify * gpu_noise_[k];
+  if (config_.variability.enabled) {
+    // Stochastic drift walks on top of the calibrated deterministic model;
+    // the transfer rides the device lane's jitter stream.
+    const double cpu_drift = cpu_var_.compute_factor(k);
+    const double gpu_drift = gpu_var_.compute_factor(k);
+    t.pd = t.pd * cpu_drift;
+    t.pu = t.pu * gpu_drift;
+    t.tmu = t.tmu * gpu_drift;
+    t.chk_update = t.chk_update * gpu_drift;
+    t.chk_verify = t.chk_verify * gpu_drift;
+    t.transfer = t.transfer * gpu_var_.transfer_factor();
+  }
 
   IterationOutcome o;
   o.k = k;
@@ -125,6 +170,15 @@ IterationOutcome HybridPipeline::run_iteration(int k, const IterationDecision& d
   o.pd_base_s = t.pd.seconds() * cpu_scale;
   o.pu_tmu_base_s = o.pu_tmu.seconds() * gpu_scale;
   o.transfer_s = t.transfer.seconds();
+
+  if (config_.variability.enabled) {
+    // Thermal accounting: above-base busy time drains the boost budget, the
+    // rest of the iteration span recovers it.
+    const double cpu_busy = t.pd.seconds();
+    const double gpu_busy = (o.pu_tmu + o.abft_time).seconds();
+    cpu_var_.account(fc, cpu_busy, o.span.seconds() - cpu_busy);
+    gpu_var_.account(fg, gpu_busy, o.span.seconds() - gpu_busy);
+  }
 
   now_ += o.span;
   return o;

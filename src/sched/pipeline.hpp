@@ -13,6 +13,7 @@
 #include "hw/energy_meter.hpp"
 #include "sched/tasks.hpp"
 #include "sched/timeline.hpp"
+#include "var/models.hpp"
 
 namespace bsr::sched {
 
@@ -31,6 +32,11 @@ struct PipelineConfig {
   predict::WorkloadModel workload;
   NoiseModel noise;
   std::uint64_t seed = 12345;
+  /// Seeded stochastic execution models on top of the calibrated NoiseModel:
+  /// per-lane efficiency drift walks, transfer/DVFS jitter, P-state
+  /// quantization, and thermal boost budgets (bsr/variability.hpp). Disabled
+  /// by default — the pipeline is then bit-for-bit the pre-variability one.
+  var::Spec variability;
 };
 
 /// Idle power of a lane whose strategy "halted" it (Race-to-Halt): the drop
@@ -61,6 +67,12 @@ class HybridPipeline {
   /// oracles in tests can reason about ground truth).
   [[nodiscard]] double noise_factor(hw::DeviceId dev, int k) const;
 
+  /// The lane's variability state (inert when the config's block is
+  /// disabled); exposed so tests can assert drift/throttle ground truth.
+  [[nodiscard]] const var::LaneVariability& variability(hw::DeviceId dev) const {
+    return dev == hw::DeviceId::Cpu ? cpu_var_ : gpu_var_;
+  }
+
   /// Executes iteration k under the decision; integrates time and energy.
   IterationOutcome run_iteration(int k, const IterationDecision& d);
 
@@ -73,6 +85,8 @@ class HybridPipeline {
   SimTime now_;
   std::vector<double> cpu_noise_;  ///< precomputed per-iteration factors
   std::vector<double> gpu_noise_;
+  var::LaneVariability cpu_var_;  ///< inert unless config_.variability.enabled
+  var::LaneVariability gpu_var_;
 };
 
 }  // namespace bsr::sched

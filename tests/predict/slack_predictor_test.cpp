@@ -106,6 +106,72 @@ TEST(EnhancedPredictor, UsesPartialWindowEarly) {
   EXPECT_NEAR(p.predict(OpKind::PD, 2), true_time(w, OpKind::PD, 2, 0.0), 1e-9);
 }
 
+TEST(EnhancedPredictor, FallbackUsesMostRecentKnownPoint) {
+  const WorkloadModel w = lu();
+  EnhancedPredictor p(w);
+  // Iterations 0 and 3 profiled with *different* efficiencies; the window
+  // {5, 6, 7, 8} at k=9 is empty, so the fallback must ratio-extrapolate
+  // from the most recent known point (3) — not from iteration 0.
+  const double t0 = w.op_complexity(OpKind::TMU, 0) * 1e-11;
+  const double t3 = w.op_complexity(OpKind::TMU, 3) * 1e-11 * 1.5;
+  p.record(OpKind::TMU, 0, t0);
+  p.record(OpKind::TMU, 3, t3);
+  const double expected = w.complexity_ratio(OpKind::TMU, 3, 9) * t3;
+  EXPECT_DOUBLE_EQ(p.predict(OpKind::TMU, 9), expected);
+}
+
+TEST(EnhancedPredictor, SingleNeighborWindowAtKOne) {
+  const WorkloadModel w = lu();
+  EnhancedPredictor p(w);
+  // k=1 has exactly one history entry: the 1/2 weight renormalizes to 1 and
+  // the prediction is pure ratio extrapolation from iteration 0.
+  const double t0 = 3.25e-3;
+  p.record(OpKind::TMU, 0, t0);
+  EXPECT_DOUBLE_EQ(p.predict(OpKind::TMU, 1),
+                   w.complexity_ratio(OpKind::TMU, 0, 1) * t0);
+}
+
+TEST(EnhancedPredictor, WindowRenormalizesExactlyAtKTwo) {
+  const WorkloadModel w = lu();
+  EnhancedPredictor p(w);
+  // k=2 with two entries of deliberately inconsistent efficiency: the result
+  // must be the {1/2, 1/4}-weighted combination renormalized by 3/4 — any
+  // other normalization (e.g. dividing by the full weight sum 1) fails.
+  const double t0 = w.op_complexity(OpKind::TMU, 0) * 1e-11;
+  const double t1 = w.op_complexity(OpKind::TMU, 1) * 1e-11 * 2.0;
+  p.record(OpKind::TMU, 0, t0);
+  p.record(OpKind::TMU, 1, t1);
+  const double expected = (0.5 * w.complexity_ratio(OpKind::TMU, 1, 2) * t1 +
+                           0.25 * w.complexity_ratio(OpKind::TMU, 0, 2) * t0) /
+                          0.75;
+  EXPECT_DOUBLE_EQ(p.predict(OpKind::TMU, 2), expected);
+}
+
+TEST(EnhancedPredictor, SkipsHolesInsideTheWindow) {
+  const WorkloadModel w = lu();
+  EnhancedPredictor p(w);
+  // k=3 with iteration 1 missing: the window contributions are i=1 (k-1=2,
+  // weight 1/2) and i=3 (k-3=0, weight 1/8); the i=2 slot is a hole and its
+  // 1/4 weight must drop out of the normalization.
+  const double t0 = w.op_complexity(OpKind::TMU, 0) * 1e-11;
+  const double t2 = w.op_complexity(OpKind::TMU, 2) * 1e-11 * 1.25;
+  p.record(OpKind::TMU, 0, t0);
+  p.record(OpKind::TMU, 2, t2);
+  const double expected = (0.5 * w.complexity_ratio(OpKind::TMU, 2, 3) * t2 +
+                           0.125 * w.complexity_ratio(OpKind::TMU, 0, 3) * t0) /
+                          0.625;
+  EXPECT_DOUBLE_EQ(p.predict(OpKind::TMU, 3), expected);
+}
+
+TEST(FirstIterationPredictor, IgnoresLaterProfileWithoutIterationZero) {
+  const WorkloadModel w = lu();
+  FirstIterationPredictor p(w);
+  // First-iteration profiling is *defined* by T0; with only iteration 4
+  // profiled it has nothing to extrapolate from and reports "unknown".
+  p.record(OpKind::TMU, 4, 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(OpKind::TMU, 6), 0.0);
+}
+
 TEST(EnhancedPredictor, NothingKnownGivesZero) {
   EnhancedPredictor p(lu());
   EXPECT_DOUBLE_EQ(p.predict(OpKind::PD, 3), 0.0);
