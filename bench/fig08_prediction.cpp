@@ -94,41 +94,6 @@ PredictionErrors measure(const predict::WorkloadModel& wl,
   return errs;
 }
 
-/// Fail-fast parser for --drift, in the repo's loud-CLI style.
-std::vector<double> parse_drifts_or_exit(const std::string& csv) {
-  std::vector<double> out;
-  std::string cur;
-  const auto bad = [](const std::string& token) {
-    std::fprintf(stderr,
-                 "error: --drift: \"%s\" is not an amplitude >= 0 "
-                 "(expected e.g. --drift 0,0.01,0.02,0.04)\n",
-                 token.c_str());
-    std::exit(2);
-  };
-  for (const char ch : csv + ",") {
-    if (ch != ',') {
-      cur += ch;
-      continue;
-    }
-    if (cur.empty()) continue;
-    double value = 0.0;
-    try {
-      std::size_t used = 0;
-      value = std::stod(cur, &used);
-      if (used != cur.size()) bad(cur);
-    } catch (const std::exception&) {
-      bad(cur);
-    }
-    // NaN compares false against everything, so reject non-finite
-    // explicitly — a NaN sigma would silently zero every scored iteration.
-    if (!std::isfinite(value) || value < 0.0) bad(cur);
-    out.push_back(value);
-    cur.clear();
-  }
-  if (out.empty()) bad(csv);
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,7 +134,8 @@ int main(int argc, char** argv) {
   }
 
   // -- drift sweep: prediction error vs efficiency-drift amplitude -----------
-  const std::vector<double> drifts = parse_drifts_or_exit(cli.get("drift"));
+  const std::vector<double> drifts = parse_double_list_or_exit(
+      "drift", cli.get("drift"), 0.0, "an amplitude >= 0", "0,0.01,0.02,0.04");
   std::vector<PredictionErrors> results;
   results.reserve(drifts.size());
   for (const double a : drifts) {

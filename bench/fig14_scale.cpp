@@ -25,37 +25,15 @@ using namespace bsr;
 
 namespace {
 
-/// Fail-fast parser for --devices, in the repo's loud-CLI style: a bad token
-/// names itself and exits 2 instead of escaping as std::terminate.
+/// Fail-fast parser for --devices (common/cli.hpp list helper): a bad token
+/// names itself and exits 2 instead of escaping as std::terminate. The 4096
+/// ceiling matches RunConfig::validate() and keeps the int cast exact.
 std::vector<int> parse_counts_or_exit(const std::string& csv) {
   std::vector<int> out;
-  std::string cur;
-  const auto bad = [](const std::string& token) {
-    std::fprintf(stderr,
-                 "error: --devices: \"%s\" is not a GPU count >= 1 "
-                 "(expected e.g. --devices 1,2,4,8)\n",
-                 token.c_str());
-    std::exit(2);
-  };
-  for (const char ch : csv + ",") {
-    if (ch != ',') {
-      cur += ch;
-      continue;
-    }
-    if (cur.empty()) continue;
-    int value = 0;
-    try {
-      std::size_t used = 0;
-      value = std::stoi(cur, &used);
-      if (used != cur.size()) bad(cur);
-    } catch (const std::exception&) {
-      bad(cur);
-    }
-    if (value < 1) bad(cur);
-    out.push_back(value);
-    cur.clear();
+  for (const long long v : parse_int_list_or_exit(
+           "devices", csv, 1, 4096, "a GPU count in [1, 4096]", "1,2,4,8")) {
+    out.push_back(static_cast<int>(v));
   }
-  if (out.empty()) bad(csv);
   return out;
 }
 

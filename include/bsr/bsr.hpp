@@ -13,6 +13,8 @@
 //                    engine, with per-device reporting (bsr/cluster.hpp)
 //   bsr::VariabilityConfig  seeded stochastic execution models (drift,
 //                    jitter, thermal throttling) (bsr/variability.hpp)
+//   bsr::FaultConfig / bsr::FaultCampaign  seeded fault-injection campaigns
+//                    with recovery-cost simulation (bsr/faults.hpp)
 //   bsr::Decomposer  the single-run facade, re-exported from core
 //   bsr::Cli         registered-flag command-line parsing with --help
 //
@@ -32,6 +34,7 @@
 #pragma once
 
 #include "bsr/cluster.hpp"
+#include "bsr/faults.hpp"
 #include "bsr/registry.hpp"
 #include "bsr/result_sink.hpp"
 #include "bsr/run_config.hpp"
@@ -49,7 +52,8 @@
 
 /// The stable public API of the BSR library: one-run and grid execution,
 /// string-keyed registries of every pluggable ingredient, structured result
-/// sinks, cluster scale-out, and seeded execution-variability models.
+/// sinks, cluster scale-out, seeded execution-variability models, and seeded
+/// fault-injection campaigns with recovery-cost simulation.
 namespace bsr {
 
 /// Re-exported single-run engine (construct with a resolved platform, call

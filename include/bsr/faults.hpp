@@ -1,0 +1,168 @@
+// bsr/faults.hpp — seeded fault-injection campaigns with recovery-cost
+// simulation behind the facade.
+//
+// The paper's headline safety claim (Fig. 9) is that BSR's overclocked
+// critical lane stays *safe*: ABFT-OC catches the SDCs the reduced guardband
+// induces, and recovery costs less than the reclaimed slack is worth. The
+// numeric path demonstrates that with real corruption on bounded matrices;
+// this facade exposes the *statistical* counterpart — composable, seeded
+// fault processes plus a recovery-cost model — which works at paper scale, on
+// the N-device cluster engine, and across thousands of trials:
+//
+//   bsr::RunConfig cfg;
+//   cfg.faults = bsr::make_faults("poisson");   // a preset, or...
+//   cfg.faults.enabled = true;                  // ...field by field
+//   cfg.faults.rate_multiplier = 25.0;
+//   auto report = bsr::run(cfg);                // one seeded realization
+//   report.fault_coverage();                    // 1 - unrecovered/injected
+//
+//   bsr::FaultCampaign camp(cfg, /*trials=*/20);  // N realizations per cell
+//   auto result = camp.over(bsr::strategy_axis({"sr", "bsr"})).run();
+//   bsr::emit(result, *bsr::make_result_sink("json", bsr::stdout_stream()));
+//
+// Guarantees:
+//   * Off by default: a disabled block is bit-for-bit the no-fault
+//     simulator, and no random numbers are drawn.
+//   * Deterministic on: per-lane streams derive from (seed, lane, purpose)
+//     with the same splitmix64 mixing as bsr::derive_cell_seed, never from
+//     execution order, so a campaign is bitwise identical at any sweep
+//     thread count.
+//   * Fingerprinted: every field participates in RunConfig::fingerprint(),
+//     and a campaign trial varies only faults.seed — its faults-off baseline
+//     is one shared cached run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bsr/registry.hpp"
+#include "bsr/sweep.hpp"
+#include "faultcamp/process.hpp"
+
+namespace bsr {
+
+/// The fault block carried by bsr::RunConfig (see faultcamp::Spec for the
+/// field-by-field model documentation).
+using FaultConfig = faultcamp::Spec;
+
+/// Registry of named fault presets, pre-loaded with the built-ins:
+///   off         — the disabled default (alias: none);
+///   paper_fig09 — the deterministic fig09 regime: exactly 2 x 0D (+ 1 x 1D
+///                 where the table exposes 1D) faults on every exposed
+///                 iteration, rollback on — the reproducible baseline that
+///                 adaptive coverage is compared against (alias: fig09);
+///   poisson     — seeded Poisson arrivals at the device SDC-table rates,
+///                 rollback on: the statistical campaign default (alias:
+///                 on);
+///   hostile     — a flaky machine: amplified rates, bursty multi-fault
+///                 arrivals, per-device hazard spread, and a background rate
+///                 that strikes even fault-free clocks — the regime where
+///                 adaptive protection can genuinely miss (alias: bursty).
+Registry<FaultConfig>& fault_presets();
+
+/// Resolves a preset key to its FaultConfig (throws like Registry::get on a
+/// miss, listing the known presets).
+FaultConfig make_faults(const std::string& key);
+
+/// Registers the benches' standard `--faults <preset>` flag (chainable,
+/// mirrors add_variability_flags). `def` is the registered default:
+/// campaign drivers pass "poisson" (a campaign over a disabled preset
+/// measures nothing), everything else keeps "off". An explicit user choice
+/// — including `--faults off` — is always honored as given.
+Cli& add_fault_flags(Cli& cli, const std::string& def = "off");
+
+/// Applies the flag registered by add_fault_flags to `cfg`: resolves the
+/// preset into cfg.faults. An unknown preset prints "error: ..." (listing
+/// the known presets) to stderr and exits 2, in the same style as
+/// Cli::parse_or_exit.
+void apply_fault_flags_or_exit(const Cli& cli, RunConfig& cfg);
+
+/// One campaign cell after execution: a grid coordinate, its shared
+/// faults-off baseline, the N seeded trial reports, and the aggregates the
+/// campaign computed from them.
+struct CampaignCell {
+  /// Axis name -> point label (the campaign's internal trial axis removed).
+  std::map<std::string, std::string> coords;
+  /// The cell's faults-on configuration (at the root fault seed).
+  RunConfig config;
+  /// The cell's faults-off run: same seed, same world, no fault process —
+  /// the denominator of `overhead`. Shared through the sweep cache.
+  std::shared_ptr<const RunReport> baseline;
+  /// The N trial reports, in trial order (each differs only in faults.seed).
+  std::vector<std::shared_ptr<const RunReport>> trials;
+
+  // -- aggregates over the trials --------------------------------------------
+  std::int64_t injected = 0;     ///< faults sampled, summed over trials
+  std::int64_t corrected = 0;    ///< repaired in place by the checksums
+  std::int64_t recovered = 0;    ///< uncorrectable, recovered by rollback
+  std::int64_t unrecovered = 0;  ///< silent, or rollback disabled
+  int rollbacks = 0;             ///< update redos triggered
+  /// Fraction of injected faults covered (corrected + recovered), 1.0 when
+  /// nothing was injected — the campaign counterpart of fig09's numeric
+  /// correctness rate.
+  double coverage = 1.0;
+  /// Mean trial wall time over the faults-off baseline, minus one: the cost
+  /// of living with (and recovering from) the faults.
+  double overhead = 0.0;
+  /// Mean in-lane recovery time (correction + rollbacks) per trial, seconds.
+  double recovery_s = 0.0;
+  double p50_s = 0.0;  ///< median trial wall time (seconds)
+  double p95_s = 0.0;  ///< 95th-percentile trial wall time (tail latency)
+  double p99_s = 0.0;  ///< 99th-percentile trial wall time
+};
+
+/// A finished campaign: cells in expansion order plus execution statistics.
+struct CampaignResult {
+  std::vector<std::string> axis_names;  ///< user axes, outermost first
+  std::vector<CampaignCell> cells;      ///< expansion order
+  int trials = 0;                       ///< seeded trials per cell
+  std::size_t requested_runs = 0;  ///< cells x (trials + baseline)
+  std::size_t unique_runs = 0;     ///< configs actually executed
+  double wall_seconds = 0.0;       ///< wall-clock time of run()
+};
+
+/// Executes N seeded fault realizations per grid cell on top of bsr::Sweep
+/// and aggregates coverage, overhead, and tail-latency percentiles. Each
+/// trial varies ONLY faults.seed (derived from the root seed with
+/// bsr::derive_cell_seed), so the timing world is held fixed and the
+/// faults-off baseline isolates exactly the fault cost; the baseline is one
+/// cached run shared by all trials of a cell. Campaigns inherit every Sweep
+/// guarantee — in particular, bitwise identical results at any thread count.
+class FaultCampaign {
+ public:
+  /// Every cell starts from `base` (its faults block should be enabled —
+  /// with it disabled every trial equals the baseline and the aggregates are
+  /// trivial); `trials` seeded realizations run per cell.
+  explicit FaultCampaign(RunConfig base, int trials = 20);
+
+  /// Appends a grid dimension (expanded outermost-first, chainable).
+  FaultCampaign& over(Axis axis);
+  /// 1 = serial on the calling thread; 0 (default) = the process-wide
+  /// ThreadPool::shared(); k > 1 = a dedicated pool of k workers.
+  FaultCampaign& threads(int n);
+
+  /// Expands the grid, runs trials + baselines through a Sweep (validated,
+  /// parallel, cached), and aggregates per cell. Throws
+  /// std::invalid_argument for invalid cells and when trials < 1.
+  [[nodiscard]] CampaignResult run();
+
+ private:
+  RunConfig base_;
+  int trials_;
+  std::vector<Axis> axes_;
+  int threads_ = 0;
+};
+
+/// The campaign column set: one column per user axis, then trials, coverage,
+/// overhead, injected / corrected / recovered / unrecovered / rollbacks,
+/// recovery_s, and the p50/p95/p99 trial wall times.
+std::vector<std::string> campaign_columns(const CampaignResult& result);
+
+/// Streams a campaign through a sink: begin(campaign_columns), one add_row
+/// per cell, end().
+void emit(const CampaignResult& result, ResultSink& sink);
+
+}  // namespace bsr

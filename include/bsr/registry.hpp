@@ -148,9 +148,11 @@ Registry<core::AbftPolicy>& abft_policies();
 Registry<SinkFactory>& result_sinks();
 
 /// Prints every registry's canonical keys (strategies, platforms, ABFT
-/// policies, result sinks, cluster profiles from bsr/cluster.hpp) to `out`,
-/// one registry per line — the implementation behind the grid benches'
-/// --list flag, so users can discover keys without reading source.
+/// policies, result sinks, cluster profiles, variability presets, fault
+/// presets) to `out`, grouped under one header per registry with the keys
+/// indented beneath it — the implementation behind the grid benches' --list
+/// flag, so users can discover keys (runtime-registered ones included)
+/// without reading source.
 void print_registered_keys(std::ostream& out);
 
 class Cli;

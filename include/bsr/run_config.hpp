@@ -86,6 +86,20 @@ struct RunConfig {
   /// at any sweep thread count. Presets: bsr::make_variability(key).
   var::Spec variability;
 
+  // -- faults (bsr/faults.hpp) ------------------------------------------------
+  /// Seeded statistical fault processes plus the recovery-cost model:
+  /// Poisson (or fixed fig09-style) SDC arrivals at the clock/voltage-
+  /// dependent SDC-table rates of each lane's realized frequency, with burst
+  /// and per-device-hazard variants; checksum-corrected faults pay the
+  /// correction latency in-lane, uncorrectable ones roll the affected
+  /// update back and recompute at the base clock. Timing-only (numeric runs
+  /// inject real faults; validate() rejects the combination). Disabled by
+  /// default (bit-for-bit the no-fault simulator); when enabled, per-lane
+  /// streams derive from `seed` (or faults.seed when non-zero) so campaigns
+  /// stay bitwise reproducible at any sweep thread count. Presets:
+  /// bsr::make_faults(key); campaigns: bsr::FaultCampaign.
+  faultcamp::Spec faults;
+
   // -- cluster (bsr/cluster.hpp) ----------------------------------------------
   /// Number of accelerator devices for the event-driven cluster engine.
   /// 0 (default) runs the classic single-node CPU+GPU pipeline — bit-for-bit

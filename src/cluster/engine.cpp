@@ -52,6 +52,7 @@ struct Lane {
   SimTime park_start;
   SimTime park_lat;
   var::LaneVariability var;  ///< inert unless options.variability.enabled
+  faultcamp::FaultProcess faults;  ///< inert unless options.faults.enabled
 };
 
 class ClusterRun {
@@ -149,6 +150,12 @@ class ClusterRun {
     if (opt_.variability.enabled) {
       lane.var = var::LaneVariability(opt_.variability, opt_.seed, index,
                                       iters_, dev.freq.base_mhz);
+    }
+    if (opt_.faults.enabled) {
+      // Same per-lane stream derivation as the variability models: lanes
+      // sample from decorrelated streams keyed by (seed, lane), never from
+      // event interleaving across lanes, so runs stay bitwise reproducible.
+      lane.faults = faultcamp::FaultProcess(opt_.faults, opt_.seed, index);
     }
   }
 
@@ -538,8 +545,7 @@ class ClusterRun {
         lane_noise(1 + d, k) *
         (opt_.variability.enabled ? lane.var.compute_factor(k) : 1.0);
     const SimTime busy = (work.update + work.abft) * noise;
-    const SimTime done =
-        run_compute(lane, engine_.now(), dec, busy, work.flops);
+    SimTime done = run_compute(lane, engine_.now(), dec, busy, work.flops);
     switch (mode) {
       case abft::ChecksumMode::None: ++lane.use.iters_unprotected; break;
       case abft::ChecksumMode::SingleSide: ++lane.use.iters_single; break;
@@ -547,9 +553,56 @@ class ClusterRun {
     }
     const double share = dist_.share(wl_, k, d);
     if (share > 0.0) {
+      // Measured profiles exclude recovery time below: a fault is an
+      // anomaly, not an efficiency change the predictors should learn.
       record(lane, OpKind::TMU, k, (work.update * noise).seconds(), share);
     }
+    if (opt_.faults.enabled) {
+      done = expose_update(lane, dec, k, d, f, mode, work.update * noise);
+    }
     engine_.schedule_at(done, [this, k, d] { finish_update(k, d); });
+  }
+
+  /// Samples the fault process over one update window and charges the
+  /// recovery cost in-lane: checksum corrections at the window's clock,
+  /// rollback recomputes at the device's base clock (the safe state, like
+  /// the numeric recovery model). Extends the lane's busy time — recovery
+  /// genuinely delays its next panel/update — and returns the new completion
+  /// time. recovery_s stays a sub-bucket of busy_s, so per-lane
+  /// busy + idle + dvfs still reconciles with the makespan.
+  SimTime expose_update(Lane& lane, const LaneDecision& dec, int k, int d,
+                        hw::Mhz f, abft::ChecksumMode mode, SimTime exposed) {
+    const hw::ErrorRates rates = lane.dev->errors.rates(f, dec.gb);
+    const faultcamp::FaultCounts counts = lane.faults.sample(rates, exposed);
+    const faultcamp::Resolution res =
+        faultcamp::resolve(counts, mode, opt_.faults.rollback);
+    lane.use.faults_injected += res.injected.total();
+    lane.use.faults_corrected += res.corrected();
+    lane.use.faults_recovered += res.recovered;
+    lane.use.faults_unrecovered += res.unrecovered;
+    lane.use.faults_uncorrectable += res.uncorrectable;
+    lane.use.rollbacks += res.rollbacks;
+    SimTime extra;
+    if (res.corrected() > 0) {
+      const SimTime corr = SimTime::from_seconds(
+          opt_.faults.correction_s * static_cast<double>(res.corrected()));
+      lane.use.energy_j += lane.dev->busy_power(f, dec.gb) * corr.seconds();
+      extra += corr;
+    }
+    if (res.rollbacks > 0) {
+      const DeviceWork redo =
+          device_work(k, d, lane.dev->freq.base_mhz, mode);
+      const SimTime rb = redo.update + redo.abft;
+      lane.use.energy_j +=
+          lane.dev->busy_power(lane.dev->freq.base_mhz,
+                               hw::Guardband::Default) *
+          rb.seconds();
+      extra += rb;
+    }
+    lane.use.busy_s += extra.seconds();
+    lane.use.recovery_s += extra.seconds();
+    lane.busy_until += extra;
+    return lane.busy_until;
   }
 
   void finish_update(int k, int d) {

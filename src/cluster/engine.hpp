@@ -54,6 +54,15 @@ struct ClusterOptions {
   /// one. Streams derive from `seed` (or variability.seed) per lane, so runs
   /// stay bitwise reproducible at any sweep thread count.
   var::Spec variability;
+  /// Seeded statistical fault processes + recovery-cost model
+  /// (bsr/faults.hpp): each device samples faults over its local update
+  /// windows at the SDC-table rates of its *realized* clock, pays the
+  /// correction latency in-lane, and redoes the window at its base clock on
+  /// an uncorrectable detection. Per-lane streams derive from `seed` (or
+  /// faults.seed), so campaigns stay bitwise reproducible at any sweep
+  /// thread count. Disabled by default — the engine is then bit-for-bit the
+  /// no-fault one.
+  faultcamp::Spec faults;
 };
 
 /// Runs the whole factorization on the cluster; bitwise deterministic in

@@ -27,6 +27,18 @@ struct DeviceUsage {
   std::int64_t iters_unprotected = 0;
   std::int64_t iters_single = 0;
   std::int64_t iters_full = 0;
+  // Fault-campaign accounting (all zero unless the run's faults block is
+  // enabled): counts of faults striking this device's update windows and
+  // what became of them, plus the recovery time charged in-lane.
+  // `recovery_s` (correction latency + rollback recomputes) is a sub-bucket
+  // of busy_s, so busy + idle + dvfs still reconciles with the makespan.
+  std::int64_t faults_injected = 0;
+  std::int64_t faults_corrected = 0;      ///< repaired in place by checksums
+  std::int64_t faults_recovered = 0;      ///< uncorrectable, redone via rollback
+  std::int64_t faults_unrecovered = 0;    ///< silent, or rollback disabled
+  std::int64_t faults_uncorrectable = 0;  ///< detected beyond in-place repair
+  int rollbacks = 0;                      ///< update redos triggered here
+  double recovery_s = 0.0;
 
   [[nodiscard]] double gflops() const {
     const double t = busy_s + dvfs_s + idle_s;

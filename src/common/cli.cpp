@@ -4,6 +4,7 @@
 // ~0.5 ms of static-initialization startup to every linking binary (see
 // common/stdio_stream.hpp).
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -243,6 +244,99 @@ bool Cli::get_bool(const std::string& name, bool def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
   return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+namespace {
+
+/// One loud exit shared by both list parsers.
+[[noreturn]] void bad_list_token(const std::string& flag,
+                                 const std::string& token,
+                                 const std::string& what,
+                                 const std::string& example) {
+  std::fprintf(stderr, "error: --%s: \"%s\" is not %s (expected e.g. --%s %s)\n",
+               flag.c_str(), token.c_str(), what.c_str(), flag.c_str(),
+               example.c_str());
+  std::exit(2);
+}
+
+/// Splits on commas and converts each token with `convert` (which returns
+/// false on a malformed or out-of-range token). Empty lists are rejected.
+template <typename T, typename Convert>
+std::vector<T> parse_list_or_exit(const std::string& flag,
+                                  const std::string& csv,
+                                  const std::string& what,
+                                  const std::string& example,
+                                  Convert convert) {
+  std::vector<T> out;
+  std::string cur;
+  for (const char ch : csv + ",") {
+    if (ch != ',') {
+      cur += ch;
+      continue;
+    }
+    if (cur.empty()) continue;
+    T value{};
+    if (!convert(cur, value)) bad_list_token(flag, cur, what, example);
+    out.push_back(value);
+    cur.clear();
+  }
+  if (out.empty()) bad_list_token(flag, csv, what, example);
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> parse_double_list_or_exit(const std::string& flag,
+                                              const std::string& csv,
+                                              double min_value,
+                                              const std::string& what,
+                                              const std::string& example) {
+  return parse_list_or_exit<double>(
+      flag, csv, what, example,
+      [min_value](const std::string& token, double& value) {
+        try {
+          std::size_t used = 0;
+          value = std::stod(token, &used);
+          if (used != token.size()) return false;
+        } catch (const std::exception&) {
+          return false;
+        }
+        // NaN compares false against everything, so reject non-finite
+        // explicitly rather than letting it slip past the bound check.
+        return std::isfinite(value) && value >= min_value;
+      });
+}
+
+std::vector<long long> parse_int_list_or_exit(const std::string& flag,
+                                              const std::string& csv,
+                                              long long min_value,
+                                              long long max_value,
+                                              const std::string& what,
+                                              const std::string& example) {
+  return parse_list_or_exit<long long>(
+      flag, csv, what, example,
+      [min_value, max_value](const std::string& token, long long& value) {
+        try {
+          std::size_t used = 0;
+          value = std::stoll(token, &used);
+          if (used != token.size()) return false;
+        } catch (const std::exception&) {
+          return false;
+        }
+        return value >= min_value && value <= max_value;
+      });
+}
+
+std::vector<std::string> parse_string_list_or_exit(const std::string& flag,
+                                                   const std::string& csv,
+                                                   const std::string& what,
+                                                   const std::string& example) {
+  return parse_list_or_exit<std::string>(
+      flag, csv, what, example,
+      [](const std::string& token, std::string& value) {
+        value = token;
+        return true;  // the splitter already skips empty tokens
+      });
 }
 
 }  // namespace bsr

@@ -100,4 +100,32 @@ class Cli {
   std::map<std::string, std::string> flags_;
 };
 
+// Shared fail-fast parsers for the benches' comma-separated list flags
+// (--devices 1,2,4,8 / --drift 0,0.01,... / --rates 25,75,225). Any empty
+// list, malformed token, non-finite value, or value below `min_value`
+// prints `error: --<flag>: "<token>" is not <what> (expected e.g. --<flag>
+// <example>)` to stderr and exits 2, in Cli::parse_or_exit style.
+
+/// Parses a comma-separated list of doubles for --`flag` (see above).
+std::vector<double> parse_double_list_or_exit(const std::string& flag,
+                                              const std::string& csv,
+                                              double min_value,
+                                              const std::string& what,
+                                              const std::string& example);
+/// Parses a comma-separated list of integers in [min_value, max_value] for
+/// --`flag`; tokens must parse fully as base-10 integers, and values beyond
+/// the bounds fail loudly rather than truncating later (see above).
+std::vector<long long> parse_int_list_or_exit(const std::string& flag,
+                                              const std::string& csv,
+                                              long long min_value,
+                                              long long max_value,
+                                              const std::string& what,
+                                              const std::string& example);
+/// Splits a comma-separated list of non-empty string tokens for --`flag`
+/// (no conversion); an empty list exits like the numeric parsers.
+std::vector<std::string> parse_string_list_or_exit(const std::string& flag,
+                                                   const std::string& csv,
+                                                   const std::string& what,
+                                                   const std::string& example);
+
 }  // namespace bsr

@@ -79,6 +79,7 @@ cluster::ClusterOptions lower_options(const RunConfig& cfg) {
   o.seed = cfg.seed;
   o.noise.enabled = cfg.noise_enabled;
   o.variability = cfg.variability;
+  o.faults = cfg.faults;
   return o;
 }
 
@@ -115,6 +116,27 @@ core::RunReport wrap(const RunConfig& cfg, const cluster::ClusterReport& cr) {
   report.device_usage.push_back(cr.host);
   for (const cluster::DeviceUsage& dev : cr.devices) {
     report.device_usage.push_back(dev);
+  }
+  if (cfg.faults.enabled) {
+    // Per-lane fault accounting (host excluded: panels are not exposed) plus
+    // the run-level ABFT counters, mirroring the single-node aggregation in
+    // core/decomposer.cpp. The statistical process does not class-resolve
+    // per device, so the class-level injected split is folded into 0D.
+    for (const cluster::DeviceUsage& dev : cr.devices) {
+      core::LaneFaults lf;
+      lf.lane = dev.name;
+      lf.injected = dev.faults_injected;
+      lf.corrected = dev.faults_corrected;
+      lf.recovered = dev.faults_recovered;
+      lf.unrecovered = dev.faults_unrecovered;
+      lf.rollbacks = dev.rollbacks;
+      lf.recovery_s = dev.recovery_s;
+      report.lane_faults.push_back(lf);
+      report.abft.errors_injected_0d += static_cast<int>(dev.faults_injected);
+      report.abft.corrected_0d += static_cast<int>(dev.faults_corrected);
+      report.abft.uncorrectable += static_cast<int>(dev.faults_uncorrectable);
+      report.abft.recoveries += dev.rollbacks;
+    }
   }
   return report;
 }

@@ -308,6 +308,7 @@ RunReport Decomposer::run_with(const RunOptions& opts, const ExtendedOptions& ex
   cfg.noise.enabled = opts.noise_enabled;
   cfg.seed = opts.seed;
   cfg.variability = opts.variability;
+  cfg.faults = opts.faults;
   // The error-rate multiplier rescales the *platform* so the coverage math,
   // the BSR/ABFT-OC frequency policy, and the fault injector all observe the
   // same world (DESIGN.md: exposure compression for reduced-size numerics).
@@ -377,6 +378,32 @@ RunReport Decomposer::run_with(const RunOptions& opts, const ExtendedOptions& ex
   if (numeric) {
     report.residual = numeric->final_residual();
     report.numeric_correct = report.residual < numeric->threshold();
+  }
+
+  if (opts.faults.enabled) {
+    // Aggregate the statistical fault campaign (faultcamp/process.hpp) into
+    // the run-level ABFT stats and the per-lane accounting. The recovery
+    // time below is already inside trace.total_time — it delayed the GPU
+    // lane in place — so it is reported, not re-added.
+    LaneFaults gpu;
+    gpu.lane = "gpu";
+    for (const sched::IterationOutcome& o : report.trace.iterations) {
+      const faultcamp::Resolution& f = o.faults;
+      report.abft.errors_injected_0d += static_cast<int>(f.injected.d0);
+      report.abft.errors_injected_1d += static_cast<int>(f.injected.d1);
+      report.abft.errors_injected_2d += static_cast<int>(f.injected.d2);
+      report.abft.corrected_0d += static_cast<int>(f.corrected_d0);
+      report.abft.corrected_1d += static_cast<int>(f.corrected_d1);
+      report.abft.uncorrectable += static_cast<int>(f.uncorrectable);
+      report.abft.recoveries += f.rollbacks;
+      gpu.injected += f.injected.total();
+      gpu.corrected += f.corrected();
+      gpu.recovered += f.recovered;
+      gpu.unrecovered += f.unrecovered;
+      gpu.rollbacks += f.rollbacks;
+      gpu.recovery_s += o.recovery.seconds();
+    }
+    report.lane_faults.push_back(gpu);
   }
   return report;
 }

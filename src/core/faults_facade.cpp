@@ -1,0 +1,217 @@
+// Implementation of the bsr/faults.hpp facade: the fault-preset registry,
+// the benches' shared --faults flag plumbing, and the FaultCampaign runner on
+// top of bsr::Sweep. Validation, fingerprinting, and the processes themselves
+// live in src/faultcamp/.
+#include "bsr/faults.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table_printer.hpp"
+
+namespace bsr {
+
+Registry<FaultConfig>& fault_presets() {
+  static Registry<FaultConfig> reg = [] {
+    Registry<FaultConfig> r("fault preset");
+    r.add("off", FaultConfig{});
+
+    // The fig09 regime as a deterministic replay: every 0D-exposed iteration
+    // takes exactly two element faults, every 1D-exposed one additionally a
+    // column fault, rollback on. Seed-independent, so it is the reproducible
+    // baseline that statistical campaign coverage is compared against.
+    FaultConfig fig09;
+    fig09.enabled = true;
+    fig09.process = faultcamp::ProcessKind::Fixed;
+    fig09.fixed_d0 = 2;
+    fig09.fixed_d1 = 1;
+    fig09.fixed_d2 = 0;
+    fig09.correction_s = 2e-3;
+    r.add("paper_fig09", fig09);
+
+    // The statistical campaign default: seeded Poisson arrivals at the
+    // device's own SDC-table rates (overclocked lanes fault more, safe
+    // clocks not at all), corrections at 2 ms apiece, rollback on.
+    FaultConfig poisson;
+    poisson.enabled = true;
+    poisson.process = faultcamp::ProcessKind::Poisson;
+    poisson.rate_multiplier = 1.0;
+    poisson.correction_s = 2e-3;
+    r.add("poisson", poisson);
+
+    // A flaky machine: amplified rates, bursty multi-fault arrivals, a wide
+    // per-device hazard spread (some GPUs are lemons), and a background rate
+    // that strikes even fault-free clocks — the regime where adaptive
+    // protection can genuinely miss (it only guards states the SDC table
+    // declares risky).
+    FaultConfig hostile;
+    hostile.enabled = true;
+    hostile.process = faultcamp::ProcessKind::Poisson;
+    hostile.rate_multiplier = 4.0;
+    hostile.background_rate_per_s = 0.02;
+    hostile.burst_mean = 3.0;
+    hostile.hazard_sigma = 0.5;
+    hostile.correction_s = 4e-3;
+    r.add("hostile", hostile);
+
+    r.alias("none", "off");
+    r.alias("fig09", "paper_fig09");
+    r.alias("on", "poisson");
+    r.alias("bursty", "hostile");
+    return r;
+  }();
+  return reg;
+}
+
+FaultConfig make_faults(const std::string& key) {
+  return fault_presets().get(key);
+}
+
+Cli& add_fault_flags(Cli& cli, const std::string& def) {
+  return cli.arg_string("faults", def,
+                        "fault preset registry key (off, paper_fig09, "
+                        "poisson, hostile)");
+}
+
+void apply_fault_flags_or_exit(const Cli& cli, RunConfig& cfg) {
+  try {
+    cfg.faults = make_faults(cli.get("faults"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
+FaultCampaign::FaultCampaign(RunConfig base, int trials)
+    : base_(std::move(base)), trials_(trials) {}
+
+FaultCampaign& FaultCampaign::over(Axis axis) {
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+FaultCampaign& FaultCampaign::threads(int n) {
+  threads_ = n;
+  return *this;
+}
+
+CampaignResult FaultCampaign::run() {
+  if (trials_ < 1) {
+    throw std::invalid_argument("FaultCampaign: need trials >= 1 (got " +
+                                std::to_string(trials_) + ")");
+  }
+  Sweep sweep(base_);
+  for (const Axis& a : axes_) sweep.over(a);
+
+  // The campaign axis is innermost: one faults-off baseline point plus one
+  // point per trial. Trials vary ONLY faults.seed — the timing world (noise,
+  // variability, sweep seed) stays fixed, so the baseline isolates exactly
+  // the fault cost, and because a disabled block fingerprints as "flt=0"
+  // every trial of a cell shares one cached baseline run.
+  const std::uint64_t root =
+      base_.faults.seed != 0 ? base_.faults.seed : base_.seed;
+  Axis campaign{"campaign", {}};
+  campaign.points.push_back(
+      {"baseline", [](RunConfig& c) { c.faults = FaultConfig{}; }});
+  for (int t = 0; t < trials_; ++t) {
+    campaign.points.push_back(
+        {std::to_string(t), [root, t](RunConfig& c) {
+           c.faults.seed = derive_cell_seed(root, static_cast<std::uint64_t>(t));
+         }});
+  }
+  sweep.over(campaign);
+  sweep.threads(threads_);
+  const SweepResult grid = sweep.run();
+
+  CampaignResult result;
+  result.axis_names.assign(grid.axis_names.begin(),
+                           grid.axis_names.end() - 1);  // drop "campaign"
+  result.trials = trials_;
+  result.requested_runs = grid.requested_runs;
+  result.unique_runs = grid.unique_runs;
+  result.wall_seconds = grid.wall_seconds;
+
+  const std::size_t stride = static_cast<std::size_t>(trials_) + 1;
+  result.cells.reserve(grid.rows.size() / stride);
+  for (std::size_t at = 0; at < grid.rows.size(); at += stride) {
+    CampaignCell cell;
+    cell.baseline = grid.rows[at].report;
+    cell.config = grid.rows[at + 1].config;
+    cell.coords = grid.rows[at + 1].coords;
+    cell.coords.erase("campaign");
+
+    std::vector<double> seconds;
+    seconds.reserve(static_cast<std::size_t>(trials_));
+    std::int64_t covered = 0;
+    double recovery_sum = 0.0;
+    for (std::size_t t = 1; t < stride; ++t) {
+      const std::shared_ptr<const RunReport>& report = grid.rows[at + t].report;
+      cell.trials.push_back(report);
+      seconds.push_back(report->seconds());
+      recovery_sum += report->fault_recovery_s();
+      for (const core::LaneFaults& lf : report->lane_faults) {
+        cell.injected += lf.injected;
+        cell.corrected += lf.corrected;
+        cell.recovered += lf.recovered;
+        cell.unrecovered += lf.unrecovered;
+        cell.rollbacks += lf.rollbacks;
+      }
+      covered += report->faults_covered();
+    }
+    cell.coverage = cell.injected == 0
+                        ? 1.0
+                        : static_cast<double>(covered) /
+                              static_cast<double>(cell.injected);
+    cell.overhead = stats::mean(seconds) / cell.baseline->seconds() - 1.0;
+    // Trials without faults equal the baseline bit-for-bit; keep the mean's
+    // last-ulp summation noise from rendering an exact zero as 2e-16.
+    if (cell.overhead > -1e-12 && cell.overhead < 1e-12) cell.overhead = 0.0;
+    cell.recovery_s = recovery_sum / static_cast<double>(trials_);
+    cell.p50_s = stats::percentile(seconds, 0.50);
+    cell.p95_s = stats::percentile(seconds, 0.95);
+    cell.p99_s = stats::percentile(seconds, 0.99);
+    result.cells.push_back(std::move(cell));
+  }
+  return result;
+}
+
+std::vector<std::string> campaign_columns(const CampaignResult& result) {
+  std::vector<std::string> cols = result.axis_names;
+  for (const char* c : {"trials", "coverage", "overhead", "injected",
+                        "corrected", "recovered", "unrecovered", "rollbacks",
+                        "recovery_s", "p50_s", "p95_s", "p99_s"}) {
+    cols.emplace_back(c);
+  }
+  return cols;
+}
+
+void emit(const CampaignResult& result, ResultSink& sink) {
+  sink.begin(campaign_columns(result));
+  for (const CampaignCell& cell : result.cells) {
+    std::vector<std::string> row;
+    row.reserve(result.axis_names.size() + 12);
+    for (const std::string& axis : result.axis_names) {
+      row.push_back(cell.coords.at(axis));
+    }
+    row.push_back(std::to_string(result.trials));
+    row.push_back(TablePrinter::num(cell.coverage));
+    row.push_back(TablePrinter::num(cell.overhead));
+    row.push_back(std::to_string(cell.injected));
+    row.push_back(std::to_string(cell.corrected));
+    row.push_back(std::to_string(cell.recovered));
+    row.push_back(std::to_string(cell.unrecovered));
+    row.push_back(std::to_string(cell.rollbacks));
+    row.push_back(TablePrinter::num(cell.recovery_s));
+    row.push_back(TablePrinter::num(cell.p50_s));
+    row.push_back(TablePrinter::num(cell.p95_s));
+    row.push_back(TablePrinter::num(cell.p99_s));
+    sink.add_row(row);
+  }
+  sink.end();
+}
+
+}  // namespace bsr

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "faultcamp/process.hpp"
 #include "predict/workload.hpp"
 #include "var/models.hpp"
 
@@ -69,6 +70,10 @@ struct RunOptions {
   /// Stochastic execution models (efficiency drift, transfer/DVFS jitter,
   /// thermal throttling); disabled by default. See bsr/variability.hpp.
   var::Spec variability;
+  /// Seeded statistical fault processes + recovery-cost model (timing-only
+  /// runs; numeric runs inject real faults instead); disabled by default.
+  /// See bsr/faults.hpp.
+  faultcamp::Spec faults;
 
   [[nodiscard]] predict::WorkloadModel workload() const {
     return predict::WorkloadModel{factorization, n, b, elem_bytes};

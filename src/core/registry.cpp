@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "bsr/cluster.hpp"
+#include "bsr/faults.hpp"
 #include "bsr/variability.hpp"
 #include "common/cli.hpp"
 #include "common/stdio_stream.hpp"
@@ -99,26 +100,31 @@ Registry<SinkFactory>& result_sinks() {
 }
 
 void print_registered_keys(std::ostream& out) {
-  const auto line = [&out](const char* label,
-                           const std::vector<std::string>& keys) {
-    out << label;
+  // One header per registry with its keys indented beneath it, so the dump
+  // stays scannable as registries grow (runtime-registered keys included).
+  const auto group = [&out](const char* header,
+                            const std::vector<std::string>& keys) {
+    out << header << '\n' << " ";
     for (std::size_t i = 0; i < keys.size(); ++i) {
       out << (i == 0 ? " " : ", ") << keys[i];
     }
     out << '\n';
   };
-  line("strategies:      ", strategies().keys());
-  line("platforms:       ", platforms().keys());
-  line("abft policies:   ", abft_policies().keys());
-  line("result sinks:    ", result_sinks().keys());
-  line("cluster profiles:", cluster_profiles().keys());
-  line("variability:     ", variability_presets().keys());
+  group("strategies", strategies().keys());
+  group("platforms", platforms().keys());
+  group("abft policies", abft_policies().keys());
+  group("result sinks", result_sinks().keys());
+  group("cluster profiles", cluster_profiles().keys());
+  group("variability presets", variability_presets().keys());
+  group("fault presets", fault_presets().keys());
 }
 
 Cli& add_list_flag(Cli& cli) {
   return cli.arg_flag("list",
-                      "print registered strategy/platform/ABFT/sink/cluster/"
-                      "variability keys and exit");
+                      "print every registry's keys grouped under headers "
+                      "(strategies / platforms / abft policies / result "
+                      "sinks / cluster profiles / variability presets / "
+                      "fault presets) and exit");
 }
 
 bool handled_list_flag(const Cli& cli) {

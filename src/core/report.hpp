@@ -10,6 +10,20 @@
 
 namespace bsr::core {
 
+/// One lane's fault-campaign outcome over a whole run (see bsr/faults.hpp):
+/// how many faults struck its update windows and what became of each. Empty
+/// `RunReport::lane_faults` means the run's faults block was disabled.
+/// Invariant: injected == corrected + recovered + unrecovered.
+struct LaneFaults {
+  std::string lane;                ///< "gpu" single-node, device name at scale
+  std::int64_t injected = 0;       ///< faults sampled into this lane
+  std::int64_t corrected = 0;      ///< repaired in place by the checksums
+  std::int64_t recovered = 0;      ///< uncorrectable, recovered by rollback
+  std::int64_t unrecovered = 0;    ///< silent, or rollback disabled
+  int rollbacks = 0;               ///< update redos triggered on this lane
+  double recovery_s = 0.0;         ///< correction + rollback time, in-lane
+};
+
 struct RunReport {
   RunOptions options;
   /// The strategy's registry key ("bsr", "original", or a runtime-registered
@@ -35,6 +49,12 @@ struct RunReport {
   /// aggregate these (cpu_energy = host, gpu_energy = all accelerators).
   std::vector<cluster::DeviceUsage> device_usage;
 
+  /// Per-lane fault/recovery accounting when the run's faults block was
+  /// enabled (one entry per exposed lane; empty otherwise). The recovery
+  /// time in here is already inside seconds() — it delayed the lanes in
+  /// place — unlike the additive numeric-mode `recovery_time` above.
+  std::vector<LaneFaults> lane_faults;
+
   [[nodiscard]] double seconds() const {
     return (trace.total_time + recovery_time).seconds();
   }
@@ -51,6 +71,34 @@ struct RunReport {
   [[nodiscard]] double gflops() const {
     const double t = seconds();
     return t <= 0.0 ? 0.0 : options.workload().total_flops() / t / 1e9;
+  }
+
+  /// Total faults sampled into the run's lanes (0 when faults were off).
+  [[nodiscard]] std::int64_t faults_injected() const {
+    std::int64_t n = 0;
+    for (const LaneFaults& l : lane_faults) n += l.injected;
+    return n;
+  }
+  /// Faults that did NOT corrupt the result: corrected in place or recovered
+  /// by rollback.
+  [[nodiscard]] std::int64_t faults_covered() const {
+    std::int64_t n = 0;
+    for (const LaneFaults& l : lane_faults) n += l.corrected + l.recovered;
+    return n;
+  }
+  /// Fraction of injected faults covered (1.0 when nothing was injected) —
+  /// the campaign counterpart of fig09's numeric correctness rate.
+  [[nodiscard]] double fault_coverage() const {
+    const std::int64_t inj = faults_injected();
+    return inj == 0 ? 1.0
+                    : static_cast<double>(faults_covered()) /
+                          static_cast<double>(inj);
+  }
+  /// Total in-lane recovery time (correction + rollbacks) across lanes.
+  [[nodiscard]] double fault_recovery_s() const {
+    double s = 0.0;
+    for (const LaneFaults& l : lane_faults) s += l.recovery_s;
+    return s;
   }
 
   /// Fraction of energy saved relative to a baseline run (positive = better).

@@ -8,6 +8,7 @@
 #include "bsr/registry.hpp"
 #include "common/ascii.hpp"
 #include "core/decomposer.hpp"
+#include "faultcamp/process.hpp"
 #include "var/models.hpp"
 
 namespace bsr {
@@ -55,6 +56,20 @@ void RunConfig::validate() const {
   } catch (const std::invalid_argument& e) {
     fail(e.what());
   }
+  // So does the faults block — which is additionally timing-only: numeric
+  // runs inject *real* faults (fault/injector.hpp), and running both models
+  // at once would double-count every error.
+  try {
+    faultcamp::validate(faults);
+  } catch (const std::invalid_argument& e) {
+    fail(e.what());
+  }
+  if (faults.enabled && mode == ExecutionMode::Numeric) {
+    fail(
+        "faults: the statistical fault block is timing-only; numeric runs "
+        "perform real injection (disable faults or use "
+        "ExecutionMode::TimingOnly)");
+  }
   // Registry keys: get() throws listing the known keys on a miss.
   try {
     (void)strategies().get(strategy);
@@ -86,6 +101,7 @@ core::RunOptions RunConfig::options() const {
   o.elem_bytes = elem_bytes;
   o.recover_uncorrectable = recover_uncorrectable;
   o.variability = variability;
+  o.faults = faults;
   return o;
 }
 
@@ -158,6 +174,9 @@ std::string RunConfig::fingerprint() const {
   // Disabled variability collapses to "var=0" whatever the other fields say,
   // so toggling a block off restores the deterministic-world cache key.
   fp += ';' + var::fingerprint_fragment(variability);
+  // Same contract for the faults block ("flt=0" when disabled): a campaign
+  // trial's faults-off baseline shares the deterministic world's cache key.
+  fp += ';' + faultcamp::fingerprint_fragment(faults);
   return fp;
 }
 
@@ -189,6 +208,7 @@ RunConfig from_legacy(const core::RunOptions& opts,
   cfg.error_rate_multiplier = opts.error_rate_multiplier;
   cfg.noise_enabled = opts.noise_enabled;
   cfg.variability = opts.variability;
+  cfg.faults = opts.faults;
   return cfg;
 }
 

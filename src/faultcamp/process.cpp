@@ -1,0 +1,160 @@
+#include "faultcamp/process.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace bsr::faultcamp {
+
+void validate(const Spec& spec) {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("faults: " + what);
+  };
+  if (!(spec.rate_multiplier >= 0.0)) {
+    fail("rate_multiplier must be >= 0 (got " +
+         std::to_string(spec.rate_multiplier) + ")");
+  }
+  if (!(spec.background_rate_per_s >= 0.0)) {
+    fail("background_rate_per_s must be >= 0 (got " +
+         std::to_string(spec.background_rate_per_s) + ")");
+  }
+  if (!(spec.burst_mean >= 1.0)) {
+    fail("burst_mean must be >= 1 (got " + std::to_string(spec.burst_mean) +
+         ")");
+  }
+  if (!(spec.hazard_sigma >= 0.0)) {
+    fail("hazard_sigma must be >= 0 (got " + std::to_string(spec.hazard_sigma) +
+         ")");
+  }
+  if (spec.fixed_d0 < 0 || spec.fixed_d1 < 0 || spec.fixed_d2 < 0) {
+    fail("fixed_d0/d1/d2 must be >= 0");
+  }
+  if (!(spec.correction_s >= 0.0)) {
+    fail("correction_s must be >= 0 (got " + std::to_string(spec.correction_s) +
+         ")");
+  }
+}
+
+std::string fingerprint_fragment(const Spec& spec) {
+  if (!spec.enabled) return "flt=0";
+  const auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  std::string fp = "flt=1";
+  fp += ";fproc=";
+  fp += spec.process == ProcessKind::Poisson ? "poisson" : "fixed";
+  fp += ";frate=" + num(spec.rate_multiplier);
+  fp += ";fbg=" + num(spec.background_rate_per_s);
+  fp += ";fburst=" + num(spec.burst_mean);
+  fp += ";fhaz=" + num(spec.hazard_sigma);
+  fp += ";ffix=" + std::to_string(spec.fixed_d0) + "," +
+        std::to_string(spec.fixed_d1) + "," + std::to_string(spec.fixed_d2);
+  fp += ";fcorr=" + num(spec.correction_s);
+  fp += ";frb=" + std::to_string(spec.rollback);
+  fp += ";fseed=" + std::to_string(spec.seed);
+  return fp;
+}
+
+Resolution resolve(const FaultCounts& counts, abft::ChecksumMode mode,
+                   bool rollback) {
+  Resolution r;
+  r.injected = counts;
+  switch (mode) {
+    case abft::ChecksumMode::None:
+      // Nothing watches the window: every fault survives silently.
+      r.unrecovered = counts.total();
+      return r;
+    case abft::ChecksumMode::SingleSide:
+      r.corrected_d0 = counts.d0;
+      r.uncorrectable = counts.d1 + counts.d2;
+      break;
+    case abft::ChecksumMode::Full:
+      r.corrected_d0 = counts.d0;
+      r.corrected_d1 = counts.d1;
+      r.uncorrectable = counts.d2;
+      break;
+  }
+  if (r.uncorrectable > 0) {
+    // One redo of the affected update covers every uncorrectable detection
+    // in the window (mirrors the numeric path: a single rollback per
+    // iteration, however many blocks failed to repair).
+    if (rollback) {
+      r.rollbacks = 1;
+      r.recovered = r.uncorrectable;
+    } else {
+      r.unrecovered = r.uncorrectable;
+    }
+  }
+  return r;
+}
+
+namespace {
+/// Stream-domain salt separating fault streams from var/'s variability
+/// streams (which salt with 0x5eedab1ef0c0ffee) and from sweep cell seeds.
+constexpr std::uint64_t kFaultStreamSalt = 0xfa17ca3f00d5eedULL;
+}  // namespace
+
+FaultProcess::FaultProcess(const Spec& spec, std::uint64_t run_seed, int lane)
+    : enabled_(spec.enabled),
+      kind_(spec.process),
+      mult_(spec.rate_multiplier),
+      background_(spec.background_rate_per_s),
+      burst_mean_(spec.burst_mean),
+      fixed_d0_(spec.fixed_d0),
+      fixed_d1_(spec.fixed_d1),
+      fixed_d2_(spec.fixed_d2) {
+  if (!enabled_) return;
+  const std::uint64_t root = spec.seed != 0 ? spec.seed : run_seed;
+  const std::uint64_t lane_root = var::derive_stream_seed(
+      root ^ kFaultStreamSalt, static_cast<std::uint64_t>(lane));
+  arrival_rng_ = Rng(var::derive_stream_seed(lane_root, 0));
+  burst_rng_ = Rng(var::derive_stream_seed(lane_root, 1));
+  if (spec.hazard_sigma > 0.0) {
+    Rng hazard_rng(var::derive_stream_seed(lane_root, 2));
+    hazard_ = std::exp(hazard_rng.normal(0.0, spec.hazard_sigma));
+  }
+}
+
+std::int64_t FaultProcess::arrivals(double mean) {
+  if (mean <= 0.0) return 0;
+  const auto events =
+      static_cast<std::int64_t>(arrival_rng_.poisson(mean));
+  if (burst_mean_ <= 1.0 || events == 0) return events;
+  std::int64_t faults = events;
+  for (std::int64_t e = 0; e < events; ++e) {
+    faults += static_cast<std::int64_t>(burst_rng_.poisson(burst_mean_ - 1.0));
+  }
+  return faults;
+}
+
+FaultCounts FaultProcess::sample(const hw::ErrorRates& rates, SimTime busy) {
+  FaultCounts c;
+  if (!enabled_) return c;
+  const double t = busy.seconds();
+  if (t <= 0.0) return c;
+  if (kind_ == ProcessKind::Fixed) {
+    // Deterministic fig09-style replay: each class's configured count
+    // strikes every window whose clock exposes *that class* (nonzero table
+    // rate), so the replay stays inside the world ABFT-OC reasons about —
+    // fault-free states stay fault-free, and 1D faults only land where the
+    // model says 1D faults exist. rate_multiplier scales the counts
+    // (rounded), so a campaign's rate axis means the same thing under both
+    // processes. No RNG involved.
+    const auto scaled = [this](std::int64_t fixed) {
+      return static_cast<std::int64_t>(
+          std::llround(static_cast<double>(fixed) * mult_));
+    };
+    if (rates.d0 > 0.0) c.d0 = scaled(fixed_d0_);
+    if (rates.d1 > 0.0) c.d1 = scaled(fixed_d1_);
+    if (rates.d2 > 0.0) c.d2 = scaled(fixed_d2_);
+    return c;
+  }
+  c.d0 = arrivals((rates.d0 * mult_ + background_) * hazard_ * t);
+  c.d1 = arrivals(rates.d1 * mult_ * hazard_ * t);
+  c.d2 = arrivals(rates.d2 * mult_ * hazard_ * t);
+  return c;
+}
+
+}  // namespace bsr::faultcamp

@@ -34,6 +34,12 @@ HybridPipeline::HybridPipeline(const hw::PlatformProfile& platform,
                                     /*lane=*/1, iters,
                                     platform_.gpu.freq.base_mhz);
   }
+  if (config_.faults.enabled) {
+    // Faults strike the GPU's update window (the numeric injector's exposure
+    // region); the lane index matches the variability numbering (1 = GPU).
+    gpu_faults_ = faultcamp::FaultProcess(config_.faults, config_.seed,
+                                          /*lane=*/1);
+  }
 }
 
 double HybridPipeline::noise_factor(hw::DeviceId dev, int k) const {
@@ -126,6 +132,37 @@ IterationOutcome HybridPipeline::run_iteration(int k, const IterationDecision& d
   o.gpu_dvfs = gpu_dvfs_lat;
   o.cpu_lane = cpu_dvfs_lat + t.transfer + t.pd;
   o.gpu_lane = gpu_dvfs_lat + o.pu_tmu + o.abft_time;
+
+  // --- Fault exposure and recovery (inert unless config_.faults.enabled) ----
+  SimTime correction;
+  SimTime rollback;
+  if (config_.faults.enabled) {
+    // The update window runs at fg under the decision's guardband: sample the
+    // fault process at the SDC-table rates of that state and resolve the
+    // counts against the checksum mode that actually protected the window.
+    const hw::ErrorRates rates =
+        platform_.gpu.errors.rates(fg, d.gpu_guardband);
+    const faultcamp::FaultCounts counts = gpu_faults_.sample(rates, o.pu_tmu);
+    o.faults = faultcamp::resolve(counts, o.abft_mode, config_.faults.rollback);
+    if (o.faults.corrected() > 0) {
+      correction = SimTime::from_seconds(
+          config_.faults.correction_s *
+          static_cast<double>(o.faults.corrected()));
+    }
+    if (o.faults.rollbacks > 0) {
+      // The redo re-runs the GPU update (with its checksum pass) at the base
+      // clock — the safe, fault-free state, matching the numeric recovery
+      // model in core/decomposer.cpp.
+      const sched::TaskDurations redo = compute_durations(
+          config_.workload, k, platform_, platform_.cpu.freq.base_mhz,
+          platform_.gpu.freq.base_mhz, d.abft_mode);
+      rollback = redo.pu + redo.tmu + redo.chk_update + redo.chk_verify;
+    }
+    o.recovery = correction + rollback;
+    // Recovery delays the GPU lane in place, so it genuinely eats into the
+    // iteration's slack and shifts every later strategy decision.
+    o.gpu_lane += o.recovery;
+  }
   o.span = max(o.cpu_lane, o.gpu_lane);
   o.slack = o.gpu_lane - o.cpu_lane;
 
@@ -154,10 +191,21 @@ IterationOutcome HybridPipeline::run_iteration(int k, const IterationDecision& d
   rec(hw::DeviceId::Cpu, t.pd, cpu_busy_p, "PD", o.cpu_energy_j);
   rec(hw::DeviceId::Cpu, o.span - o.cpu_lane, cpu_idle_p, "idle", o.cpu_energy_j);
 
-  // GPU lane: dvfs -> PU+TMU -> ABFT -> idle.
+  // GPU lane: dvfs -> PU+TMU -> ABFT -> correction/rollback -> idle.
   rec(hw::DeviceId::Gpu, gpu_dvfs_lat, gpu_idle_p, "dvfs", o.gpu_energy_j);
   rec(hw::DeviceId::Gpu, o.pu_tmu, gpu_busy_p, "TMU+PU", o.gpu_energy_j);
   rec(hw::DeviceId::Gpu, o.abft_time, gpu_busy_p, "abft", o.gpu_energy_j);
+  if (correction > SimTime::zero()) {
+    // Checksum corrections run in-lane at the window's clock.
+    rec(hw::DeviceId::Gpu, correction, gpu_busy_p, "correct", o.gpu_energy_j);
+  }
+  if (rollback > SimTime::zero()) {
+    // The rollback recompute runs at the base clock with the safe default
+    // guardband — no SDCs can strike the redo.
+    rec(hw::DeviceId::Gpu, rollback,
+        gpu.busy_power(gpu.freq.base_mhz, hw::Guardband::Default), "rollback",
+        o.gpu_energy_j);
+  }
   rec(hw::DeviceId::Gpu, o.span - o.gpu_lane, gpu_idle_p, "idle", o.gpu_energy_j);
 
   // --- Base-clock-normalized profiles for the predictors ----------------------

@@ -37,6 +37,13 @@ struct PipelineConfig {
   /// quantization, and thermal boost budgets (bsr/variability.hpp). Disabled
   /// by default — the pipeline is then bit-for-bit the pre-variability one.
   var::Spec variability;
+  /// Seeded statistical fault processes plus the recovery-cost model
+  /// (bsr/faults.hpp): faults strike the GPU's update window at the SDC-table
+  /// rates of its realized clock, corrected ones pay the correction latency
+  /// in-lane, uncorrectable ones roll the update back and recompute at the
+  /// base clock. Disabled by default — the pipeline is then bit-for-bit the
+  /// no-fault one, with no RNG draws.
+  faultcamp::Spec faults;
 };
 
 /// Idle power of a lane whose strategy "halted" it (Race-to-Halt): the drop
@@ -87,6 +94,7 @@ class HybridPipeline {
   std::vector<double> gpu_noise_;
   var::LaneVariability cpu_var_;  ///< inert unless config_.variability.enabled
   var::LaneVariability gpu_var_;
+  faultcamp::FaultProcess gpu_faults_;  ///< inert unless config_.faults.enabled
 };
 
 }  // namespace bsr::sched

@@ -10,6 +10,7 @@
 
 #include "abft/checksum.hpp"
 #include "common/sim_time.hpp"
+#include "faultcamp/process.hpp"
 #include "hw/platform.hpp"
 #include "predict/workload.hpp"
 
@@ -65,6 +66,13 @@ struct IterationOutcome {
   double pd_base_s = 0.0;
   double pu_tmu_base_s = 0.0;
   double transfer_s = 0.0;
+
+  // Fault-campaign accounting (all zero unless the run's faults block is
+  // enabled — see faultcamp/process.hpp). `recovery` is the in-lane
+  // correction latency plus the base-clock rollback recompute; it is part of
+  // gpu_lane (and therefore span), not an extra additive channel.
+  faultcamp::Resolution faults;
+  SimTime recovery;
 
   [[nodiscard]] double energy_j() const { return cpu_energy_j + gpu_energy_j; }
 };

@@ -1,0 +1,299 @@
+// End-to-end tests for the fault-campaign subsystem behind bsr/faults.hpp:
+// zero-rate inertness (bitwise equality with the no-fault path), seeded
+// determinism, coverage semantics per policy, rollback accounting, per-lane
+// fault+recovery reconciliation with the makespan on both engines, campaign
+// thread-count bitwise identity, the preset registry, and validation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "bsr/bsr.hpp"
+
+namespace bsr {
+namespace {
+
+/// The fig09 world, timing-only: numeric_demo op durations with compressed
+/// SDC exposure, BSR r = 0.25 — overclocked enough that the error table is
+/// genuinely live. Fast: ~24 simulated iterations.
+RunConfig fig09_world() {
+  RunConfig cfg;
+  cfg.factorization = Factorization::LU;
+  cfg.n = 768;
+  cfg.b = 32;
+  cfg.strategy = "bsr";
+  cfg.reclamation_ratio = 0.25;
+  cfg.fc_desired = 0.999;
+  cfg.error_rate_multiplier = 150.0;
+  cfg.platform = "numeric_demo";
+  return cfg;
+}
+
+TEST(FaultRun, ZeroRateIsBitwiseInert) {
+  RunConfig off = fig09_world();
+  RunConfig zero = off;
+  zero.faults.enabled = true;
+  zero.faults.rate_multiplier = 0.0;
+  zero.faults.background_rate_per_s = 0.0;
+  zero.faults.correction_s = 5e-3;
+
+  const auto a = run(off);
+  const auto b = run(zero);
+  EXPECT_EQ(a.seconds(), b.seconds());
+  EXPECT_EQ(a.total_energy_j(), b.total_energy_j());
+  ASSERT_EQ(a.trace.iterations.size(), b.trace.iterations.size());
+  for (std::size_t k = 0; k < a.trace.iterations.size(); ++k) {
+    EXPECT_EQ(a.trace.iterations[k].span, b.trace.iterations[k].span) << k;
+    EXPECT_EQ(a.trace.iterations[k].gpu_energy_j,
+              b.trace.iterations[k].gpu_energy_j)
+        << k;
+  }
+  EXPECT_TRUE(a.lane_faults.empty());
+  ASSERT_EQ(b.lane_faults.size(), 1u);
+  EXPECT_EQ(b.lane_faults[0].injected, 0);
+  EXPECT_EQ(b.lane_faults[0].recovery_s, 0.0);
+}
+
+TEST(FaultRun, SeededRealizationsAreDeterministic) {
+  RunConfig cfg = fig09_world();
+  cfg.faults = make_faults("poisson");
+  cfg.faults.seed = 1234;
+
+  const auto a = run(cfg);
+  const auto b = run(cfg);
+  EXPECT_EQ(a.seconds(), b.seconds());
+  ASSERT_EQ(a.lane_faults.size(), 1u);
+  EXPECT_GT(a.lane_faults[0].injected, 0);
+  EXPECT_EQ(a.lane_faults[0].injected, b.lane_faults[0].injected);
+
+  cfg.faults.seed = 99;
+  const auto c = run(cfg);
+  EXPECT_NE(a.lane_faults[0].injected, c.lane_faults[0].injected);
+}
+
+TEST(FaultRun, AdaptiveCoversWhatNoneLeaksAndReportReconciles) {
+  RunConfig cfg = fig09_world();
+  cfg.faults = make_faults("paper_fig09");  // deterministic replay
+
+  cfg.abft_policy = "adaptive";
+  const auto adaptive = run(cfg);
+  ASSERT_EQ(adaptive.lane_faults.size(), 1u);
+  const core::LaneFaults& af = adaptive.lane_faults[0];
+  EXPECT_GT(af.injected, 0);
+  EXPECT_EQ(af.injected, af.corrected + af.recovered + af.unrecovered);
+  EXPECT_EQ(af.unrecovered, 0);
+  EXPECT_EQ(adaptive.fault_coverage(), 1.0);
+  EXPECT_GT(adaptive.fault_recovery_s(), 0.0);
+  // The run-level ABFT stats carry the same story.
+  EXPECT_EQ(adaptive.abft.errors_injected_total(),
+            static_cast<int>(af.injected));
+
+  cfg.abft_policy = "none";
+  const auto none = run(cfg);
+  ASSERT_EQ(none.lane_faults.size(), 1u);
+  EXPECT_GT(none.lane_faults[0].injected, 0);
+  EXPECT_EQ(none.lane_faults[0].corrected, 0);
+  EXPECT_EQ(none.lane_faults[0].unrecovered, none.lane_faults[0].injected);
+  EXPECT_LT(none.fault_coverage(), 1.0);
+  EXPECT_EQ(none.fault_recovery_s(), 0.0);
+}
+
+TEST(FaultRun, RollbackPaysTimeAndRecoversSingleSideLeaks) {
+  // Forced single-side checksums + the deterministic 1D replay: without
+  // rollback the 1D faults stand unrecovered; with rollback they are
+  // recovered and the redo time is charged in-lane.
+  RunConfig cfg = fig09_world();
+  cfg.abft_policy = "single";
+  cfg.faults = make_faults("paper_fig09");
+
+  cfg.faults.rollback = false;
+  const auto leaky = run(cfg);
+  ASSERT_EQ(leaky.lane_faults.size(), 1u);
+  EXPECT_GT(leaky.lane_faults[0].unrecovered, 0);
+  EXPECT_EQ(leaky.lane_faults[0].rollbacks, 0);
+
+  cfg.faults.rollback = true;
+  const auto recovered = run(cfg);
+  ASSERT_EQ(recovered.lane_faults.size(), 1u);
+  EXPECT_EQ(recovered.lane_faults[0].unrecovered, 0);
+  EXPECT_GT(recovered.lane_faults[0].rollbacks, 0);
+  EXPECT_EQ(recovered.fault_coverage(), 1.0);
+  EXPECT_GT(recovered.seconds(), leaky.seconds());
+  EXPECT_GT(recovered.fault_recovery_s(), leaky.fault_recovery_s());
+  EXPECT_EQ(recovered.abft.recoveries, recovered.lane_faults[0].rollbacks);
+}
+
+TEST(FaultRun, SingleNodeRecoveryReconcilesWithTrace) {
+  RunConfig cfg = fig09_world();
+  cfg.faults = make_faults("paper_fig09");
+  const auto report = run(cfg);
+  ASSERT_EQ(report.lane_faults.size(), 1u);
+  double recovery = 0.0;
+  std::int64_t injected = 0;
+  for (const sched::IterationOutcome& o : report.trace.iterations) {
+    recovery += o.recovery.seconds();
+    injected += o.faults.injected.total();
+    // Recovery lives inside the lane (and span), never beyond it.
+    EXPECT_LE(o.recovery, o.gpu_lane);
+    EXPECT_LE(o.gpu_lane, o.span);
+  }
+  EXPECT_DOUBLE_EQ(report.lane_faults[0].recovery_s, recovery);
+  EXPECT_EQ(report.lane_faults[0].injected, injected);
+
+  // Against the identical no-fault world: faults only ever cost time, and
+  // at most the charged recovery (slack can absorb part of it).
+  RunConfig off = cfg;
+  off.faults = FaultConfig{};
+  const auto base = run(off);
+  EXPECT_GE(report.seconds(), base.seconds());
+  EXPECT_LE(report.seconds() - base.seconds(), recovery + 1e-9);
+}
+
+TEST(FaultRun, ClusterLaneAccountingReconcilesWithMakespan) {
+  RunConfig cfg;
+  cfg.n = 2048;
+  cfg.b = 0;
+  cfg.strategy = "bsr";
+  cfg.reclamation_ratio = 0.25;
+  cfg.abft_policy = "full";  // every window protected: corrections certain
+  cfg.devices = 4;
+  cfg.faults.enabled = true;
+  cfg.faults.background_rate_per_s = 50.0;  // strikes every device lane
+  cfg.faults.correction_s = 1e-3;
+
+  const ClusterConfig cc{cfg, cfg.devices, cfg.cluster};
+  const cluster::ClusterReport r = run_cluster_detailed(cc);
+  std::int64_t injected = 0;
+  for (const DeviceUsage& d : r.devices) {
+    // busy + idle + dvfs still accounts for the full makespan with the
+    // recovery time folded into busy_s (recovery_s is its sub-bucket).
+    EXPECT_NEAR(d.busy_s + d.idle_s + d.dvfs_s, r.makespan.seconds(), 1e-6)
+        << d.name;
+    EXPECT_LE(d.recovery_s, d.busy_s);
+    EXPECT_EQ(d.faults_injected,
+              d.faults_corrected + d.faults_recovered + d.faults_unrecovered);
+    if (d.faults_corrected + d.faults_recovered > 0) {
+      EXPECT_GT(d.recovery_s, 0.0) << d.name;
+    }
+    injected += d.faults_injected;
+  }
+  EXPECT_GT(injected, 0);
+
+  // The facade aggregation carries the same per-lane story.
+  const auto report = run(cfg);
+  ASSERT_EQ(report.lane_faults.size(), 4u);
+  std::int64_t facade_injected = 0;
+  for (const core::LaneFaults& lf : report.lane_faults) {
+    facade_injected += lf.injected;
+  }
+  EXPECT_EQ(facade_injected, injected);
+  EXPECT_EQ(report.fault_coverage(), 1.0);
+}
+
+TEST(FaultCampaignRun, BitwiseIdenticalAcrossThreadCounts) {
+  RunConfig base = fig09_world();
+  base.faults = make_faults("poisson");
+  const Axis schemes = abft_axis({"single", "full", "adaptive"});
+
+  const auto render = [&](int threads) {
+    CampaignResult result =
+        FaultCampaign(base, /*trials=*/4).over(schemes).threads(threads).run();
+    std::ostringstream out;
+    auto sink = make_result_sink("json", out);
+    emit(result, *sink);
+    return out.str();
+  };
+  const std::string serial = render(1);
+  const std::string parallel = render(4);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(FaultCampaignRun, AggregatesAndSharedBaselines) {
+  RunConfig base = fig09_world();
+  base.faults = make_faults("poisson");
+  Axis rates{"rate", {}};
+  for (const double m : {1.0, 8.0}) {
+    rates.points.push_back({TablePrinter::num(m), [m](RunConfig& c) {
+                              c.faults.rate_multiplier = m;
+                            }});
+  }
+  const int trials = 4;
+  CampaignResult result = FaultCampaign(base, trials).over(rates).run();
+  ASSERT_EQ(result.cells.size(), 2u);
+  ASSERT_EQ(result.axis_names, std::vector<std::string>{"rate"});
+  // The rate axis only touches the fault block, so both cells' faults-off
+  // baselines share one cached run: 2 x (4 trials + baseline) requested,
+  // the baseline executed once.
+  EXPECT_EQ(result.requested_runs, 2u * (trials + 1));
+  EXPECT_EQ(result.unique_runs, 2u * trials + 1);
+
+  for (const CampaignCell& cell : result.cells) {
+    ASSERT_EQ(cell.trials.size(), static_cast<std::size_t>(trials));
+    ASSERT_NE(cell.baseline, nullptr);
+    EXPECT_TRUE(cell.baseline->lane_faults.empty());
+    std::int64_t injected = 0;
+    for (const auto& trial : cell.trials) {
+      for (const core::LaneFaults& lf : trial->lane_faults) {
+        injected += lf.injected;
+      }
+    }
+    EXPECT_EQ(cell.injected, injected);
+    EXPECT_EQ(cell.injected,
+              cell.corrected + cell.recovered + cell.unrecovered);
+    EXPECT_GE(cell.overhead, 0.0);
+    EXPECT_LE(cell.p50_s, cell.p95_s);
+    EXPECT_LE(cell.p95_s, cell.p99_s);
+  }
+  // 8x the arrival rate: strictly more faults.
+  EXPECT_GT(result.cells[1].injected, result.cells[0].injected);
+
+  EXPECT_THROW((void)FaultCampaign(base, 0).run(), std::invalid_argument);
+}
+
+TEST(FaultPresets, RegistryRoundTripsAndLists) {
+  EXPECT_FALSE(make_faults("off").enabled);
+  EXPECT_TRUE(make_faults("poisson").enabled);
+  EXPECT_EQ(make_faults("paper_fig09").process, faultcamp::ProcessKind::Fixed);
+  EXPECT_GT(make_faults("hostile").burst_mean, 1.0);
+  EXPECT_EQ(fault_presets().canonical("fig09"), "paper_fig09");
+  EXPECT_EQ(fault_presets().canonical("on"), "poisson");
+  try {
+    (void)make_faults("nope");
+    FAIL() << "unknown preset accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("paper_fig09"), std::string::npos);
+  }
+  std::ostringstream out;
+  print_registered_keys(out);
+  EXPECT_NE(out.str().find("fault presets"), std::string::npos);
+  EXPECT_NE(out.str().find("poisson"), std::string::npos);
+}
+
+TEST(FaultConfigValidation, NumericModeAndFingerprints) {
+  RunConfig cfg = fig09_world();
+  cfg.faults = make_faults("poisson");
+  cfg.mode = ExecutionMode::Numeric;
+  try {
+    cfg.validate();
+    FAIL() << "numeric mode with statistical faults accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("faults"), std::string::npos);
+  }
+
+  // Disabled block fingerprints exactly like a config without one; every
+  // live knob separates cache keys.
+  RunConfig off = fig09_world();
+  RunConfig noisy_off = off;
+  noisy_off.faults.rate_multiplier = 77.0;  // irrelevant while disabled
+  EXPECT_EQ(off.fingerprint(), noisy_off.fingerprint());
+  RunConfig on = off;
+  on.faults = make_faults("poisson");
+  EXPECT_NE(on.fingerprint(), off.fingerprint());
+  RunConfig on2 = on;
+  on2.faults.seed = 5;
+  EXPECT_NE(on.fingerprint(), on2.fingerprint());
+}
+
+}  // namespace
+}  // namespace bsr
