@@ -1,11 +1,16 @@
-// Google Benchmark micro-benchmarks for the numeric substrate: the BLAS-3 and
-// factorization kernels that back the numeric execution mode, plus the ABFT
-// checksum primitives. These are host-side sanity benchmarks (the *simulated*
-// device performance comes from hw::PerfModel, not from these numbers).
+// Google Benchmark micro-benchmarks for the numeric substrate — the BLAS-3
+// and factorization kernels that back the numeric execution mode, plus the
+// ABFT checksum primitives — and for the simulator's own hot loop: cluster
+// sweep and fault-campaign throughput in cells (runs) per second. The kernel
+// numbers are host-side sanity benchmarks (the *simulated* device performance
+// comes from hw::PerfModel, not from these numbers); the throughput numbers
+// are the product metric the committed BENCH_kernels.json trajectory and the
+// CI perf gate (tools/perf_gate.py) defend.
 #include <benchmark/benchmark.h>
 
 #include "abft/checksum.hpp"
 #include "abft/update.hpp"
+#include "bsr/bsr.hpp"
 #include "common/rng.hpp"
 #include "la/lapack.hpp"
 
@@ -120,5 +125,51 @@ void BM_ProtectedGemmUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProtectedGemmUpdate)->Arg(256)->Arg(512);
+
+// Simulator throughput: cells (unique runs) per second through the full Sweep
+// engine — config expansion, fingerprinting, cluster event simulation, and
+// aggregation. A fresh Sweep is built every iteration because the result
+// cache would otherwise serve every repeat for free; unique_runs counts what
+// was actually simulated.
+void BM_ClusterSweep(benchmark::State& state) {
+  std::int64_t cells = 0;
+  for (auto _ : state) {
+    RunConfig base;
+    base.n = 2048;
+    base.b = 128;
+    Sweep sweep(base);
+    sweep.over(trial_axis(2, /*root_seed=*/99))
+        .over(devices_axis({1, 4, 8}))
+        .over(strategy_axis({"original", "bsr"}));
+    const SweepResult grid = sweep.run();
+    benchmark::DoNotOptimize(&grid);
+    cells += grid.unique_runs;
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClusterSweep);
+
+// Fault-campaign throughput: seeded Poisson injection, recovery-cost
+// simulation, and per-cell aggregation on top of the sweep engine. Same
+// fresh-object-per-iteration rule as BM_ClusterSweep.
+void BM_FaultCampaign(benchmark::State& state) {
+  std::int64_t runs = 0;
+  for (auto _ : state) {
+    RunConfig base;
+    base.n = 2048;
+    base.b = 128;
+    base.faults = make_faults("poisson");
+    FaultCampaign camp(base, /*trials=*/20);
+    camp.over(devices_axis({1, 4, 8}))
+        .over(strategy_axis({"original", "bsr"}));
+    const CampaignResult result = camp.run();
+    benchmark::DoNotOptimize(&result);
+    runs += result.unique_runs;
+  }
+  state.counters["runs/s"] = benchmark::Counter(
+      static_cast<double>(runs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FaultCampaign);
 
 }  // namespace

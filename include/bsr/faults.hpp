@@ -122,6 +122,14 @@ struct CampaignResult {
   std::size_t requested_runs = 0;  ///< cells x (trials + baseline)
   std::size_t unique_runs = 0;     ///< configs actually executed
   double wall_seconds = 0.0;       ///< wall-clock time of run()
+
+  /// Executed runs per wall-clock second — the campaign-throughput metric
+  /// mirrored by SweepResult::cells_per_second().
+  [[nodiscard]] double runs_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(unique_runs) / wall_seconds
+               : 0.0;
+  }
 };
 
 /// Executes N seeded fault realizations per grid cell on top of bsr::Sweep

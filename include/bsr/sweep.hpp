@@ -102,6 +102,15 @@ class SweepResult {
   std::size_t cache_hits = 0;      ///< requested_runs - unique_runs
   double wall_seconds = 0.0;       ///< wall-clock time of this run() call
 
+  /// Executed (unique) cells per wall-clock second of this run() — the sweep
+  /// throughput metric the BENCH_kernels.json trajectory and the CI perf
+  /// gate track. 0 when nothing executed or the clock read as zero.
+  [[nodiscard]] double cells_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(unique_runs) / wall_seconds
+               : 0.0;
+  }
+
   /// The unique row matching every given (axis, label) pair; throws
   /// std::out_of_range (listing the coords) when none or several match.
   [[nodiscard]] const SweepRow& at(

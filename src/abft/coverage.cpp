@@ -1,11 +1,33 @@
 #include "abft/coverage.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+
+#include "common/arena.hpp"
 
 namespace bsr::abft {
 
 namespace {
+
+// fc_full is THE hot function of a fault campaign (a profile of the seeded
+// campaign driver attributes >80% of run time here): the adaptive-checksum
+// ladder evaluates it per frequency step, per iteration, per device. The
+// optimizations below hoist loop-invariant subexpressions out of the k x j
+// summation without changing any floating-point value:
+//
+//   * poisson_pmf(j, m1) does not depend on k, so the row is computed once
+//     into a table instead of kmax times (identical calls, identical bits);
+//   * distinct_block_factor(c, s) is a sequential prefix product, so the
+//     table dbf[c] = dbf[c-1] * (s-c)/s reproduces the reference loop's
+//     multiply order exactly — with the reference's early `return 0.0`
+//     mirrored as a sticky zero (NOT a multiply, which could produce -0.0);
+//   * std::log(i) for small integer i comes from a table of the very values
+//     std::log returns (same libm, same input, same bits).
+//
+// The summation order (k outer, j inner, left-associated multiplies) is
+// untouched, so results are bitwise identical to the reference — asserted by
+// the coverage tests and the byte-identical fig09/fig11 outputs.
 
 /// Upper summation bound for a Poisson tail: mean + 10 sqrt(mean) + 16 keeps
 /// the truncation error far below the 1e-6 coverage resolution we report.
@@ -13,21 +35,31 @@ int poisson_cutoff(double mean) {
   return static_cast<int>(mean + 10.0 * std::sqrt(std::max(mean, 1.0)) + 16.0);
 }
 
-/// prod_{i=0}^{count} (S - i) / S — the paper's distinct-block factor.
-double distinct_block_factor(int count, std::int64_t s) {
-  double prod = 1.0;
-  for (int i = 0; i <= count; ++i) {
-    const double term = static_cast<double>(s - i) / static_cast<double>(s);
-    if (term <= 0.0) return 0.0;
-    prod *= term;
-  }
-  return prod;
+constexpr int kLogTableSize = 4096;
+
+/// table[i] == std::log(static_cast<double>(i)) for i in [2, kLogTableSize).
+const std::array<double, kLogTableSize>& log_int_table() {
+  static const std::array<double, kLogTableSize> table = [] {
+    std::array<double, kLogTableSize> t{};
+    for (int i = 2; i < kLogTableSize; ++i) {
+      t[static_cast<std::size_t>(i)] = std::log(static_cast<double>(i));
+    }
+    return t;
+  }();
+  return table;
 }
 
 double poisson_pmf(int k, double mean) {
-  // exp(-m) m^k / k! computed in log space for robustness.
+  // exp(-m) m^k / k! computed in log space for robustness. The log-factorial
+  // subtractions stay sequential (i ascending) so the rounding sequence
+  // matches the reference exactly; the table only replaces where each
+  // std::log(i) value comes from.
+  const std::array<double, kLogTableSize>& lt = log_int_table();
   double log_p = -mean + k * std::log(std::max(mean, 1e-300));
-  for (int i = 2; i <= k; ++i) log_p -= std::log(static_cast<double>(i));
+  for (int i = 2; i <= k; ++i) {
+    log_p -= i < kLogTableSize ? lt[static_cast<std::size_t>(i)]
+                               : std::log(static_cast<double>(i));
+  }
   return std::exp(log_p);
 }
 
@@ -37,10 +69,18 @@ double fc_single(const hw::ErrorRates& rates, double t_seconds,
                  std::int64_t blocks) {
   if (rates.fault_free()) return 1.0;
   const double m0 = rates.d0 * t_seconds;
+  const double s = static_cast<double>(blocks);
   double sum = 0.0;
   const int kmax = std::min<int>(poisson_cutoff(m0), static_cast<int>(blocks));
+  // Incremental distinct-block factor: after iteration k, `prod` equals
+  // prod_{i=0}^{k} (S - i) / S — the reference function's value for count k.
+  double prod = 1.0;
+  bool zero = false;
   for (int k = 0; k <= kmax; ++k) {
-    sum += poisson_pmf(k, m0) * distinct_block_factor(k, blocks);
+    const double term = static_cast<double>(blocks - k) / s;
+    if (!zero && term <= 0.0) zero = true;
+    if (!zero) prod *= term;
+    sum += poisson_pmf(k, m0) * (zero ? 0.0 : prod);
   }
   return sum * std::exp(-rates.d1 * t_seconds) * std::exp(-rates.d2 * t_seconds);
 }
@@ -50,13 +90,38 @@ double fc_full(const hw::ErrorRates& rates, double t_seconds,
   if (rates.fault_free()) return 1.0;
   const double m0 = rates.d0 * t_seconds;
   const double m1 = rates.d1 * t_seconds;
+  const double s = static_cast<double>(blocks);
   const int kmax = std::min<int>(poisson_cutoff(m0), static_cast<int>(blocks));
   const int jmax = std::min<int>(poisson_cutoff(m1), static_cast<int>(blocks));
+  const int cmax = static_cast<int>(
+      std::min<std::int64_t>(static_cast<std::int64_t>(kmax) + jmax, blocks));
+
+  ArenaScope scope(Arena::scratch());
+  // Inner-loop-invariant row: poisson_pmf(j, m1) for every j.
+  double* pj = scope.alloc<double>(static_cast<std::size_t>(jmax) + 1);
+  for (int j = 0; j <= jmax; ++j) pj[j] = poisson_pmf(j, m1);
+  // Prefix-product table of the distinct-block factor for every count the
+  // double loop can reach (k + j <= min(kmax + jmax, blocks)).
+  double* dbf = scope.alloc<double>(static_cast<std::size_t>(cmax) + 1);
+  {
+    double prod = 1.0;
+    bool zero = false;
+    for (int c = 0; c <= cmax; ++c) {
+      const double term = static_cast<double>(blocks - c) / s;
+      if (!zero && term <= 0.0) zero = true;
+      if (!zero) prod *= term;
+      dbf[c] = zero ? 0.0 : prod;
+    }
+  }
+
   double sum = 0.0;
   for (int k = 0; k <= kmax; ++k) {
     const double pk = poisson_pmf(k, m0);
-    for (int j = 0; j <= jmax && k + j <= blocks; ++j) {
-      sum += pk * poisson_pmf(j, m1) * distinct_block_factor(k + j, blocks);
+    const int jlim = static_cast<int>(
+        std::min<std::int64_t>(jmax, blocks - k));
+    const double* dbfk = dbf + k;
+    for (int j = 0; j <= jlim; ++j) {
+      sum += pk * pj[j] * dbfk[j];
     }
   }
   return sum * std::exp(-rates.d2 * t_seconds);

@@ -33,6 +33,20 @@ struct LaneDecision {
   double core_t = 0.0;  ///< predicted base-clock compute time (seconds)
 };
 
+/// POD event payload for the cluster graph: which transition fires, for which
+/// iteration, on which device. A few words of trivially-copyable state in the
+/// engine's flat preallocated heap — scheduling allocates nothing and firing
+/// is a switch, where a std::function payload would pay type erasure per
+/// event. Event *order* is untouched: the same schedule sites run in the same
+/// sequence, so (time, seq) tie-breaks — and therefore results — are bitwise
+/// identical to the closure-based engine.
+struct ClusterEvent {
+  enum class Kind : std::uint8_t { FinishPd, StartUpdate, FinishUpdate, StartPd };
+  Kind kind = Kind::FinishPd;
+  int k = 0;
+  int d = 0;
+};
+
 /// One compute resource: lane 0 is the host, lanes 1..N the accelerators.
 struct Lane {
   const hw::DeviceModel* dev = nullptr;
@@ -73,9 +87,18 @@ class ClusterRun {
                 profile_.devices[static_cast<std::size_t>(d)], 1 + d);
     }
     link_free_.assign(lanes_.size(), SimTime::zero());
-    plans_.resize(static_cast<std::size_t>(iters_));
+    // Flat per-(iteration, lane) plan storage and reusable decide() scratch:
+    // one allocation each for the whole run instead of per-iteration churn.
+    plans_.resize(static_cast<std::size_t>(iters_) * lanes_.size());
+    core_.resize(lanes_.size());
+    over_.resize(lanes_.size());
+    lane_t_.resize(lanes_.size());
+    arrival_.resize(static_cast<std::size_t>(profile_.num_devices()));
     upd_scheduled_.assign(
         static_cast<std::size_t>(iters_) * lanes_.size(), false);
+    // Worst simultaneous backlog: one update per device plus the finish/pd
+    // chain; reserved up front so scheduling never reallocates mid-run.
+    engine_.reserve(2 * lanes_.size() + 8);
   }
 
   ClusterReport run() {
@@ -95,7 +118,8 @@ class ClusterRun {
     // Panel 0 is resident on the host (the matrix is generated there and
     // distributed as the factorization proceeds), so PD(0) is ready at t=0.
     start_pd(0, SimTime::zero());
-    const SimTime makespan = engine_.run();
+    const SimTime makespan =
+        engine_.run([this](const ClusterEvent& ev) { dispatch(ev); });
 
     ClusterReport report;
     report.makespan = makespan;
@@ -333,17 +357,18 @@ class ClusterRun {
         .mode;
   }
 
-  /// Computes the full per-lane plan for iteration k. Called once, when PD(k)
-  /// starts (deterministic point in event order), using whatever the
-  /// predictors have absorbed by then.
-  [[nodiscard]] std::vector<LaneDecision> decide(int k) const {
+  /// Computes the full per-lane plan for iteration k into `plan` (a row of
+  /// plans_, n_lanes wide). Called once, when PD(k) starts (deterministic
+  /// point in event order), using whatever the predictors have absorbed by
+  /// then.
+  void decide(int k, LaneDecision* plan) {
     const std::size_t n_lanes = lanes_.size();
-    std::vector<LaneDecision> plan(n_lanes);
+    std::fill(plan, plan + n_lanes, LaneDecision{});
     const bool bsr = opt_.strategy == ClusterStrategy::BSR;
     const hw::Guardband gb = bsr && opt_.bsr.use_optimized_guardband
                                  ? hw::Guardband::Optimized
                                  : hw::Guardband::Default;
-    for (LaneDecision& d : plan) d.gb = gb;
+    for (std::size_t i = 0; i < n_lanes; ++i) plan[i].gb = gb;
 
     if (opt_.strategy == ClusterStrategy::Original ||
         opt_.strategy == ClusterStrategy::R2H || k == 0) {
@@ -359,14 +384,17 @@ class ClusterRun {
               dist_.share(wl_, k, static_cast<int>(i) - 1);
         }
       }
-      return plan;
+      return;
     }
 
     // -- SR / BSR: lane time estimates at base clocks -------------------------
     // Host lane: panel factorization plus pulling the next panel home.
     // Device lane d: receiving the broadcast plus its local update share.
-    std::vector<double> core(n_lanes, 0.0);   // compute part (clock-scalable)
-    std::vector<double> over(n_lanes, 0.0);   // fixed transfer part
+    // Member scratch, reused across iterations.
+    std::vector<double>& core = core_;   // compute part (clock-scalable)
+    std::vector<double>& over = over_;   // fixed transfer part
+    std::fill(core.begin(), core.end(), 0.0);
+    std::fill(over.begin(), over.end(), 0.0);
     core[0] = predictor(lanes_[0]).predict(OpKind::PD, k);
     if (k + 1 < iters_) {
       over[0] = profile_.links
@@ -382,7 +410,7 @@ class ClusterRun {
                           .seconds()
                     : 0.0;
     }
-    std::vector<double> lane_t(n_lanes);
+    std::vector<double>& lane_t = lane_t_;
     for (std::size_t i = 0; i < n_lanes; ++i) lane_t[i] = core[i] + over[i];
     std::size_t crit = 0;
     for (std::size_t i = 1; i < n_lanes; ++i) {
@@ -449,15 +477,28 @@ class ClusterRun {
       const double bound = (i == crit ? t_max : std::max(t_new, t_max)) + eps;
       plan[i].adjust = proj <= bound && plan[i].freq != lanes_[i].dvfs.current();
     }
-    return plan;
   }
 
   // -- event graph ------------------------------------------------------------
 
+  void dispatch(const ClusterEvent& ev) {
+    switch (ev.kind) {
+      case ClusterEvent::Kind::FinishPd: finish_pd(ev.k); break;
+      case ClusterEvent::Kind::StartUpdate: start_update(ev.k, ev.d); break;
+      case ClusterEvent::Kind::FinishUpdate: finish_update(ev.k, ev.d); break;
+      case ClusterEvent::Kind::StartPd: start_pd(ev.k, engine_.now()); break;
+    }
+  }
+
+  /// The plan row for iteration k (one LaneDecision per lane).
+  [[nodiscard]] LaneDecision* plan_row(int k) {
+    return plans_.data() + static_cast<std::size_t>(k) * lanes_.size();
+  }
+
   void start_pd(int k, SimTime ready) {
-    plans_[static_cast<std::size_t>(k)] = decide(k);
+    decide(k, plan_row(k));
     Lane& host = lanes_[0];
-    LaneDecision d = plans_[static_cast<std::size_t>(k)][0];
+    LaneDecision d = plan_row(k)[0];
     const predict::IterationWork w = wl_.iteration(k);
     // Realize the clock first so the busy time reflects the new frequency
     // (variability may quantize or thermally clamp the plan's choice).
@@ -468,7 +509,7 @@ class ClusterRun {
     if (opt_.variability.enabled) busy = busy * host.var.compute_factor(k);
     const SimTime done = run_compute(host, ready, d, busy, w.pd_flops);
     record(lanes_[0], OpKind::PD, k, busy.seconds(), 1.0);
-    engine_.schedule_at(done, [this, k] { finish_pd(k); });
+    engine_.schedule_at(done, ClusterEvent{ClusterEvent::Kind::FinishPd, k, 0});
   }
 
   /// Occupies the direct peer link between src and dst (one registration
@@ -494,8 +535,8 @@ class ClusterRun {
     // panel receive it as a one-hop relay over that link instead (NCCL-style
     // pair forwarding), halving the pressure on the shared host bus.
     const double bytes = one_way_bytes(k);
-    std::vector<SimTime> arrival(
-        static_cast<std::size_t>(profile_.num_devices()));
+    std::vector<SimTime>& arrival = arrival_;  // member scratch, fully rewritten
+    std::fill(arrival.begin(), arrival.end(), SimTime());
     for (int d = 0; d < profile_.num_devices(); ++d) {
       if (dist_.local_cols(wl_, k, d) == 0) continue;
       const hw::TransferModel* relay_link = nullptr;
@@ -515,7 +556,7 @@ class ClusterRun {
                                   bytes, *relay_link)
               : run_transfer(d, lanes_[0].busy_until, bytes);
       engine_.schedule_at(arrival[static_cast<std::size_t>(d)],
-                          [this, k, d] { start_update(k, d); });
+                          ClusterEvent{ClusterEvent::Kind::StartUpdate, k, d});
     }
   }
 
@@ -532,8 +573,7 @@ class ClusterRun {
     upd_scheduled_[slot] = true;
 
     Lane& lane = lanes_[static_cast<std::size_t>(1 + d)];
-    LaneDecision dec = plans_[static_cast<std::size_t>(k)]
-                             [static_cast<std::size_t>(1 + d)];
+    LaneDecision dec = plan_row(k)[static_cast<std::size_t>(1 + d)];
     // Protection matches the clock that actually runs: by now the lane's
     // plan may have been guarded off, overtaken by a skipped transition, or
     // thermally clamped, so ABFT-OC is consulted here, against the realized
@@ -560,7 +600,8 @@ class ClusterRun {
     if (opt_.faults.enabled) {
       done = expose_update(lane, dec, k, d, f, mode, work.update * noise);
     }
-    engine_.schedule_at(done, [this, k, d] { finish_update(k, d); });
+    engine_.schedule_at(done,
+                        ClusterEvent{ClusterEvent::Kind::FinishUpdate, k, d});
   }
 
   /// Samples the fault process over one update window and charges the
@@ -613,8 +654,8 @@ class ClusterRun {
       const SimTime arrived = run_transfer(
           d, lanes_[static_cast<std::size_t>(1 + d)].busy_until,
           one_way_bytes(k + 1));
-      engine_.schedule_at(arrived,
-                          [this, k] { start_pd(k + 1, engine_.now()); });
+      engine_.schedule_at(
+          arrived, ClusterEvent{ClusterEvent::Kind::StartPd, k + 1, 0});
     }
     // Once a device owns no trailing columns it never works again
     // (block-cyclic ownership only shrinks): park the retired lane so it
@@ -664,12 +705,14 @@ class ClusterRun {
   int iters_ = 0;
   std::int64_t blocks_total_ = 0;
 
-  EventEngine engine_;
+  BasicEventEngine<ClusterEvent> engine_;
   std::vector<Lane> lanes_;
   std::vector<SimTime> link_free_;  ///< indexed like lanes_ (slot 0 unused)
   SimTime bus_free_;
   std::map<std::pair<int, int>, SimTime> peer_free_;  ///< key (min, max)
-  std::vector<std::vector<LaneDecision>> plans_;
+  std::vector<LaneDecision> plans_;  ///< flat (iteration, lane) plan grid
+  std::vector<double> core_, over_, lane_t_;  ///< decide() scratch
+  std::vector<SimTime> arrival_;              ///< finish_pd() scratch
   std::vector<char> upd_scheduled_;
 };
 

@@ -1,25 +1,9 @@
 #include "cluster/event_engine.hpp"
 
-#include <algorithm>
-#include <utility>
-
 namespace bsr::cluster {
 
-void EventEngine::schedule_at(SimTime t, Handler fn) {
-  heap_.push_back(Event{max(t, now_), next_seq_++, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), later);
-}
-
 SimTime EventEngine::run() {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), later);
-    Event ev = std::move(heap_.back());
-    heap_.pop_back();
-    now_ = ev.time;
-    ++processed_;
-    ev.fn();  // may schedule further events
-  }
-  return now_;
+  return BasicEventEngine<Handler>::run([](Handler& fn) { fn(); });
 }
 
 }  // namespace bsr::cluster

@@ -1,0 +1,83 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+
+namespace bsr {
+
+namespace {
+
+/// First multiple of `align` (power of two) at or above `addr`.
+std::uintptr_t align_up(std::uintptr_t addr, std::size_t align) {
+  return (addr + align - 1) & ~static_cast<std::uintptr_t>(align - 1);
+}
+
+}  // namespace
+
+void* Arena::alloc_bytes(std::size_t bytes, std::size_t align) {
+  align = std::max(align, alignof(std::max_align_t));
+  if (bytes == 0) bytes = 1;  // keep returned pointers unique
+  for (;;) {
+    if (active_ < chunks_.size()) {
+      Chunk& c = chunks_[active_];
+      const auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+      const std::uintptr_t aligned = align_up(base + offset_, align);
+      const std::size_t new_offset = (aligned - base) + bytes;
+      if (new_offset <= c.size) {
+        offset_ = new_offset;
+        used_ += bytes;
+        return reinterpret_cast<void*>(aligned);
+      }
+      // Exhausted: try the next retained chunk (present after a rewind past
+      // an overflow) before growing.
+      if (active_ + 1 < chunks_.size()) {
+        ++active_;
+        offset_ = 0;
+        continue;
+      }
+    }
+    add_chunk(bytes + align);
+  }
+}
+
+void Arena::add_chunk(std::size_t min_bytes) {
+  const std::size_t size = std::max(min_bytes, next_chunk_bytes_);
+  chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+  capacity_ += size;
+  active_ = chunks_.size() - 1;
+  offset_ = 0;
+  // Geometric growth keeps the number of overflow chunks logarithmic in the
+  // peak footprint.
+  next_chunk_bytes_ = std::min<std::size_t>(size * 2, std::size_t{1} << 30);
+}
+
+void Arena::reset() {
+  if (chunks_.size() > 1) {
+    // Coalesce: drop every chunk and size the next one to the whole peak
+    // footprint, so the workload that overflowed fits in one chunk from now
+    // on. The actual allocation is deferred to the next alloc_bytes().
+    next_chunk_bytes_ = std::max(next_chunk_bytes_, capacity_);
+    chunks_.clear();
+    capacity_ = 0;
+  }
+  active_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+void Arena::rewind(const Mark& m) {
+  // Rewinding past a reset() that freed chunks would dangle; ArenaScope
+  // frames must not straddle a reset. After a plain rewind the later chunks
+  // stay allocated and are reused by the retry loop in alloc_bytes.
+  if (m.chunk < chunks_.size()) {
+    active_ = m.chunk;
+    offset_ = m.offset;
+    used_ = m.used;
+  }
+}
+
+Arena& Arena::scratch() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace bsr

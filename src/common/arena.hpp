@@ -1,0 +1,129 @@
+// Monotonic arena allocator for hot-loop scratch storage.
+//
+// The simulator's hot loops — the blocked kernels' packing/scratch panels,
+// the cluster engine's per-iteration plans, the campaign aggregation buffers —
+// all want the same thing: many short-lived allocations whose lifetimes nest
+// like a stack, freed wholesale when the enclosing computation finishes.
+// malloc/free (and std::vector's zero-fill) are pure overhead there. An Arena
+// hands out aligned pointers by bumping a cursor through preallocated chunks:
+//
+//   * alloc<T>(n) is a pointer bump (amortized); memory is NOT zeroed —
+//     callers own initialization, exactly like malloc;
+//   * every allocation is aligned to at least alignof(std::max_align_t)
+//     (kernel code may request wider, e.g. 64-byte cache-line alignment);
+//   * when the current chunk is exhausted the arena falls back to a new
+//     heap chunk (geometric growth), so it never fails before the heap does;
+//   * reset() makes the whole capacity reusable without returning it to the
+//     OS — the steady state of a sweep is zero mallocs per cell;
+//   * ArenaScope unwinds to a high-water mark on destruction, so nested
+//     scratch users (gemm inside syrk inside potrf) stack like frames.
+//
+// Arenas are NOT thread-safe; use one per thread. Kernel code uses
+// Arena::scratch(), a thread-local instance, so pool workers never contend.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace bsr {
+
+class Arena {
+ public:
+  /// Creates an arena whose first chunk holds `initial_bytes` (rounded up to
+  /// the minimum chunk size). The chunk is allocated lazily on first use.
+  explicit Arena(std::size_t initial_bytes = kDefaultChunkBytes)
+      : next_chunk_bytes_(initial_bytes < kMinChunkBytes ? kMinChunkBytes
+                                                         : initial_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `count` objects of type T, aligned to
+  /// max(alignof(T), alignof(std::max_align_t)). count == 0 returns a valid,
+  /// unique non-null pointer (like operator new).
+  template <typename T>
+  [[nodiscard]] T* alloc(std::size_t count) {
+    return static_cast<T*>(alloc_bytes(count * sizeof(T), alignof(T)));
+  }
+
+  /// Uninitialized storage of `bytes` bytes aligned to `align` (power of
+  /// two; widened to alignof(std::max_align_t) when smaller).
+  [[nodiscard]] void* alloc_bytes(std::size_t bytes, std::size_t align);
+
+  /// Rewinds the arena: all prior allocations are invalidated and the full
+  /// capacity becomes reusable. Chunks are retained (no free/realloc), so a
+  /// reset arena serves the next round without touching malloc — except that
+  /// multiple overflow chunks coalesce into one bigger chunk on the next
+  /// allocation, so a workload that overflowed once stops overflowing.
+  void reset();
+
+  /// Bytes handed out since construction or the last reset().
+  [[nodiscard]] std::size_t used() const { return used_; }
+  /// Total bytes owned across all chunks.
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Number of chunks allocated from the heap over the arena's lifetime —
+  /// a steady-state hot loop should hold this constant at 1.
+  [[nodiscard]] std::size_t chunks() const { return chunks_.size(); }
+
+  /// Thread-local scratch arena for kernel internals. Use through ArenaScope
+  /// so nested users unwind correctly.
+  static Arena& scratch();
+
+ private:
+  friend class ArenaScope;
+
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Opaque rewind point: (chunk index, offset within it).
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t offset = 0;
+    std::size_t used = 0;
+  };
+
+  [[nodiscard]] Mark mark() const { return {active_, offset_, used_}; }
+  void rewind(const Mark& m);
+
+  void add_chunk(std::size_t min_bytes);
+
+  static constexpr std::size_t kMinChunkBytes = 4 * 1024;
+  static constexpr std::size_t kDefaultChunkBytes = 256 * 1024;
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;       ///< index of the chunk the cursor is in
+  std::size_t offset_ = 0;       ///< cursor within chunks_[active_]
+  std::size_t used_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t next_chunk_bytes_;  ///< size of the next chunk to allocate
+};
+
+/// RAII frame over an arena: remembers the cursor at construction and rewinds
+/// to it at destruction, freeing (for reuse) everything the frame allocated.
+/// Frames must nest — destroy in reverse order of construction, which scoped
+/// locals guarantee.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.rewind(mark_); }
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  /// Allocation through the scope reads as "scratch tied to this frame".
+  template <typename T>
+  [[nodiscard]] T* alloc(std::size_t count) {
+    return arena_.alloc<T>(count);
+  }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+}  // namespace bsr

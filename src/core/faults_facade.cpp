@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/arena.hpp"
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table_printer.hpp"
@@ -137,21 +138,24 @@ CampaignResult FaultCampaign::run() {
 
   const std::size_t stride = static_cast<std::size_t>(trials_) + 1;
   result.cells.reserve(grid.rows.size() / stride);
+  // Per-cell trial-seconds buffer from the arena, allocated once and reused
+  // for every cell (the stats helpers take spans, so no vector per cell).
+  ArenaScope scope(Arena::scratch());
+  double* trial_seconds = scope.alloc<double>(static_cast<std::size_t>(trials_));
   for (std::size_t at = 0; at < grid.rows.size(); at += stride) {
     CampaignCell cell;
     cell.baseline = grid.rows[at].report;
     cell.config = grid.rows[at + 1].config;
     cell.coords = grid.rows[at + 1].coords;
     cell.coords.erase("campaign");
+    cell.trials.reserve(static_cast<std::size_t>(trials_));
 
-    std::vector<double> seconds;
-    seconds.reserve(static_cast<std::size_t>(trials_));
     std::int64_t covered = 0;
     double recovery_sum = 0.0;
     for (std::size_t t = 1; t < stride; ++t) {
       const std::shared_ptr<const RunReport>& report = grid.rows[at + t].report;
       cell.trials.push_back(report);
-      seconds.push_back(report->seconds());
+      trial_seconds[t - 1] = report->seconds();
       recovery_sum += report->fault_recovery_s();
       for (const core::LaneFaults& lf : report->lane_faults) {
         cell.injected += lf.injected;
@@ -166,6 +170,8 @@ CampaignResult FaultCampaign::run() {
                         ? 1.0
                         : static_cast<double>(covered) /
                               static_cast<double>(cell.injected);
+    const std::span<const double> seconds(trial_seconds,
+                                          static_cast<std::size_t>(trials_));
     cell.overhead = stats::mean(seconds) / cell.baseline->seconds() - 1.0;
     // Trials without faults equal the baseline bit-for-bit; keep the mean's
     // last-ulp summation noise from rendering an exact zero as 2e-16.

@@ -1,12 +1,27 @@
 // From-scratch BLAS subset used by the factorization kernels.
 //
 // Level-3 kernels (gemm / trsm / syrk) are cache-blocked and parallelized on
-// the shared thread pool; level-1/2 kernels are straightforward loops. The
-// interfaces mirror standard BLAS semantics but take typed views instead of
-// raw pointer + dimension tuples.
+// the shared thread pool; level-1/2 kernels are straightforward loops with
+// `__restrict` unit-stride fast paths. The interfaces mirror standard BLAS
+// semantics but take typed views instead of raw pointer + dimension tuples.
+//
+// Aliasing contract (standard BLAS): output operands must not overlap input
+// operands — gemm's C must be disjoint from A and B, ger's A from x and y.
+// The kernel cores annotate column pointers with `__restrict` under that
+// contract; callers that alias invoke undefined behavior, exactly as with a
+// vendor BLAS. In-place operands (trsm's B, trsv's x) are exempt.
+//
+// Determinism contract: every kernel performs the same floating-point
+// operations in the same per-element order regardless of thread count or
+// internal tiling, so results are bitwise reproducible across pool widths.
+// See docs/PERFORMANCE.md for which loop transforms this licenses.
 #pragma once
 
 #include "la/matrix.hpp"
+
+// Non-aliasing pointer annotation for kernel inner loops (all supported
+// compilers spell it `__restrict`).
+#define BSR_RESTRICT __restrict
 
 namespace bsr::la {
 

@@ -6,11 +6,25 @@ namespace bsr::la {
 
 template <typename T>
 void axpy(idx n, T alpha, const T* x, idx incx, T* y, idx incy) {
+  if (incx == 1 && incy == 1) {
+    // Unit-stride fast path: `__restrict` (x and y disjoint per the BLAS
+    // aliasing contract) lets the compiler vectorize without runtime
+    // overlap checks. Same multiply-add per element as the strided loop.
+    const T* BSR_RESTRICT xr = x;
+    T* BSR_RESTRICT yr = y;
+    for (idx i = 0; i < n; ++i) yr[i] += alpha * xr[i];
+    return;
+  }
   for (idx i = 0; i < n; ++i) y[i * incy] += alpha * x[i * incx];
 }
 
 template <typename T>
 void scal(idx n, T alpha, T* x, idx incx) {
+  if (incx == 1) {
+    T* BSR_RESTRICT xr = x;
+    for (idx i = 0; i < n; ++i) xr[i] *= alpha;
+    return;
+  }
   for (idx i = 0; i < n; ++i) x[i * incx] *= alpha;
 }
 

@@ -10,8 +10,9 @@ void gemv(Op op, T alpha, ConstMatrixView<T> a, const T* x, T beta, T* y) {
     for (idx i = 0; i < m; ++i) y[i] *= beta;
     for (idx j = 0; j < n; ++j) {
       const T xj = alpha * x[j];
-      const T* col = a.col(j);
-      for (idx i = 0; i < m; ++i) y[i] += xj * col[i];
+      const T* BSR_RESTRICT col = a.col(j);
+      T* BSR_RESTRICT yr = y;
+      for (idx i = 0; i < m; ++i) yr[i] += xj * col[i];
     }
   } else {
     for (idx j = 0; j < n; ++j) {
@@ -27,6 +28,17 @@ template <typename T>
 void ger(T alpha, const T* x, idx incx, const T* y, idx incy, MatrixView<T> a) {
   const idx m = a.rows();
   const idx n = a.cols();
+  if (incx == 1) {
+    // Unit-stride x (the getf2 panel case): `__restrict` holds because A is
+    // disjoint from x and y per the ger contract.
+    for (idx j = 0; j < n; ++j) {
+      const T yj = alpha * y[j * incy];
+      T* BSR_RESTRICT col = a.col(j);
+      const T* BSR_RESTRICT xr = x;
+      for (idx i = 0; i < m; ++i) col[i] += xr[i] * yj;
+    }
+    return;
+  }
   for (idx j = 0; j < n; ++j) {
     const T yj = alpha * y[j * incy];
     T* col = a.col(j);

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/thread_pool.hpp"
 #include "la/blas.hpp"
 
@@ -8,15 +9,90 @@ namespace bsr::la {
 
 namespace {
 
-// Column-saxpy GEMM core computing C(:, j0:j1) = alpha * A * B(:, j0:j1)
-// + beta * C over a contiguous column range, with A in NoTrans layout. Columns
-// of A and C are contiguous, so the inner loop vectorizes.
+// ---- GEMM core ------------------------------------------------------------
+//
+// C(:, j0:j1) = alpha * A * B(:, j0:j1) + beta * C over a contiguous column
+// range, A in NoTrans layout. The reference semantics (which the tuned paths
+// below reproduce bitwise) are, per column j:
+//
+//   1. scale cj by beta (fill with zero when beta == 0);
+//   2. for k ascending: skip when b(k,j) == 0, else cj[i] += (alpha*b(k,j)) *
+//      a(i,k) for all i, each k a separate rounded multiply-add pass.
+//
+// Every element of C sees the same FP ops in the same order under any of the
+// tilings below, because the k updates for one (i,j) stay in ascending-k
+// order and each `s += w * a[i]` statement rounds exactly like a standalone
+// rank-1 pass (storing and reloading a double between passes is exact). The
+// zero-skip must be preserved — adding a zero term is not a no-op for -0.0
+// or non-finite operands.
+
+// Four consecutive rank-1 updates of one column, A loads amortized over the
+// unrolled body. `__restrict` holds: C does not alias A by the gemm contract.
+template <typename T>
+inline void rank4_col(idx m, T* BSR_RESTRICT cj, const T* BSR_RESTRICT a0,
+                      const T* BSR_RESTRICT a1, const T* BSR_RESTRICT a2,
+                      const T* BSR_RESTRICT a3, T w0, T w1, T w2, T w3) {
+  for (idx i = 0; i < m; ++i) {
+    T s = cj[i];
+    s += w0 * a0[i];
+    s += w1 * a1[i];
+    s += w2 * a2[i];
+    s += w3 * a3[i];
+    cj[i] = s;
+  }
+}
+
+// Four consecutive rank-1 updates applied to two columns sharing the same
+// A panel: each a(i,k) load feeds both accumulators, halving A traffic.
+template <typename T>
+inline void rank4_pair(idx m, T* BSR_RESTRICT c0, T* BSR_RESTRICT c1,
+                       const T* BSR_RESTRICT a0, const T* BSR_RESTRICT a1,
+                       const T* BSR_RESTRICT a2, const T* BSR_RESTRICT a3,
+                       const T* BSR_RESTRICT w0, const T* BSR_RESTRICT w1) {
+  const T w00 = w0[0], w01 = w0[1], w02 = w0[2], w03 = w0[3];
+  const T w10 = w1[0], w11 = w1[1], w12 = w1[2], w13 = w1[3];
+  for (idx i = 0; i < m; ++i) {
+    const T x0 = a0[i], x1 = a1[i], x2 = a2[i], x3 = a3[i];
+    T s = c0[i];
+    s += w00 * x0;
+    s += w01 * x1;
+    s += w02 * x2;
+    s += w03 * x3;
+    c0[i] = s;
+    T t = c1[i];
+    t += w10 * x0;
+    t += w11 * x1;
+    t += w12 * x2;
+    t += w13 * x3;
+    c1[i] = t;
+  }
+}
+
+// Applies one k-panel to one column from a compacted nonzero list: acol/w
+// hold the surviving (A column, alpha*b) pairs in ascending-k order.
+template <typename T>
+inline void apply_compacted(idx m, T* cj, const T* const* acol, const T* w,
+                            idx nnz) {
+  idx t = 0;
+  for (; t + 4 <= nnz; t += 4) {
+    rank4_col(m, cj, acol[t], acol[t + 1], acol[t + 2], acol[t + 3], w[t],
+              w[t + 1], w[t + 2], w[t + 3]);
+  }
+  for (; t < nnz; ++t) {
+    T* BSR_RESTRICT cr = cj;
+    const T* BSR_RESTRICT ak = acol[t];
+    const T wt = w[t];
+    for (idx i = 0; i < m; ++i) cr[i] += wt * ak[i];
+  }
+}
+
 template <typename T>
 void gemm_nn_cols(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, Op opb,
                   T beta, MatrixView<T> c, idx j0, idx j1) {
   const idx m = c.rows();
   const idx kdim = a.cols();
   constexpr idx kKBlock = 256;
+
   for (idx j = j0; j < j1; ++j) {
     T* cj = c.col(j);
     if (beta == T(0)) {
@@ -24,15 +100,74 @@ void gemm_nn_cols(T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b, Op opb,
     } else if (beta != T(1)) {
       for (idx i = 0; i < m; ++i) cj[i] *= beta;
     }
-    for (idx k0 = 0; k0 < kdim; k0 += kKBlock) {
-      const idx k1 = std::min(k0 + kKBlock, kdim);
+  }
+  if (m == 0 || kdim == 0) return;
+
+  // Per-panel scratch (at most kKBlock entries, lives on this stack frame so
+  // pool workers never contend).
+  T wa[kKBlock];
+  T wb[kKBlock];
+  const T* acol[kKBlock];
+
+  for (idx k0 = 0; k0 < kdim; k0 += kKBlock) {
+    const idx k1 = std::min(k0 + kKBlock, kdim);
+    const idx klen = k1 - k0;
+    idx j = j0;
+    // Column pairs: when every b entry in the panel is nonzero for both
+    // columns (the dense common case), both columns touch the identical
+    // ascending-k sequence and can share the A loads.
+    for (; j + 2 <= j1; j += 2) {
+      bool dense = true;
+      for (idx k = k0; k < k1; ++k) {
+        const T b0 = opb == Op::NoTrans ? b(k, j) : b(j, k);
+        const T b1 = opb == Op::NoTrans ? b(k, j + 1) : b(j + 1, k);
+        if (b0 == T(0) || b1 == T(0)) {
+          dense = false;
+          break;
+        }
+        wa[k - k0] = alpha * b0;
+        wb[k - k0] = alpha * b1;
+      }
+      if (dense) {
+        T* c0 = c.col(j);
+        T* c1 = c.col(j + 1);
+        idx t = 0;
+        for (; t + 4 <= klen; t += 4) {
+          const idx k = k0 + t;
+          rank4_pair(m, c0, c1, a.col(k), a.col(k + 1), a.col(k + 2),
+                     a.col(k + 3), wa + t, wb + t);
+        }
+        for (; t < klen; ++t) {
+          acol[0] = a.col(k0 + t);
+          apply_compacted(m, c0, acol, wa + t, 1);
+          apply_compacted(m, c1, acol, wb + t, 1);
+        }
+        continue;
+      }
+      // Sparse panel: fall back to per-column compaction of the nonzeros.
+      for (idx jj = j; jj < j + 2; ++jj) {
+        idx nnz = 0;
+        for (idx k = k0; k < k1; ++k) {
+          const T bkj = opb == Op::NoTrans ? b(k, jj) : b(jj, k);
+          if (bkj == T(0)) continue;
+          wa[nnz] = alpha * bkj;
+          acol[nnz] = a.col(k);
+          ++nnz;
+        }
+        apply_compacted(m, c.col(jj), acol, wa, nnz);
+      }
+    }
+    // Odd trailing column.
+    for (; j < j1; ++j) {
+      idx nnz = 0;
       for (idx k = k0; k < k1; ++k) {
         const T bkj = opb == Op::NoTrans ? b(k, j) : b(j, k);
         if (bkj == T(0)) continue;
-        const T w = alpha * bkj;
-        const T* ak = a.col(k);
-        for (idx i = 0; i < m; ++i) cj[i] += w * ak[i];
+        wa[nnz] = alpha * bkj;
+        acol[nnz] = a.col(k);
+        ++nnz;
       }
+      apply_compacted(m, c.col(j), acol, wa, nnz);
     }
   }
 }
@@ -47,16 +182,26 @@ void gemm(Op opa, Op opb, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
   const idx kdim = opa == Op::NoTrans ? a.cols() : a.rows();
   if (m == 0 || n == 0) return;
 
-  // Resolve a transposed A by packing A^T once; the core kernel then always
-  // streams contiguous columns of A.
-  Matrix<T> at_store;
+  // Resolve a transposed A by packing A^T once into arena scratch (no malloc
+  // or zero-fill on the steady state); the core kernel then always streams
+  // contiguous columns of A. Cache-blocked copy; copy order does not affect
+  // values. The frame outlives the parallel_for below, and workers only read.
+  ArenaScope scope(Arena::scratch());
   ConstMatrixView<T> a_nt = a;
   if (opa == Op::Trans) {
-    at_store = Matrix<T>(m, kdim);
-    for (idx j = 0; j < kdim; ++j) {
-      for (idx i = 0; i < m; ++i) at_store(i, j) = a(j, i);
+    T* at = scope.alloc<T>(static_cast<std::size_t>(m) *
+                           static_cast<std::size_t>(kdim));
+    constexpr idx kTile = 64;
+    for (idx jj = 0; jj < kdim; jj += kTile) {
+      const idx jend = std::min(jj + kTile, kdim);
+      for (idx ii = 0; ii < m; ii += kTile) {
+        const idx iend = std::min(ii + kTile, m);
+        for (idx jt = jj; jt < jend; ++jt) {
+          for (idx it = ii; it < iend; ++it) at[it + jt * m] = a(jt, it);
+        }
+      }
     }
-    a_nt = at_store.view();
+    a_nt = ConstMatrixView<T>(at, m, kdim, m);
   }
 
   const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
@@ -159,23 +304,33 @@ void syrk(Uplo uplo, Op op, T alpha, ConstMatrixView<T> a, T beta,
   const idx n = c.rows();
   const idx kdim = op == Op::NoTrans ? a.cols() : a.rows();
   if (n == 0) return;
-  // Compute the full product into a scratch block via gemm (fast path), then
+  // Compute the full product into arena scratch via gemm (fast path), then
   // fold the requested triangle into C. The extra flops on the dead triangle
-  // are cheaper than a strided dot-product loop at the sizes we use.
-  Matrix<T> scratch(n, n);
+  // are cheaper than a strided dot-product loop at the sizes we use; gemm's
+  // beta == 0 path overwrites every element, so the scratch needs no
+  // initialization (this is where Matrix's zero-fill used to cost a full
+  // n*n memset per blocked-potrf panel).
+  ArenaScope scope(Arena::scratch());
+  T* buf =
+      scope.alloc<T>(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  MatrixView<T> scratch(buf, n, n, n);
   if (op == Op::NoTrans) {
-    gemm(Op::NoTrans, Op::Trans, alpha, a, a, T(0), scratch.view());
+    gemm(Op::NoTrans, Op::Trans, alpha, a, a, T(0), scratch);
   } else {
-    gemm(Op::Trans, Op::NoTrans, alpha, a, a, T(0), scratch.view());
+    gemm(Op::Trans, Op::NoTrans, alpha, a, a, T(0), scratch);
   }
   (void)kdim;
   if (uplo == Uplo::Lower) {
     for (idx j = 0; j < n; ++j) {
-      for (idx i = j; i < n; ++i) c(i, j) = beta * c(i, j) + scratch(i, j);
+      T* BSR_RESTRICT cj = c.col(j) + j;
+      const T* BSR_RESTRICT sj = scratch.col(j) + j;
+      for (idx i = 0; i < n - j; ++i) cj[i] = beta * cj[i] + sj[i];
     }
   } else {
     for (idx j = 0; j < n; ++j) {
-      for (idx i = 0; i <= j; ++i) c(i, j) = beta * c(i, j) + scratch(i, j);
+      T* BSR_RESTRICT cj = c.col(j);
+      const T* BSR_RESTRICT sj = scratch.col(j);
+      for (idx i = 0; i <= j; ++i) cj[i] = beta * cj[i] + sj[i];
     }
   }
 }

@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "common/arena.hpp"
 #include "la/lapack.hpp"
 
 namespace bsr::la {
@@ -68,8 +69,14 @@ void larfb_left_trans(ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T> 
   const idx k = v.cols();
   if (m == 0 || n == 0 || k == 0) return;
 
+  // Panel scratch lives in the thread-local arena: every element of vexp is
+  // written below, and w/tw are fully overwritten by their beta == 0 gemms,
+  // so none of it needs the zero-fill a Matrix would pay per panel.
+  ArenaScope scope(Arena::scratch());
+  T* vbuf = scope.alloc<T>(static_cast<std::size_t>(m) *
+                           static_cast<std::size_t>(k));
+  MatrixView<T> vexp(vbuf, m, k, m);
   // W = V^T C (k x n) with the unit-lower-trapezoidal structure made explicit.
-  Matrix<T> vexp(m, k);
   for (idx j = 0; j < k; ++j) {
     for (idx i = 0; i < m; ++i) {
       if (i < j) {
@@ -81,15 +88,18 @@ void larfb_left_trans(ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T> 
       }
     }
   }
-  Matrix<T> w(k, n);
-  gemm(Op::Trans, Op::NoTrans, T(1), vexp.view().as_const(), c.as_const(), T(0),
-       w.view());
+  T* wbuf = scope.alloc<T>(static_cast<std::size_t>(k) *
+                           static_cast<std::size_t>(n));
+  MatrixView<T> w(wbuf, k, n, k);
+  gemm(Op::Trans, Op::NoTrans, T(1), vexp.as_const(), c.as_const(), T(0), w);
   // W := T^T W
-  Matrix<T> tw(k, n);
-  gemm(Op::Trans, Op::NoTrans, T(1), t, w.view().as_const(), T(0), tw.view());
+  T* twbuf = scope.alloc<T>(static_cast<std::size_t>(k) *
+                            static_cast<std::size_t>(n));
+  MatrixView<T> tw(twbuf, k, n, k);
+  gemm(Op::Trans, Op::NoTrans, T(1), t, w.as_const(), T(0), tw);
   // C -= V * W
-  gemm(Op::NoTrans, Op::NoTrans, T(-1), vexp.view().as_const(),
-       tw.view().as_const(), T(1), c);
+  gemm(Op::NoTrans, Op::NoTrans, T(-1), vexp.as_const(), tw.as_const(), T(1),
+       c);
 }
 
 template <typename T>

@@ -1,0 +1,221 @@
+// Satellite: the arena allocation layer backing kernel scratch, the cluster
+// event heap, and campaign aggregation. Covers the contracts kernel code
+// relies on: alignment, reset/reuse without new chunks, growth past the first
+// chunk (out-of-arena fallback), coalescing on reset, ArenaScope nesting, and
+// thread-locality of Arena::scratch().
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace bsr {
+namespace {
+
+bool aligned_to(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+TEST(Arena, AllocationsAreDisjointAndWritable) {
+  Arena arena;
+  double* a = arena.alloc<double>(100);
+  double* b = arena.alloc<double>(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Fill both and cross-check: overlapping regions would clobber each other.
+  for (int i = 0; i < 100; ++i) a[i] = 1.0 + i;
+  for (int i = 0; i < 100; ++i) b[i] = -2.0 - i;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a[i], 1.0 + i);
+    EXPECT_EQ(b[i], -2.0 - i);
+  }
+}
+
+TEST(Arena, EveryAllocationAtLeastMaxAlign) {
+  Arena arena;
+  // Odd byte counts force the bump cursor off alignment between requests.
+  for (std::size_t bytes : {1u, 3u, 7u, 13u, 64u, 129u}) {
+    void* p = arena.alloc_bytes(bytes, 1);
+    EXPECT_TRUE(aligned_to(p, alignof(std::max_align_t))) << bytes;
+  }
+  char* c = arena.alloc<char>(5);
+  EXPECT_TRUE(aligned_to(c, alignof(std::max_align_t)));
+}
+
+TEST(Arena, WiderAlignmentHonored) {
+  Arena arena;
+  (void)arena.alloc<char>(1);  // skew the cursor
+  void* p = arena.alloc_bytes(256, 64);
+  EXPECT_TRUE(aligned_to(p, 64));
+}
+
+TEST(Arena, ZeroCountReturnsValidUniquePointers) {
+  Arena arena;
+  double* a = arena.alloc<double>(0);
+  double* b = arena.alloc<double>(0);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+}
+
+TEST(Arena, ResetReusesCapacityWithoutNewChunks) {
+  Arena arena(/*initial_bytes=*/64 * 1024);
+  (void)arena.alloc<double>(1000);
+  const std::size_t cap = arena.capacity();
+  const std::size_t chunks = arena.chunks();
+  ASSERT_EQ(chunks, 1u);
+  // Steady state: many reset/alloc rounds, zero additional heap chunks.
+  for (int round = 0; round < 100; ++round) {
+    arena.reset();
+    EXPECT_EQ(arena.used(), 0u);
+    double* p = arena.alloc<double>(1000);
+    p[0] = 1.0;
+    p[999] = 2.0;
+  }
+  EXPECT_EQ(arena.capacity(), cap);
+  EXPECT_EQ(arena.chunks(), 1u);
+}
+
+TEST(Arena, OverflowFallsBackToNewChunkAndNeverFails) {
+  Arena arena(/*initial_bytes=*/4 * 1024);  // minimum chunk size
+  (void)arena.alloc<double>(8);  // materialize the (lazy) first chunk
+  // Far larger than the first chunk: must grow, not crash or return null.
+  double* big = arena.alloc<double>(100000);  // 800 KB
+  ASSERT_NE(big, nullptr);
+  big[0] = 1.0;
+  big[99999] = 2.0;
+  EXPECT_GE(arena.chunks(), 2u);
+  EXPECT_GE(arena.capacity(), 800000u);
+}
+
+TEST(Arena, ResetAfterOverflowCoalescesToOneChunk) {
+  Arena arena(/*initial_bytes=*/4 * 1024);
+  (void)arena.alloc<double>(8);  // materialize the (lazy) first chunk
+  (void)arena.alloc<double>(100000);
+  ASSERT_GE(arena.chunks(), 2u);
+  arena.reset();
+  // The same workload now fits in the single coalesced chunk.
+  (void)arena.alloc<double>(100000);
+  EXPECT_EQ(arena.chunks(), 1u);
+  const std::size_t cap = arena.capacity();
+  arena.reset();
+  (void)arena.alloc<double>(100000);
+  EXPECT_EQ(arena.chunks(), 1u);
+  EXPECT_EQ(arena.capacity(), cap);
+}
+
+TEST(Arena, UsedTracksHandedOutBytes) {
+  Arena arena;
+  EXPECT_EQ(arena.used(), 0u);
+  (void)arena.alloc<double>(10);
+  EXPECT_GE(arena.used(), 80u);
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(ArenaScope, RewindsToConstructionPoint) {
+  Arena arena;
+  double* outer = arena.alloc<double>(16);
+  outer[0] = 42.0;
+  double* inner_first = nullptr;
+  {
+    ArenaScope scope(arena);
+    inner_first = scope.alloc<double>(64);
+    inner_first[0] = 1.0;
+  }
+  // The frame's storage is reusable: the next allocation lands where the
+  // scope's first one did, and the outer allocation survived untouched.
+  double* reused = arena.alloc<double>(64);
+  EXPECT_EQ(reused, inner_first);
+  EXPECT_EQ(outer[0], 42.0);
+}
+
+TEST(ArenaScope, FramesNestLikeAStack) {
+  Arena arena;
+  std::size_t base_used = arena.used();
+  {
+    ArenaScope a(arena);
+    (void)a.alloc<double>(32);
+    const std::size_t after_a = arena.used();
+    {
+      ArenaScope b(arena);
+      (void)b.alloc<double>(1024);
+      EXPECT_GT(arena.used(), after_a);
+    }
+    EXPECT_EQ(arena.used(), after_a);  // b unwound, a's frame intact
+  }
+  EXPECT_EQ(arena.used(), base_used);
+}
+
+TEST(ArenaScope, UnwindsAcrossChunkOverflow) {
+  Arena arena(/*initial_bytes=*/4 * 1024);
+  (void)arena.alloc<double>(64);
+  const std::size_t used_before = arena.used();
+  {
+    ArenaScope scope(arena);
+    (void)scope.alloc<double>(100000);  // forces a new chunk mid-frame
+    ASSERT_GE(arena.chunks(), 2u);
+  }
+  EXPECT_EQ(arena.used(), used_before);
+  // The overflow chunk is retained and reusable after the unwind.
+  const std::size_t cap = arena.capacity();
+  (void)arena.alloc<double>(100000);
+  EXPECT_EQ(arena.capacity(), cap);
+}
+
+TEST(ArenaScope, StressRandomNestedFrames) {
+  // Deterministic LCG drives a nest of frames with mixed sizes; the invariant
+  // is that used() returns to its pre-frame value after every unwind and no
+  // write tramples a live outer allocation.
+  Arena arena(/*initial_bytes=*/4 * 1024);
+  std::uint64_t s = 12345;
+  auto next = [&s] { return s = s * 6364136223846793005ULL + 1442695040888963407ULL; };
+  for (int outer = 0; outer < 50; ++outer) {
+    ArenaScope frame(arena);
+    const std::size_t n = 1 + next() % 4096;
+    double* sentinel = frame.alloc<double>(n);
+    sentinel[0] = static_cast<double>(outer);
+    sentinel[n - 1] = -static_cast<double>(outer);
+    const std::size_t used_mid = arena.used();
+    for (int inner = 0; inner < 20; ++inner) {
+      ArenaScope sub(arena);
+      double* p = sub.alloc<double>(1 + next() % 8192);
+      p[0] = 3.14;
+    }
+    EXPECT_EQ(arena.used(), used_mid);
+    EXPECT_EQ(sentinel[0], static_cast<double>(outer));
+    EXPECT_EQ(sentinel[n - 1], -static_cast<double>(outer));
+  }
+}
+
+TEST(ArenaScratch, IsThreadLocal) {
+  Arena* main_arena = &Arena::scratch();
+  ASSERT_NE(main_arena, nullptr);
+  EXPECT_EQ(main_arena, &Arena::scratch());  // stable within a thread
+  std::vector<Arena*> seen(4, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&seen, t] {
+      Arena& a = Arena::scratch();
+      ArenaScope scope(a);
+      double* p = scope.alloc<double>(256);
+      p[0] = static_cast<double>(t);
+      seen[static_cast<std::size_t>(t)] = &a;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_NE(seen[static_cast<std::size_t>(t)], nullptr);
+    EXPECT_NE(seen[static_cast<std::size_t>(t)], main_arena) << t;
+    for (int u = t + 1; u < 4; ++u) {
+      EXPECT_NE(seen[static_cast<std::size_t>(t)],
+                seen[static_cast<std::size_t>(u)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bsr

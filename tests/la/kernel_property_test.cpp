@@ -1,0 +1,187 @@
+// Satellite: property-based equivalence of the blocked factorization drivers
+// against their unblocked references across seeded random shapes, including
+// the ragged edges the tiling logic has to get right (n not divisible by b,
+// b = 1, b = n, b > n, n = 1). The blocked and unblocked algorithms perform
+// different floating-point operation orders, so factors are compared with a
+// rounding-sized tolerance (the factorizations themselves are unique given
+// the pivot choices); residuals against the original matrix are checked on
+// both sides so a "match" can never be two equally wrong answers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "la/lapack.hpp"
+#include "la/verify.hpp"
+
+namespace bsr::la {
+namespace {
+
+// (n, b) shape grid shared by all three factorizations. Covers b = 1 (pure
+// unblocked path through the blocked driver), b = n and b > n (single panel),
+// n = 1, ragged tails of every size relative to b, and a few dense interior
+// shapes.
+const std::vector<std::pair<idx, idx>>& shapes() {
+  static const std::vector<std::pair<idx, idx>> s = {
+      {1, 1},  {1, 4},   {5, 1},   {7, 7},   {8, 3},   {16, 16},
+      {17, 4}, {33, 8},  {47, 16}, {63, 64}, {64, 64}, {65, 16},
+      {96, 32}, {100, 48},
+  };
+  return s;
+}
+
+std::uint64_t shape_seed(idx n, idx b, std::uint64_t trial) {
+  return static_cast<std::uint64_t>(n) * 1000003u +
+         static_cast<std::uint64_t>(b) * 101u + trial;
+}
+
+// Rounding-difference budget for comparing two correct factorizations of the
+// same matrix: scaled by the largest magnitude in the factor so it tracks the
+// problem's natural scale.
+double factor_tolerance(ConstMatrixView<double> f) {
+  double amax = 1.0;
+  for (idx j = 0; j < f.cols(); ++j) {
+    for (idx i = 0; i < f.rows(); ++i) {
+      amax = std::max(amax, std::abs(f(i, j)));
+    }
+  }
+  return 1e-9 * amax;
+}
+
+void expect_factors_close(ConstMatrixView<double> blocked,
+                          ConstMatrixView<double> unblocked,
+                          bool upper_only = false) {
+  ASSERT_EQ(blocked.rows(), unblocked.rows());
+  ASSERT_EQ(blocked.cols(), unblocked.cols());
+  const double tol = factor_tolerance(unblocked);
+  for (idx j = 0; j < blocked.cols(); ++j) {
+    const idx i_end = upper_only ? std::min(j + 1, blocked.rows()) : blocked.rows();
+    for (idx i = 0; i < i_end; ++i) {
+      EXPECT_NEAR(blocked(i, j), unblocked(i, j), tol)
+          << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(KernelProperty, BlockedPotrfMatchesPotf2AcrossShapes) {
+  for (const auto& [n, b] : shapes()) {
+    for (std::uint64_t trial = 0; trial < 2; ++trial) {
+      Rng rng(shape_seed(n, b, trial));
+      Matrix<double> a0(n, n);
+      fill_spd(a0.view(), rng);
+
+      Matrix<double> blocked = a0;
+      Matrix<double> reference = a0;
+      ASSERT_EQ(potrf(blocked.view(), b), 0) << "n=" << n << " b=" << b;
+      ASSERT_EQ(potf2(reference.view()), 0) << "n=" << n;
+
+      // Both must actually factor a0, not merely agree with each other.
+      EXPECT_LT(cholesky_residual(a0.view().as_const(), blocked.view().as_const()), 1e-11)
+          << "n=" << n << " b=" << b;
+      EXPECT_LT(cholesky_residual(a0.view().as_const(), reference.view().as_const()),
+                1e-11);
+      // The Cholesky factor is unique, so elementwise agreement is exact up
+      // to rounding-order differences.
+      expect_factors_close(blocked.view().as_const(),
+                           reference.view().as_const());
+    }
+  }
+}
+
+TEST(KernelProperty, BlockedGetrfMatchesGetf2AcrossShapes) {
+  for (const auto& [n, b] : shapes()) {
+    for (std::uint64_t trial = 0; trial < 2; ++trial) {
+      Rng rng(shape_seed(n, b, trial) ^ 0x9e3779b97f4a7c15ULL);
+      Matrix<double> a0(n, n);
+      fill_random(a0.view(), rng);
+
+      Matrix<double> blocked = a0;
+      Matrix<double> reference = a0;
+      std::vector<idx> ipiv_blocked;
+      std::vector<idx> ipiv_reference;
+      ASSERT_EQ(getrf(blocked.view(), b, ipiv_blocked), 0)
+          << "n=" << n << " b=" << b;
+      ASSERT_EQ(getf2(reference.view(), ipiv_reference), 0) << "n=" << n;
+
+      EXPECT_LT(
+          lu_residual(a0.view().as_const(), blocked.view().as_const(), ipiv_blocked),
+          1e-11)
+          << "n=" << n << " b=" << b;
+      EXPECT_LT(
+          lu_residual(a0.view().as_const(), reference.view().as_const(), ipiv_reference),
+          1e-11);
+      // Partial pivoting on a continuous random matrix has no ties, so both
+      // algorithms select identical pivot rows; given equal pivots the LU
+      // factors are unique up to rounding.
+      ASSERT_EQ(ipiv_blocked, ipiv_reference) << "n=" << n << " b=" << b;
+      expect_factors_close(blocked.view().as_const(),
+                           reference.view().as_const());
+    }
+  }
+}
+
+TEST(KernelProperty, BlockedGeqrfMatchesGeqr2AcrossShapes) {
+  for (const auto& [n, b] : shapes()) {
+    for (std::uint64_t trial = 0; trial < 2; ++trial) {
+      Rng rng(shape_seed(n, b, trial) ^ 0xbf58476d1ce4e5b9ULL);
+      Matrix<double> a0(n, n);
+      fill_random(a0.view(), rng);
+
+      Matrix<double> blocked = a0;
+      Matrix<double> reference = a0;
+      std::vector<double> tau_blocked;
+      std::vector<double> tau_reference;
+      ASSERT_EQ(geqrf(blocked.view(), b, tau_blocked), 0)
+          << "n=" << n << " b=" << b;
+      ASSERT_EQ(geqr2(reference.view(), tau_reference), 0) << "n=" << n;
+
+      EXPECT_LT(
+          qr_residual(a0.view().as_const(), blocked.view().as_const(), tau_blocked),
+          1e-11)
+          << "n=" << n << " b=" << b;
+      EXPECT_LT(
+          qr_residual(a0.view().as_const(), reference.view().as_const(), tau_reference),
+          1e-11);
+      // Householder QR is deterministic: same reflectors, same R, same tau —
+      // up to the blocked driver's larfb-vs-larf rounding differences.
+      ASSERT_EQ(tau_blocked.size(), tau_reference.size());
+      const double ttol = factor_tolerance(reference.view().as_const());
+      for (std::size_t k = 0; k < tau_blocked.size(); ++k) {
+        EXPECT_NEAR(tau_blocked[k], tau_reference[k], ttol) << "tau " << k;
+      }
+      expect_factors_close(blocked.view().as_const(),
+                           reference.view().as_const());
+    }
+  }
+}
+
+// Rectangular panels: getrf and geqrf accept m x n with m != n; the blocked
+// tiling must handle tall and wide shapes with ragged tails.
+TEST(KernelProperty, RectangularGeqrfMatchesReference) {
+  const std::vector<std::pair<idx, idx>> rects = {
+      {13, 5}, {40, 8}, {64, 17}, {33, 32}};
+  for (const auto& [m, n] : rects) {
+    Rng rng(shape_seed(m, n, 7));
+    Matrix<double> a0(m, n);
+    fill_random(a0.view(), rng);
+
+    Matrix<double> blocked = a0;
+    Matrix<double> reference = a0;
+    std::vector<double> tau_blocked;
+    std::vector<double> tau_reference;
+    ASSERT_EQ(geqrf(blocked.view(), 8, tau_blocked), 0)
+        << "m=" << m << " n=" << n;
+    ASSERT_EQ(geqr2(reference.view(), tau_reference), 0);
+
+    EXPECT_LT(qr_residual(a0.view().as_const(), blocked.view().as_const(), tau_blocked),
+              1e-11);
+    expect_factors_close(blocked.view().as_const(),
+                         reference.view().as_const());
+  }
+}
+
+}  // namespace
+}  // namespace bsr::la

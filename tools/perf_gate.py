@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Regenerate and gate the committed kernel/throughput record BENCH_kernels.json.
+
+The record distills `bench_kernels --benchmark_format=json` down to the fields
+that are stable across machines and runs of the same binary: benchmark name,
+CPU time, and the throughput counters (GFLOP/s for the numeric kernels,
+cells/s and runs/s for the simulator hot loop). Timestamps, hostnames, and
+load averages are dropped so the committed file only changes when performance
+changes.
+
+Usage:
+    # Refresh the committed snapshot (run from the repo root):
+    python3 tools/perf_gate.py --bench build/bench/bench_kernels --write
+
+    # CI regression gate: re-run and fail if any throughput counter dropped
+    # below committed/tolerance:
+    python3 tools/perf_gate.py --bench build/bench/bench_kernels --check
+
+Only the *throughput counters* are gated, never raw times: absolute CPU time
+shifts with the runner's hardware, but so do the counters, which is why the
+default tolerance is a deliberately generous 3.0x — the gate exists to catch
+order-of-magnitude regressions (an accidentally quadratic loop, a defeated
+cache, a lost fast path), not single-digit-percent noise. Tighten with
+--tolerance for local A/B runs on one machine.
+
+stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+# Counters treated as higher-is-better throughput and therefore gated.
+RATE_COUNTERS = ("GFLOP/s", "cells/s", "runs/s")
+
+REGEN_COMMAND = "python3 tools/perf_gate.py --bench build/bench/bench_kernels --write"
+
+
+def run_bench(bench: Path, bench_filter: str) -> dict:
+    cmd = [str(bench), "--benchmark_format=json"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True)
+    return json.loads(proc.stdout)
+
+
+def sig4(x: float) -> float:
+    """Round to 4 significant digits so last-ulp noise never dirties the file."""
+    return float(f"{x:.4g}")
+
+
+def distill(raw: dict) -> dict:
+    benches = []
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {"name": b["name"], "cpu_time_ms": sig4(b["cpu_time"] / 1e6
+                                                        if b.get("time_unit") == "ns"
+                                                        else b["cpu_time"])}
+        counters = {k: sig4(b[k]) for k in RATE_COUNTERS if k in b}
+        if counters:
+            entry["counters"] = counters
+        benches.append(entry)
+    return {"command": REGEN_COMMAND, "benchmarks": benches}
+
+
+def check(committed: dict, fresh: dict, tolerance: float,
+          bench_filter: str = "") -> int:
+    by_name = {b["name"]: b for b in fresh["benchmarks"]}
+    # A filter narrows the fresh run, so only gate the matching committed
+    # entries (Google Benchmark treats the filter as a regex; so do we).
+    pattern = re.compile(bench_filter) if bench_filter else None
+    failures = 0
+    for ref in committed["benchmarks"]:
+        name = ref["name"]
+        if pattern and not pattern.search(name):
+            continue
+        cur = by_name.get(name)
+        if cur is None:
+            print(f"FAIL {name}: benchmark missing from fresh run")
+            failures += 1
+            continue
+        for counter, ref_val in ref.get("counters", {}).items():
+            cur_val = cur.get("counters", {}).get(counter)
+            if cur_val is None:
+                print(f"FAIL {name}: counter {counter} missing from fresh run")
+                failures += 1
+                continue
+            floor = ref_val / tolerance
+            verdict = "ok  " if cur_val >= floor else "FAIL"
+            print(f"{verdict} {name} {counter}: {cur_val:g} "
+                  f"(committed {ref_val:g}, floor {floor:g})")
+            if cur_val < floor:
+                failures += 1
+    extra = set(by_name) - {b["name"] for b in committed["benchmarks"]}
+    for name in sorted(extra):
+        print(f"note {name}: not in committed record "
+              f"(refresh with: {REGEN_COMMAND})")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", required=True, type=Path,
+                        help="path to the bench_kernels binary")
+    parser.add_argument("--record", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_kernels.json",
+                        help="committed record (default: repo BENCH_kernels.json)")
+    parser.add_argument("--filter", default="",
+                        help="forwarded as --benchmark_filter")
+    parser.add_argument("--tolerance", type=float, default=3.0,
+                        help="allowed throughput drop factor for --check "
+                             "(default 3.0: cross-machine headroom)")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true",
+                      help="regenerate the committed record")
+    mode.add_argument("--check", action="store_true",
+                      help="re-run and gate against the committed record")
+    args = parser.parse_args()
+
+    if not args.bench.exists():
+        print(f"error: bench binary not found: {args.bench}", file=sys.stderr)
+        return 2
+
+    fresh = distill(run_bench(args.bench, args.filter))
+
+    if args.write:
+        args.record.write_text(json.dumps(fresh, indent=1) + "\n")
+        print(f"wrote {args.record} ({len(fresh['benchmarks'])} benchmarks)")
+        return 0
+
+    if not args.record.exists():
+        print(f"error: no committed record at {args.record}; "
+              f"create one with: {REGEN_COMMAND}", file=sys.stderr)
+        return 2
+    committed = json.loads(args.record.read_text())
+    failures = check(committed, fresh, args.tolerance, args.filter)
+    if failures:
+        print(f"\n{failures} throughput counter(s) below the committed floor "
+              f"(tolerance {args.tolerance}x). If the regression is intended, "
+              f"refresh with: {REGEN_COMMAND}")
+        return 1
+    print("\nall throughput counters within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
