@@ -47,7 +47,7 @@ constexpr Scheme kSchemes[] = {
 int run_campaign(const RunConfig& numeric_base, const Cli& cli) {
   const std::string format = cli.get("format");
   require_result_sink_or_exit(format);
-  const int trials = static_cast<int>(cli.get_int("trials"));
+  const int trials = static_cast<int>(positive_int_or_exit(cli, "trials"));
 
   RunConfig base = numeric_base;
   base.mode = ExecutionMode::TimingOnly;
@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
   }
   const std::int64_t n = cli.get_int("n");
   const std::int64_t b = cli.get_int("b");
-  const int trials = static_cast<int>(cli.get_int("trials"));
+  const int trials = static_cast<int>(positive_int_or_exit(cli, "trials"));
   const double mult = cli.get_double("rate_multiplier");
 
   RunConfig base;

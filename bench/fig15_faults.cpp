@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   if (handled_list_flag(cli)) return 0;
   const std::string format = cli.get("format");
   require_result_sink_or_exit(format);
-  const int trials = static_cast<int>(cli.get_int("trials"));
+  const int trials = static_cast<int>(positive_int_or_exit(cli, "trials"));
   const std::vector<double> rates = parse_double_list_or_exit(
       "rates", cli.get("rates"), 0.0, "a rate multiplier >= 0", "25,75,225");
   const std::vector<std::string> strategies = parse_string_list_or_exit(

@@ -1,0 +1,311 @@
+// Load generator for the serving subsystem (bsr/serve.hpp): drives a
+// bsr_served instance with a configurable request mix and reports QPS plus
+// client-observed latency percentiles per scenario.
+//
+// Each --repeats entry is one scenario: a repeat ratio R maps to a pool of
+// round(requests * (1 - R)) unique configurations (distinct seeds, identical
+// cost), and the request schedule — first occurrence of every pool config
+// plus repeats drawn uniformly — is shuffled deterministically so cold
+// executions, memory hits, and coalesced flights interleave the way a shared
+// daemon sees them rather than front-loading all the misses. A --stats-share
+// fraction of stats ops rides along as the cheap-control-plane part of the
+// mix (tallied separately, never in the run percentiles).
+//
+// By default the daemon runs in-process on an ephemeral localhost TCP port
+// (memory-only unless --store names a directory); --port connects to an
+// already-running bsr_served instead, in which case scenario seeds are still
+// disjoint so a warm external cache cannot turn scenario 2 into a no-op.
+//
+//   --format=json > BENCH_serve.json   # via tools/perf_gate.py --mode serve
+//
+// QPS is the gated throughput counter (tools/perf_gate.py); the percentiles
+// are committed as informational trajectory, never gated — wall-clock tails
+// move with the host, order-of-magnitude QPS collapses do not.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bsr/bsr.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "serve/client.hpp"
+#include "serve/report_json.hpp"
+#include "serve/server.hpp"
+
+using namespace bsr;
+
+namespace {
+
+/// What one client thread observed: per-request latencies plus the source
+/// tags the daemon answered with.
+struct ClientTally {
+  std::vector<double> latencies_s;
+  std::uint64_t executed = 0;
+  std::uint64_t memory = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t store = 0;
+  std::uint64_t stats_ops = 0;
+};
+
+/// One scenario's aggregated result row.
+struct ScenarioResult {
+  double repeat_ratio = 0.0;
+  int pool_size = 0;
+  ClientTally total;
+  double wall_s = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  [[nodiscard]] std::uint64_t run_requests() const {
+    return total.executed + total.memory + total.coalesced + total.store;
+  }
+  [[nodiscard]] double qps() const {
+    return wall_s > 0.0 ? static_cast<double>(run_requests()) / wall_s : 0.0;
+  }
+};
+
+/// The serialized "config" objects of one scenario's pool: the base config
+/// with a distinct seed per entry, so every pool member costs the same but
+/// fingerprints apart. Scenario seeds are disjoint (see seed_base) so no
+/// scenario inherits another's cache entries, in-process or external.
+std::vector<std::string> build_pool(const RunConfig& base,
+                                    std::uint64_t seed_base, int pool_size) {
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<std::size_t>(pool_size));
+  for (int i = 0; i < pool_size; ++i) {
+    RunConfig cfg = base;
+    cfg.seed = seed_base + static_cast<std::uint64_t>(i);
+    pool.push_back(serve::serialize_config(cfg));
+  }
+  return pool;
+}
+
+/// The shuffled request schedule: indices into the pool, every config
+/// appearing at least once, repeats drawn uniformly.
+std::vector<int> build_schedule(int requests, int pool_size, Rng& rng) {
+  std::vector<int> schedule;
+  schedule.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    schedule.push_back(i < pool_size
+                           ? i
+                           : static_cast<int>(rng.next_below(
+                                 static_cast<std::uint64_t>(pool_size))));
+  }
+  for (std::size_t i = schedule.size(); i > 1; --i) {  // Fisher-Yates
+    std::swap(schedule[i - 1], schedule[rng.next_below(i)]);
+  }
+  return schedule;
+}
+
+void tally_source(ClientTally& tally, const std::string& source) {
+  if (source == "executed") {
+    ++tally.executed;
+  } else if (source == "memory") {
+    ++tally.memory;
+  } else if (source == "coalesced") {
+    ++tally.coalesced;
+  } else if (source == "store") {
+    ++tally.store;
+  } else {
+    throw std::runtime_error("bench_serve: unknown source tag \"" + source +
+                             "\"");
+  }
+}
+
+/// One client thread: drains the shared schedule through one persistent
+/// connection, timing every call.
+void client_thread(std::uint16_t port, const std::vector<std::string>& pool,
+                   const std::vector<int>& schedule, std::atomic<int>& next,
+                   double stats_share, std::uint64_t seed, ClientTally& out) {
+  serve::Client client = serve::Client::connect_tcp(port);
+  Rng rng(seed);
+  for (;;) {
+    const int k = next.fetch_add(1);
+    if (k >= static_cast<int>(schedule.size())) break;
+    const auto t0 = std::chrono::steady_clock::now();
+    const JsonValue response = client.run(pool[static_cast<std::size_t>(
+        schedule[static_cast<std::size_t>(k)])]);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!response.at("ok").as_bool()) {
+      throw std::runtime_error("bench_serve: daemon refused a run: " +
+                               response.at("error").as_string());
+    }
+    out.latencies_s.push_back(std::chrono::duration<double>(t1 - t0).count());
+    tally_source(out, response.at("source").as_string());
+    if (rng.next_double() < stats_share) {  // the control-plane slice
+      if (!client.stats().at("ok").as_bool()) {
+        throw std::runtime_error("bench_serve: stats op failed");
+      }
+      ++out.stats_ops;
+    }
+  }
+}
+
+ScenarioResult run_scenario(std::uint16_t port, const RunConfig& base,
+                            double repeat_ratio, int requests, int clients,
+                            double stats_share, std::uint64_t seed_base) {
+  ScenarioResult result;
+  result.repeat_ratio = repeat_ratio;
+  result.pool_size = std::max(
+      1, static_cast<int>(
+             std::llround(static_cast<double>(requests) * (1 - repeat_ratio))));
+  const std::vector<std::string> pool =
+      build_pool(base, seed_base, result.pool_size);
+  Rng rng(seed_base);
+  const std::vector<int> schedule =
+      build_schedule(requests, result.pool_size, rng);
+
+  std::atomic<int> next{0};
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back(client_thread, port, std::cref(pool),
+                         std::cref(schedule), std::ref(next), stats_share,
+                         seed_base + 7919u * static_cast<std::uint64_t>(i + 1),
+                         std::ref(tallies[static_cast<std::size_t>(i)]));
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  std::vector<double> latencies;
+  for (const ClientTally& t : tallies) {
+    latencies.insert(latencies.end(), t.latencies_s.begin(),
+                     t.latencies_s.end());
+    result.total.executed += t.executed;
+    result.total.memory += t.memory;
+    result.total.coalesced += t.coalesced;
+    result.total.store += t.store;
+    result.total.stats_ops += t.stats_ops;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_ms = stats::percentile(latencies, 0.50) * 1e3;
+  result.p95_ms = stats::percentile(latencies, 0.95) * 1e3;
+  result.p99_ms = stats::percentile(latencies, 0.99) * 1e3;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  cli.arg_int("requests", 240, "run requests per scenario")
+      .arg_int("clients", 4, "concurrent client connections")
+      .arg_int("workers", 4, "daemon worker threads (in-process mode)")
+      .arg_int("queue-depth", 256,
+               "daemon admission-control queue depth (in-process mode)")
+      .arg_string("repeats", "0,0.5,0.9",
+                  "comma-separated repeat ratios in [0, 1), one scenario each")
+      .arg_double("stats-share", 0.05,
+                  "fraction of run requests followed by a stats op")
+      .arg_int("n", 1024, "matrix order of the benchmark configs")
+      .arg_int("b", 128, "block (panel) size of the benchmark configs")
+      .arg_int("seed", 1, "base seed; scenarios use disjoint seed ranges")
+      .arg_int("port", 0,
+               "connect to a running bsr_served on this localhost TCP port "
+               "instead of serving in-process (0 = in-process)")
+      .arg_string("store", "",
+                  "durable store directory for the in-process daemon "
+                  "(empty = memory-only)")
+      .arg_string("format", "table", "output: table, csv, or json");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+  require_result_sink_or_exit(cli.get("format"));
+  const int requests =
+      static_cast<int>(positive_int_or_exit(cli, "requests", 1000000));
+  const int clients =
+      static_cast<int>(positive_int_or_exit(cli, "clients", 256));
+  const int workers =
+      static_cast<int>(positive_int_or_exit(cli, "workers", 256));
+  const int queue_depth =
+      static_cast<int>(positive_int_or_exit(cli, "queue-depth", 1 << 20));
+  const std::uint16_t external_port = static_cast<std::uint16_t>(
+      int_flag_in_range_or_exit(cli, "port", 0, 65535));
+  const double stats_share = cli.get_double("stats-share");
+  std::vector<double> repeats;
+  for (const double r : parse_double_list_or_exit(
+           "repeats", cli.get("repeats"), 0.0,
+           "a repeat ratio in [0, 1)", "0,0.5,0.9")) {
+    if (r >= 1.0) {
+      std::fprintf(stderr,
+                   "error: --repeats: %g is out of range (expected 0 <= r < "
+                   "1)\n",
+                   r);
+      return 2;
+    }
+    repeats.push_back(r);
+  }
+
+  RunConfig base;
+  base.n = cli.get_int("n");
+  base.b = cli.get_int("b");
+  try {
+    base.validate();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  try {
+    // In-process daemon unless --port points at a live one. A fresh server
+    // per invocation keeps counters and the memory cache scenario-scoped.
+    std::unique_ptr<serve::Server> server;
+    std::uint16_t port = external_port;
+    if (external_port == 0) {
+      serve::ServerConfig server_cfg;
+      server_cfg.tcp_port = 0;  // ephemeral
+      server_cfg.workers = workers;
+      server_cfg.queue_depth = queue_depth;
+      server_cfg.store_dir = cli.get("store");
+      server = std::make_unique<serve::Server>(std::move(server_cfg));
+      server->start();
+      port = server->port();
+    }
+
+    std::vector<ScenarioResult> results;
+    for (std::size_t s = 0; s < repeats.size(); ++s) {
+      // Disjoint seed blocks: scenario s's pool can never collide with
+      // another scenario's fingerprints, even on a long-lived external
+      // daemon.
+      const std::uint64_t seed_base =
+          static_cast<std::uint64_t>(cli.get_int("seed")) +
+          (s + 1) * 10'000'000ull;
+      results.push_back(run_scenario(port, base, repeats[s], requests,
+                                     clients, stats_share, seed_base));
+    }
+    if (server) server->stop();
+
+    auto sink = make_result_sink(cli.get("format"), stdout_stream());
+    sink->begin({"repeat", "requests", "clients", "workers", "unique",
+                 "executed", "memory", "coalesced", "store", "stats_ops",
+                 "qps", "p50_ms", "p95_ms", "p99_ms"});
+    for (const ScenarioResult& r : results) {
+      sink->add_row({TablePrinter::num(r.repeat_ratio),
+                     std::to_string(r.run_requests()),
+                     std::to_string(clients), std::to_string(workers),
+                     std::to_string(r.pool_size),
+                     std::to_string(r.total.executed),
+                     std::to_string(r.total.memory),
+                     std::to_string(r.total.coalesced),
+                     std::to_string(r.total.store),
+                     std::to_string(r.total.stats_ops),
+                     TablePrinter::num(r.qps()), TablePrinter::num(r.p50_ms),
+                     TablePrinter::num(r.p95_ms), TablePrinter::num(r.p99_ms)});
+    }
+    sink->end();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -339,4 +339,21 @@ std::vector<std::string> parse_string_list_or_exit(const std::string& flag,
       });
 }
 
+long long int_flag_in_range_or_exit(const Cli& cli, const std::string& flag,
+                                    long long min_value, long long max_value) {
+  const long long value = cli.get_int(flag);
+  if (value < min_value || value > max_value) {
+    std::fprintf(stderr,
+                 "error: --%s: %lld is out of range (expected %lld..%lld)\n",
+                 flag.c_str(), value, min_value, max_value);
+    std::exit(2);
+  }
+  return value;
+}
+
+long long positive_int_or_exit(const Cli& cli, const std::string& flag,
+                               long long max_value) {
+  return int_flag_in_range_or_exit(cli, flag, 1, max_value);
+}
+
 }  // namespace bsr

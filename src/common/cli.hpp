@@ -128,4 +128,21 @@ std::vector<std::string> parse_string_list_or_exit(const std::string& flag,
                                                    const std::string& what,
                                                    const std::string& example);
 
+// Bounds-checked scalar flag readers, the single-value counterpart of the
+// list parsers above. Benches and daemons read counted flags (--trials,
+// --workers, --queue-depth, --port) through these instead of hand-rolled
+// `if (x < 1)` checks, so every driver rejects bad input the same way:
+// `error: --<flag>: <value> is out of range (expected <min>..<max>)` to
+// stderr, exit 2.
+
+/// Reads the registered <int> flag --`flag` from `cli` and checks
+/// min_value <= value <= max_value; out-of-range exits loudly (see above).
+long long int_flag_in_range_or_exit(const Cli& cli, const std::string& flag,
+                                    long long min_value, long long max_value);
+
+/// int_flag_in_range_or_exit with min_value 1 — the common shape for count
+/// flags that must be strictly positive.
+long long positive_int_or_exit(const Cli& cli, const std::string& flag,
+                               long long max_value = 1000000000);
+
 }  // namespace bsr

@@ -1,0 +1,86 @@
+// Thin RAII wrappers over local stream sockets for the serving subsystem:
+// Unix-domain listeners/connections (the default transport in
+// docs/SERVING.md) and localhost TCP as the fallback for environments
+// without a writable socket path.
+//
+// Scope is deliberately narrow — blocking sockets, full-message send, and a
+// buffered line reader for the newline-delimited JSON protocol. Failures
+// throw std::runtime_error with errno text; callers at the daemon boundary
+// convert them to loud stderr exits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bsr {
+
+/// Owns one socket file descriptor; closes it on destruction. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Closes the descriptor now (idempotent).
+  void close();
+
+  /// Writes all of `data`, looping over partial writes; throws on error or
+  /// peer reset.
+  void send_all(std::string_view data) const;
+
+  /// Half-closes the write side so the peer sees EOF after our last byte.
+  void shutdown_write() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates, binds, and listens on a Unix-domain stream socket at `path`.
+/// A stale file at `path` is unlinked first (daemon restart after a crash).
+/// Throws on bind/listen failure or a path longer than sockaddr_un allows.
+Socket listen_unix(const std::string& path, int backlog);
+
+/// Connects to the Unix-domain socket at `path`; throws when no daemon is
+/// listening there.
+Socket connect_unix(const std::string& path);
+
+/// Listens on 127.0.0.1:`port` (port 0 picks a free ephemeral port).
+/// `bound_port`, when non-null, receives the actual port after bind.
+Socket listen_tcp_localhost(std::uint16_t port, int backlog,
+                            std::uint16_t* bound_port);
+
+/// Connects to 127.0.0.1:`port`.
+Socket connect_tcp_localhost(std::uint16_t port);
+
+/// Accepts one connection on a listening socket; blocks. Returns an invalid
+/// Socket when the listener has been closed from another thread (the
+/// server's shutdown path) instead of throwing.
+Socket accept_one(const Socket& listener);
+
+/// Buffered reader yielding one '\n'-terminated line at a time from a
+/// connected socket (the newline is stripped). Returns std::nullopt at EOF;
+/// throws on read errors. Bytes after the last newline are discarded at EOF
+/// — the protocol requires every request/response line to be terminated.
+class LineReader {
+ public:
+  explicit LineReader(const Socket& socket) : fd_(socket.fd()) {}
+
+  std::optional<std::string> read_line();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace bsr

@@ -1,0 +1,55 @@
+// A blocking client for the bsr_served wire protocol (serve/protocol.hpp):
+// one connection, request lines out, parsed response objects back. This is
+// what bsr_servectl, bench_serve's load threads, and the server tests speak
+// through — and the reference implementation for clients in other languages
+// (the protocol is just newline-delimited JSON; see docs/SERVING.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/socket.hpp"
+
+namespace bsr::serve {
+
+/// One connected protocol client. Move-only (it owns the socket).
+class Client {
+ public:
+  /// Connects to the daemon's Unix socket. Throws std::runtime_error when
+  /// nothing is listening at `path`.
+  static Client connect_unix_socket(const std::string& path);
+  /// Connects to a daemon serving localhost TCP.
+  static Client connect_tcp(std::uint16_t port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Sends one already-serialized request line (the trailing '\n' is added
+  /// here) and returns the raw response line. Throws std::runtime_error on
+  /// a dropped connection (the daemon closes after a shutdown response, or
+  /// drops overloaded connections after one rejection line).
+  std::string call_raw(const std::string& request_json);
+
+  /// call_raw + JsonValue::parse. The response always carries "ok"; callers
+  /// check it (this function does not throw on ok:false — backpressure and
+  /// request errors are data, not exceptions).
+  JsonValue call(const std::string& request_json);
+
+  /// Convenience: {"op":"run","config":<config_json>} (or a bare
+  /// {"op":"run"} when `config_json` is empty — the daemon's defaults).
+  JsonValue run(const std::string& config_json = "");
+  /// Convenience: {"op":"stats"}.
+  JsonValue stats();
+  /// Convenience: {"op":"shutdown"}; the daemon answers, then stops.
+  JsonValue shutdown();
+
+ private:
+  explicit Client(Socket socket)
+      : socket_(std::move(socket)), reader_(socket_) {}
+
+  Socket socket_;
+  LineReader reader_;
+};
+
+}  // namespace bsr::serve

@@ -1,0 +1,40 @@
+#include "serve/protocol.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bsr::serve {
+
+Request parse_request(const std::string& line) {
+  Request req;
+  req.body = JsonValue::parse(line);
+  if (!req.body.is_object()) {
+    throw std::runtime_error("request must be a JSON object");
+  }
+  const JsonValue* op = req.body.find("op");
+  if (op == nullptr || !op->is_string()) {
+    throw std::runtime_error("request needs a string \"op\" field");
+  }
+  req.op = op->as_string();
+  if (req.op != "run" && req.op != "sweep" && req.op != "stats" &&
+      req.op != "shutdown") {
+    throw std::runtime_error(
+        "unknown op \"" + req.op +
+        "\" (known ops: run, sweep, stats, shutdown)");
+  }
+  return req;
+}
+
+std::string error_response(const std::string& message, bool retry) {
+  JsonWriter w;
+  w.obj_open();
+  w.key("ok").value(false);
+  w.key("error").value(message);
+  w.key("retry").value(retry);
+  w.obj_close();
+  return w.take();
+}
+
+std::string overloaded_response() { return error_response("overloaded", true); }
+
+}  // namespace bsr::serve

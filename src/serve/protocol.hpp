@@ -1,0 +1,40 @@
+// The bsr_served wire protocol: newline-delimited JSON, one request object
+// per line, one response object per line (docs/SERVING.md is the spec).
+//
+// Requests:   {"op":"run","config":{...}}
+//             {"op":"sweep","config":{...},"axes":{...}}
+//             {"op":"stats"}
+//             {"op":"shutdown"}
+// Responses:  {"ok":true,"op":...,...}        (op-specific payload)
+//             {"ok":false,"error":"...","retry":bool}
+//
+// This header owns request parsing and the error/overload response shapes;
+// success responses are assembled by the server (they splice cached report
+// JSON verbatim).
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+
+namespace bsr::serve {
+
+/// One parsed request line.
+struct Request {
+  std::string op;  ///< "run", "sweep", "stats", or "shutdown"
+  JsonValue body;  ///< the whole request object (op-specific fields inside)
+};
+
+/// Parses one request line. Throws std::runtime_error on malformed JSON, a
+/// missing/non-string "op", or an op outside the four known ones.
+Request parse_request(const std::string& line);
+
+/// {"ok":false,"error":<message>,"retry":<retry>} — `retry` tells clients
+/// whether the same request can succeed later (true for backpressure,
+/// false for malformed requests).
+std::string error_response(const std::string& message, bool retry);
+
+/// The admission-control rejection: error_response("overloaded", true).
+std::string overloaded_response();
+
+}  // namespace bsr::serve

@@ -1,0 +1,48 @@
+// RunReport and RunConfig <-> JSON, the serialization layer of the serving
+// subsystem (bsr/serve.hpp): the durable result store persists reports as
+// JSON records, and the wire protocol carries configs in and reports out.
+//
+// The contract the store and the daemon build on: serialize_report() is
+// deterministic, and deserialize_report() restores every field exactly, so
+//
+//   serialize_report(deserialize_report(s)) == s
+//
+// for any s this module wrote — byte-identity of a warm (store-served)
+// response with the cold run that produced it reduces to this fixpoint,
+// which tests/serve/report_json_test.cpp asserts on fully populated
+// reports. Doubles are written in shortest-exact form (common/json.hpp),
+// SimTime as integer nanoseconds, and uint64 seeds as quoted decimal
+// strings (they can exceed the int64 range JSON numbers round-trip safely).
+#pragma once
+
+#include <string>
+
+#include "bsr/run_config.hpp"
+#include "common/json.hpp"
+#include "core/report.hpp"
+
+namespace bsr::serve {
+
+/// Deterministic compact JSON for one report (every field, including the
+/// full iteration trace, device_usage, and lane_faults).
+std::string serialize_report(const core::RunReport& report);
+
+/// Rebuilds a report from serialize_report() output. Throws
+/// std::runtime_error ("json: ..." or "report_json: ...") on malformed or
+/// schema-incompatible input — callers at the store boundary catch and
+/// treat it as a miss.
+core::RunReport deserialize_report(const JsonValue& value);
+core::RunReport deserialize_report(const std::string& json);
+
+/// Deterministic compact JSON for one RunConfig, inverse of
+/// config_from_json (field names match the RunConfig members).
+std::string serialize_config(const RunConfig& config);
+
+/// Builds a RunConfig from a request's "config" object. Every member is
+/// optional — absent fields keep their RunConfig defaults — but unknown
+/// keys throw (a typo'd knob must not silently run the default experiment).
+/// The result is NOT validated; callers run cfg.validate() so registry-key
+/// errors surface with RunConfig's own messages.
+RunConfig config_from_json(const JsonValue& value);
+
+}  // namespace bsr::serve

@@ -1,0 +1,59 @@
+// bsr_servectl — one-shot client for a running bsr_served (docs/SERVING.md).
+//
+//   bsr_servectl --socket /tmp/bsr.sock --op stats
+//   bsr_servectl --socket /tmp/bsr.sock --op run
+//       --config '{"n":4096,"strategy":"bsr"}'   (one line)
+//   bsr_servectl --port 7411 --op shutdown
+//
+// Sends one request, prints the daemon's response line to stdout, and exits
+// 0 on ok:true, 3 on ok:false (the response is still printed — the error
+// payload is the diagnostic).
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/json.hpp"
+#include "serve/client.hpp"
+
+int main(int argc, char** argv) {
+  bsr::Cli cli;
+  cli.arg_string("socket", "", "daemon Unix socket path")
+      .arg_int("port", 0, "daemon localhost TCP port when --socket is empty")
+      .arg_string("op", "stats", "request op: run, sweep, stats, shutdown")
+      .arg_string("config", "",
+                  "JSON RunConfig overrides for --op run/sweep (optional)")
+      .arg_string("axes", "",
+                  "JSON sweep axes for --op sweep, e.g. "
+                  "'{\"strategy\":[\"sr\",\"bsr\"],\"n\":[2048,4096]}'");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+
+  const std::string socket_path = cli.get("socket");
+  const long long port = bsr::int_flag_in_range_or_exit(cli, "port", 0, 65535);
+  if (socket_path.empty() && port == 0) {
+    std::fprintf(stderr, "error: need --socket <path> or --port <port>\n");
+    return 2;
+  }
+
+  bsr::JsonWriter w;
+  w.obj_open();
+  w.key("op").value(cli.get("op"));
+  if (!cli.get("config").empty()) w.key("config").raw(cli.get("config"));
+  if (!cli.get("axes").empty()) w.key("axes").raw(cli.get("axes"));
+  w.obj_close();
+
+  try {
+    bsr::serve::Client client =
+        socket_path.empty()
+            ? bsr::serve::Client::connect_tcp(static_cast<std::uint16_t>(port))
+            : bsr::serve::Client::connect_unix_socket(socket_path);
+    const std::string response = client.call_raw(w.take());
+    std::printf("%s\n", response.c_str());
+    const bsr::JsonValue parsed = bsr::JsonValue::parse(response);
+    const bsr::JsonValue* ok = parsed.find("ok");
+    return (ok != nullptr && ok->is_bool() && ok->as_bool()) ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

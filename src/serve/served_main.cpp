@@ -1,0 +1,82 @@
+// bsr_served — the sweep-as-a-service daemon (docs/SERVING.md).
+//
+//   bsr_served --socket /tmp/bsr.sock --store /var/tmp/bsr-store
+//   bsr_served --port 7411 --workers 8 --queue-depth 128
+//
+// Serves run/sweep/stats/shutdown requests (newline-delimited JSON) until a
+// client sends {"op":"shutdown"} or the process receives SIGINT/SIGTERM.
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "common/cli.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+bsr::serve::Server* g_server = nullptr;
+
+extern "C" void handle_signal(int) {
+  // stop() is not async-signal-safe; just flag the wait() loop down the same
+  // way a shutdown op does. The write is a best effort — a second signal
+  // still terminates the process the default way.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bsr::Cli cli;
+  cli.arg_string("socket", "", "Unix socket path to listen on")
+      .arg_int("port", 0,
+               "localhost TCP port when --socket is empty (0 = ephemeral)")
+      .arg_int("workers", 4, "concurrent connection-serving workers")
+      .arg_int("queue-depth", 64,
+               "connections allowed to wait before \"overloaded\" rejections")
+      .arg_string("store", "",
+                  "durable result-store directory (empty = memory-only)");
+  if (!cli.parse_or_exit(argc, argv)) return 0;
+
+  bsr::serve::ServerConfig config;
+  config.socket_path = cli.get("socket");
+  config.tcp_port = static_cast<std::uint16_t>(
+      bsr::int_flag_in_range_or_exit(cli, "port", 0, 65535));
+  config.workers =
+      static_cast<int>(bsr::positive_int_or_exit(cli, "workers", 256));
+  config.queue_depth =
+      static_cast<int>(bsr::positive_int_or_exit(cli, "queue-depth", 1 << 20));
+  config.store_dir = cli.get("store");
+
+  try {
+    bsr::serve::Server server(std::move(config));
+    server.start();
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    if (server.socket_path().empty()) {
+      std::printf("bsr_served: listening on 127.0.0.1:%u\n",
+                  static_cast<unsigned>(server.port()));
+    } else {
+      std::printf("bsr_served: listening on %s\n",
+                  server.socket_path().c_str());
+    }
+    std::fflush(stdout);
+    server.wait();
+    g_server = nullptr;
+    const bsr::serve::ServeStats stats = server.stats();
+    std::printf(
+        "bsr_served: served %llu connections, %llu requests "
+        "(%llu executed, %llu memory, %llu coalesced, %llu store)\n",
+        static_cast<unsigned long long>(stats.connections),
+        static_cast<unsigned long long>(stats.requests),
+        static_cast<unsigned long long>(stats.executed),
+        static_cast<unsigned long long>(stats.memory_hits),
+        static_cast<unsigned long long>(stats.coalesced),
+        static_cast<unsigned long long>(stats.store_hits));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

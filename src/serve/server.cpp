@@ -1,0 +1,457 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serve/protocol.hpp"
+#include "serve/report_json.hpp"
+
+namespace bsr::serve {
+
+namespace {
+
+/// Builds the cached-result record for a freshly available report.
+CachedResult make_cached(const core::RunReport& report, std::string json) {
+  CachedResult e;
+  e.json = std::make_shared<const std::string>(std::move(json));
+  e.seconds = report.seconds();
+  e.energy_j = report.total_energy_j();
+  e.ed2p = report.ed2p();
+  e.gflops = report.gflops();
+  return e;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {
+  if (config_.workers < 1) {
+    throw std::invalid_argument("serve: need workers >= 1");
+  }
+  if (config_.queue_depth < 1) {
+    throw std::invalid_argument("serve: need queue_depth >= 1");
+  }
+  if (!config_.runner) {
+    config_.runner = [](const RunConfig& cfg) { return bsr::run(cfg); };
+  }
+  if (!config_.store_dir.empty()) {
+    store_ = std::make_unique<DiskResultStore>(config_.store_dir);
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load()) throw std::logic_error("serve: already started");
+  if (config_.socket_path.empty()) {
+    listener_ = listen_tcp_localhost(config_.tcp_port, /*backlog=*/128, &port_);
+  } else {
+    listener_ = listen_unix(config_.socket_path, /*backlog=*/128);
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = false;
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  // The connection workers run as one long parallel_for on the repo's
+  // work-sharing pool: count == workers and grain 1, so each claimed index
+  // becomes one persistent worker loop. The launcher thread just hosts the
+  // blocking parallel_for call.
+  pool_thread_ = std::thread([this] {
+    ThreadPool pool(static_cast<std::size_t>(config_.workers));
+    pool.parallel_for(static_cast<std::size_t>(config_.workers),
+                      [this](std::size_t) { worker_loop(); });
+  });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  // Wake the accept thread with a throwaway connection (closing the fd from
+  // another thread does not reliably unblock accept()).
+  try {
+    if (config_.socket_path.empty()) {
+      (void)connect_tcp_localhost(port_);
+    } else {
+      (void)connect_unix(config_.socket_path);
+    }
+  } catch (const std::exception&) {
+    // Listener already gone; accept has already returned.
+  }
+  // Unblock workers parked in recv on idle connections: half-close their
+  // descriptors so read_line() sees EOF and the worker drains out.
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (pool_thread_.joinable()) pool_thread_.join();
+  listener_.close();
+  if (!config_.socket_path.empty()) {
+    ::unlink(config_.socket_path.c_str());
+  }
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_.store(true);
+  }
+  shutdown_cv_.notify_all();
+}
+
+void Server::wait() {
+  {
+    std::unique_lock<std::mutex> lock(shutdown_mutex_);
+    // Bounded waits, not a pure cv.wait: request_stop() is async-signal-safe
+    // and therefore cannot notify the condition variable.
+    while (!shutdown_requested_.load()) {
+      shutdown_cv_.wait_for(lock, std::chrono::milliseconds(100));
+    }
+  }
+  stop();
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    Socket conn = accept_one(listener_);
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (stopping_) return;  // conn (possibly the wake-up dummy) just closes
+    if (!conn.valid()) return;
+    if (queue_.size() >= static_cast<std::size_t>(config_.queue_depth)) {
+      lock.unlock();
+      {
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++stats_.overloaded;
+      }
+      // Refused by admission control: one explicit backpressure line, then
+      // close. Never enqueue beyond queue_depth.
+      try {
+        conn.send_all(overloaded_response() + "\n");
+      } catch (const std::exception&) {
+        // Peer vanished before reading the rejection; nothing to do.
+      }
+      continue;
+    }
+    queue_.push_back(std::move(conn));
+    lock.unlock();
+    queue_cv_.notify_one();
+  }
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Socket conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      conn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections;
+    }
+    const int fd = conn.fd();
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      active_fds_.insert(fd);
+    }
+    serve_connection(std::move(conn));
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      active_fds_.erase(fd);
+    }
+  }
+}
+
+void Server::serve_connection(Socket conn) {
+  try {
+    LineReader reader(conn);
+    while (std::optional<std::string> line = reader.read_line()) {
+      if (line->empty()) continue;
+      if (!handle_line(*line, conn)) break;
+    }
+  } catch (const std::exception& e) {
+    // A read/write error mid-connection only kills this connection.
+    std::fprintf(stderr, "serve: connection dropped: %s\n", e.what());
+  }
+}
+
+bool Server::handle_line(const std::string& line, const Socket& conn) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  std::string response;
+  bool keep_open = true;
+  bool shutdown = false;
+  try {
+    const Request req = parse_request(line);
+    if (req.op == "run") {
+      response = handle_run(req.body);
+    } else if (req.op == "sweep") {
+      response = handle_sweep(req.body);
+    } else if (req.op == "stats") {
+      response = handle_stats();
+    } else {  // "shutdown" (parse_request rejects everything else)
+      JsonWriter w;
+      w.obj_open();
+      w.key("ok").value(true);
+      w.key("op").value("shutdown");
+      w.obj_close();
+      response = w.take();
+      keep_open = false;
+      shutdown = true;
+    }
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.bad_requests;
+    }
+    response = error_response(e.what(), /*retry=*/false);
+  }
+  conn.send_all(response + "\n");
+  if (shutdown) {
+    // Flag the daemon down; the actual joins happen in wait()/stop() on a
+    // non-worker thread. Mark stopping first so idle workers drain out.
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(shutdown_mutex_);
+      shutdown_requested_.store(true);
+    }
+    shutdown_cv_.notify_all();
+  }
+  return keep_open;
+}
+
+std::pair<CachedResult, const char*> Server::resolve(
+    const RunConfig& cfg, const std::string& fingerprint) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.runs;
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cache_.find(fingerprint);
+    if (it != cache_.end()) {
+      std::lock_guard<std::mutex> slock(stats_mutex_);
+      ++stats_.memory_hits;
+      return {it->second, "memory"};
+    }
+  }
+  const SingleFlight<CachedResult>::Result result =
+      flights_.do_call(fingerprint, [&]() -> CachedResult {
+        if (store_ != nullptr) {
+          if (std::shared_ptr<const std::string> text =
+                  store_->load_serialized(fingerprint)) {
+            // Metrics come from one deserialization; the response bytes stay
+            // the stored text verbatim.
+            CachedResult e = make_cached(deserialize_report(*text), *text);
+            e.from_store = true;
+            return e;
+          }
+        }
+        const core::RunReport report = config_.runner(cfg);
+        CachedResult e = make_cached(report, serialize_report(report));
+        if (store_ != nullptr) store_->save_serialized(fingerprint, *e.json);
+        return e;
+      });
+  const char* source = "coalesced";
+  if (result.leader) source = result.value.from_store ? "store" : "executed";
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (result.leader) {
+      ++(result.value.from_store ? stats_.store_hits : stats_.executed);
+    } else {
+      ++stats_.coalesced;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.emplace(fingerprint, result.value);
+  }
+  return {result.value, source};
+}
+
+std::string Server::handle_run(const JsonValue& body) {
+  const JsonValue* cfg_json = body.find("config");
+  const RunConfig cfg =
+      cfg_json != nullptr ? config_from_json(*cfg_json) : RunConfig{};
+  cfg.validate();
+  const std::string fingerprint = cfg.fingerprint();
+  const auto [entry, source] = resolve(cfg, fingerprint);
+
+  JsonWriter w;
+  w.obj_open();
+  w.key("ok").value(true);
+  w.key("op").value("run");
+  w.key("source").value(source);
+  w.key("fingerprint").value(fingerprint);
+  w.key("report").raw(*entry.json);
+  w.obj_close();
+  return w.take();
+}
+
+std::string Server::handle_sweep(const JsonValue& body) {
+  const JsonValue* cfg_json = body.find("config");
+  const RunConfig base =
+      cfg_json != nullptr ? config_from_json(*cfg_json) : RunConfig{};
+
+  // Axes expand outermost-first in the order the request lists them (the
+  // parser preserves member order). Each axis point is (label, mutator).
+  struct Point {
+    std::string label;
+    std::function<void(RunConfig&)> apply;
+  };
+  struct SweepAxis {
+    std::string name;
+    std::vector<Point> points;
+  };
+  std::vector<SweepAxis> axes;
+  const JsonValue* axes_json = body.find("axes");
+  if (axes_json != nullptr) {
+    for (const auto& [name, values] : axes_json->members()) {
+      SweepAxis axis;
+      axis.name = name;
+      for (const JsonValue& v : values.items()) {
+        if (name == "strategy") {
+          const std::string key = v.as_string();
+          axis.points.push_back(
+              {key, [key](RunConfig& c) { c.strategy = key; }});
+        } else if (name == "n") {
+          const std::int64_t n = v.to_int64();
+          axis.points.push_back({std::to_string(n), [n](RunConfig& c) {
+                                   c.n = n;
+                                   c.b = 0;  // re-tune the block per size
+                                 }});
+        } else if (name == "r") {
+          const double r = v.to_double();
+          axis.points.push_back({v.number_token(), [r](RunConfig& c) {
+                                   c.reclamation_ratio = r;
+                                 }});
+        } else if (name == "abft") {
+          const std::string key = v.as_string();
+          axis.points.push_back(
+              {key, [key](RunConfig& c) { c.abft_policy = key; }});
+        } else {
+          throw std::runtime_error(
+              "unknown sweep axis \"" + name +
+              "\" (known axes: strategy, n, r, abft)");
+        }
+      }
+      if (axis.points.empty()) {
+        throw std::runtime_error("sweep axis \"" + name + "\" has no values");
+      }
+      axes.push_back(std::move(axis));
+    }
+  }
+
+  std::size_t cells = 1;
+  for (const SweepAxis& axis : axes) cells *= axis.points.size();
+  constexpr std::size_t kMaxCells = 4096;
+  if (cells > kMaxCells) {
+    throw std::runtime_error("sweep expands to " + std::to_string(cells) +
+                             " cells (limit " + std::to_string(kMaxCells) +
+                             ")");
+  }
+
+  JsonWriter w;
+  w.obj_open();
+  w.key("ok").value(true);
+  w.key("op").value("sweep");
+  w.key("cells").value(static_cast<std::int64_t>(cells));
+  w.key("rows").arr_open();
+  for (std::size_t index = 0; index < cells; ++index) {
+    RunConfig cfg = base;
+    std::vector<std::pair<std::string, std::string>> coords;
+    std::size_t stride = cells;
+    for (const SweepAxis& axis : axes) {
+      stride /= axis.points.size();
+      const Point& point = axis.points[(index / stride) % axis.points.size()];
+      coords.emplace_back(axis.name, point.label);
+      point.apply(cfg);
+    }
+    cfg.validate();
+    const std::string fingerprint = cfg.fingerprint();
+    const auto [entry, source] = resolve(cfg, fingerprint);
+    w.obj_open();
+    w.key("coords").obj_open();
+    for (const auto& [axis, label] : coords) w.key(axis).value(label);
+    w.obj_close();
+    w.key("fingerprint").value(fingerprint);
+    w.key("source").value(source);
+    w.key("time_s").value(entry.seconds);
+    w.key("energy_j").value(entry.energy_j);
+    w.key("ed2p").value(entry.ed2p);
+    w.key("gflops").value(entry.gflops);
+    w.obj_close();
+  }
+  w.arr_close();
+  w.obj_close();
+  return w.take();
+}
+
+std::string Server::handle_stats() {
+  ServeStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    s = stats_;
+  }
+  JsonWriter w;
+  w.obj_open();
+  w.key("ok").value(true);
+  w.key("op").value("stats");
+  w.key("connections").value(static_cast<std::int64_t>(s.connections));
+  w.key("overloaded").value(static_cast<std::int64_t>(s.overloaded));
+  w.key("requests").value(static_cast<std::int64_t>(s.requests));
+  w.key("bad_requests").value(static_cast<std::int64_t>(s.bad_requests));
+  w.key("runs").value(static_cast<std::int64_t>(s.runs));
+  w.key("memory_hits").value(static_cast<std::int64_t>(s.memory_hits));
+  w.key("coalesced").value(static_cast<std::int64_t>(s.coalesced));
+  w.key("store_hits").value(static_cast<std::int64_t>(s.store_hits));
+  w.key("executed").value(static_cast<std::int64_t>(s.executed));
+  w.key("cache_entries").value(static_cast<std::int64_t>(cache_entries()));
+  w.key("workers").value(config_.workers);
+  w.key("queue_depth").value(config_.queue_depth);
+  if (store_ != nullptr) {
+    const StoreStats st = store_->stats();
+    w.key("store").obj_open();
+    w.key("hits").value(static_cast<std::int64_t>(st.hits));
+    w.key("misses").value(static_cast<std::int64_t>(st.misses));
+    w.key("rejected").value(static_cast<std::int64_t>(st.rejected));
+    w.key("saves").value(static_cast<std::int64_t>(st.saves));
+    w.obj_close();
+  }
+  w.obj_close();
+  return w.take();
+}
+
+ServeStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+StoreStats Server::store_stats() const {
+  return store_ != nullptr ? store_->stats() : StoreStats{};
+}
+
+std::size_t Server::cache_entries() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+}  // namespace bsr::serve

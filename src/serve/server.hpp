@@ -1,0 +1,193 @@
+// The bsr_served server loop: accept thread + bounded connection queue +
+// worker threads on common/thread_pool, serving the protocol.hpp ops with
+// three result tiers (in-memory cache, single-flight coalescing, durable
+// DiskResultStore).
+//
+// Request path for one run fingerprint fp:
+//
+//   memory cache hit ──────────────────────────► "memory"   (no work)
+//   miss, flight for fp in progress ───────────► "coalesced" (wait, share)
+//   miss, leader: durable store hit ───────────► "store"    (no execution)
+//   miss, leader: store miss ──────────────────► "executed" (one run)
+//
+// Executed and store-served reports are promoted into the memory cache as
+// their SERIALIZED text, so a repeat — same process or after a daemon
+// restart — answers with bytes identical to the cold response (the
+// serialize/deserialize fixpoint in serve/report_json.hpp).
+//
+// Admission control: the accept thread never blocks on workers. When
+// queue_depth connections are already waiting, a new connection receives
+// one {"ok":false,"error":"overloaded","retry":true} line and is closed —
+// explicit backpressure, never unbounded queue growth.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "bsr/run_config.hpp"
+#include "common/json.hpp"
+#include "common/socket.hpp"
+#include "core/report.hpp"
+#include "serve/single_flight.hpp"
+#include "serve/store.hpp"
+
+namespace bsr::serve {
+
+/// Everything configurable about one Server.
+struct ServerConfig {
+  /// Unix-socket path to listen on; empty = listen on localhost TCP instead.
+  std::string socket_path;
+  /// TCP port when socket_path is empty (0 = pick an ephemeral port).
+  std::uint16_t tcp_port = 0;
+  /// Concurrent connection-serving workers (run on a common/thread_pool).
+  int workers = 4;
+  /// Connections allowed to wait for a worker before new ones are refused
+  /// with an "overloaded" response.
+  int queue_depth = 64;
+  /// Directory of the durable result store; empty = memory-only (results
+  /// die with the process).
+  std::string store_dir;
+  /// The execution function for cache-miss runs. Defaults to bsr::run.
+  /// Injectable so tests can gate, count, or fail executions
+  /// deterministically.
+  std::function<core::RunReport(const RunConfig&)> runner;
+};
+
+/// Monotone counters of one Server's lifetime (see stats()).
+struct ServeStats {
+  std::uint64_t connections = 0;  ///< accepted and served
+  std::uint64_t overloaded = 0;   ///< refused by admission control
+  std::uint64_t requests = 0;     ///< request lines parsed (any op)
+  std::uint64_t bad_requests = 0; ///< lines answered with ok:false
+  std::uint64_t runs = 0;         ///< run-op configs + sweep-op cells
+  std::uint64_t memory_hits = 0;  ///< tier 1: in-memory serialized cache
+  std::uint64_t coalesced = 0;    ///< tier 2: joined an in-flight execution
+  std::uint64_t store_hits = 0;   ///< tier 3: durable store
+  std::uint64_t executed = 0;     ///< tier 4: simulator executions
+};
+
+/// One cached result: the serialized report (shared, immutable) plus the
+/// scalar metrics the sweep op reports without re-deserializing.
+struct CachedResult {
+  std::shared_ptr<const std::string> json;
+  double seconds = 0.0;
+  double energy_j = 0.0;
+  double ed2p = 0.0;
+  double gflops = 0.0;
+  /// Whether the leading lookup was served from the durable store (tier 3)
+  /// rather than executed (tier 4). Meaningful only on the flight leader's
+  /// copy — followers report "coalesced" regardless.
+  bool from_store = false;
+};
+
+/// One daemon instance. start() spawns the accept thread and the worker
+/// pool; stop() (or a client's shutdown op) drains and joins everything.
+/// Construct -> start() -> wait() is the daemon main loop; tests drive
+/// start()/stop() directly.
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  /// Joins all threads (calls stop() if still running).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and launches the accept thread + workers. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// Graceful shutdown: stop accepting, serve the already-queued
+  /// connections, join all threads, unlink the Unix socket file.
+  /// Idempotent.
+  void stop();
+
+  /// Blocks until a client's shutdown op, a request_stop(), or a concurrent
+  /// stop() fires, then completes the shutdown (joins everything).
+  void wait();
+
+  /// Flags the daemon down without blocking or locking — the only Server
+  /// call that is async-signal-safe (one atomic store), so bsr_served's
+  /// SIGINT/SIGTERM handler can use it. wait() notices within ~100 ms.
+  void request_stop() { shutdown_requested_.store(true); }
+
+  /// True between start() and the completion of stop().
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+  /// The bound TCP port (0 when serving a Unix socket).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// The Unix socket path ("" when serving TCP).
+  [[nodiscard]] const std::string& socket_path() const {
+    return config_.socket_path;
+  }
+
+  /// Lifetime counters (copied under the stats lock).
+  [[nodiscard]] ServeStats stats() const;
+  /// Durable-store counters (all zero when no store is mounted).
+  [[nodiscard]] StoreStats store_stats() const;
+  /// Entries in the in-memory serialized-report cache.
+  [[nodiscard]] std::size_t cache_entries() const;
+
+  /// The in-flight coalescing group (exposed for deterministic tests:
+  /// waiters(fp) lets a gated runner block until N-1 followers joined).
+  [[nodiscard]] SingleFlight<CachedResult>& flights() { return flights_; }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(Socket conn);
+  /// Dispatches one request line; returns false when the connection should
+  /// close (shutdown op).
+  bool handle_line(const std::string& line, const Socket& conn);
+  std::string handle_run(const JsonValue& body);
+  std::string handle_sweep(const JsonValue& body);
+  std::string handle_stats();
+
+  /// The tiered lookup for one config. Returns the cached result plus the
+  /// source tag ("memory" / "coalesced" / "store" / "executed").
+  std::pair<CachedResult, const char*> resolve(const RunConfig& cfg,
+                                               const std::string& fingerprint);
+
+  ServerConfig config_;
+  std::uint16_t port_ = 0;
+  Socket listener_;
+  std::unique_ptr<DiskResultStore> store_;
+
+  std::thread accept_thread_;
+  std::thread pool_thread_;  // runs ThreadPool::parallel_for over the workers
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Socket> queue_;
+  bool stopping_ = false;  // guarded by queue_mutex_
+
+  // Connections currently being served, so stop() can shutdown(2) their
+  // descriptors: a worker blocked reading an idle connection wakes with EOF
+  // instead of stalling the join forever.
+  std::mutex conns_mutex_;
+  std::set<int> active_fds_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+
+  mutable std::mutex cache_mutex_;
+  std::map<std::string, CachedResult> cache_;
+
+  SingleFlight<CachedResult> flights_;
+
+  mutable std::mutex stats_mutex_;
+  ServeStats stats_;
+};
+
+}  // namespace bsr::serve

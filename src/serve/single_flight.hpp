@@ -1,0 +1,127 @@
+// Single-flight request coalescing: N concurrent callers asking for the same
+// key share ONE execution of the work function; the other N-1 block until
+// the leader publishes and then return the same value.
+//
+// This is the serving subsystem's concurrency-dedup layer (bsr/serve.hpp):
+// the daemon keys flights by RunConfig::fingerprint(), so a thundering herd
+// of identical sweep requests costs one simulator run, not N. The group is
+// generic over the published value type (the daemon publishes the serialized
+// response body, tests publish ints).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace bsr::serve {
+
+/// One key-space of coalesced flights. Thread-safe.
+template <typename Value>
+class SingleFlight {
+ public:
+  /// Outcome of one do_call: the shared value plus whether this caller was
+  /// the leader (executed `fn`) or a follower (waited for the leader).
+  struct Result {
+    Value value;
+    bool leader = false;
+  };
+
+  /// If no flight for `key` is in progress, runs fn() as the leader and
+  /// publishes its value to every follower that arrived meanwhile; otherwise
+  /// blocks until the in-progress leader publishes. A leader whose fn()
+  /// throws propagates the exception to itself AND rethrows it in every
+  /// follower (nobody hangs on a failed flight). The flight is forgotten
+  /// afterwards — remembering completed values is the cache tiers'
+  /// business, not this class's.
+  template <typename Fn>
+  Result do_call(const std::string& key, Fn&& fn) {
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = flights_.find(key);
+      if (it == flights_.end()) {
+        flight = std::make_shared<Flight>();
+        flights_.emplace(key, flight);
+        leader = true;
+      } else {
+        flight = it->second;
+        ++flight->waiters;
+      }
+    }
+    if (!leader) {
+      std::unique_lock<std::mutex> lock(flight->m);
+      flight->cv.wait(lock, [&] { return flight->done; });
+      if (flight->error) std::rethrow_exception(flight->error);
+      return Result{flight->value, false};
+    }
+    Result result;
+    result.leader = true;
+    try {
+      result.value = fn();
+    } catch (...) {
+      publish(key, flight, nullptr, std::current_exception());
+      throw;
+    }
+    publish(key, flight, &result.value, nullptr);
+    return result;
+  }
+
+  /// Number of followers currently blocked on `key`'s flight (0 when no
+  /// flight is in progress). Exposed so tests can gate a leader's fn until
+  /// all concurrent requesters have provably joined the flight — making
+  /// "N identical in-flight requests, exactly one execution" deterministic.
+  [[nodiscard]] std::uint64_t waiters(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = flights_.find(key);
+    return it == flights_.end() ? 0 : it->second->waiters;
+  }
+
+  /// Flights led (executions) over this group's lifetime.
+  [[nodiscard]] std::uint64_t led() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return led_;
+  }
+  /// Follower joins (executions saved) over this group's lifetime.
+  [[nodiscard]] std::uint64_t coalesced() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return coalesced_;
+  }
+
+ private:
+  struct Flight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    Value value{};
+    std::exception_ptr error;
+    std::uint64_t waiters = 0;  // guarded by the group mutex, not m
+  };
+
+  void publish(const std::string& key, const std::shared_ptr<Flight>& flight,
+               const Value* value, std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(flight->m);
+      if (value != nullptr) flight->value = *value;
+      flight->error = std::move(error);
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++led_;
+    coalesced_ += flight->waiters;
+    flights_.erase(key);
+  }
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Flight>> flights_;
+  std::uint64_t led_ = 0;
+  std::uint64_t coalesced_ = 0;
+};
+
+}  // namespace bsr::serve

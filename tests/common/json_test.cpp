@@ -1,0 +1,138 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace bsr {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(JsonValue::parse("42").to_int64(), 42);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-3.25e2").to_double(), -325.0);
+}
+
+TEST(JsonParse, ObjectPreservesMemberOrder) {
+  const JsonValue v = JsonValue::parse(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+  EXPECT_EQ(v.at("a").to_int64(), 2);
+  EXPECT_EQ(v.find("nope"), nullptr);
+  EXPECT_THROW((void)v.at("nope"), std::runtime_error);
+}
+
+TEST(JsonParse, NumberTokensAreVerbatim) {
+  // The byte-identity contract of the serve store: dump() re-emits the
+  // source token, not a re-formatted double.
+  const JsonValue v = JsonValue::parse("[1.50, 1e2, -0.0, 10000000000]");
+  EXPECT_EQ(v.items()[0].number_token(), "1.50");
+  EXPECT_EQ(v.items()[1].number_token(), "1e2");
+  EXPECT_EQ(v.dump(), "[1.50,1e2,-0.0,10000000000]");
+}
+
+TEST(JsonParse, ParseDumpIsIdentityOnWriterOutput) {
+  const std::string doc =
+      R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null},"e":"q\"uo\\te","f":-1.25e-3})";
+  EXPECT_EQ(JsonValue::parse(doc).dump(), doc);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\nb\tc\\d\"e")").as_string(),
+            "a\nb\tc\\d\"e");
+  // \u0041 = 'A'; a surrogate pair decodes to UTF-8.
+  EXPECT_EQ(JsonValue::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(JsonValue::parse(R"("\uD83D\uDE00")").as_string(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, ErrorsAreLoud) {
+  EXPECT_THROW((void)JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\":1} trailing"),
+               std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("nul"), std::runtime_error);
+  try {
+    (void)JsonValue::parse("[1, @]");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("json:"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, TypeMismatchedAccessorsThrow) {
+  const JsonValue v = JsonValue::parse("[1]");
+  EXPECT_THROW((void)v.as_string(), std::runtime_error);
+  EXPECT_THROW((void)v.as_bool(), std::runtime_error);
+  EXPECT_THROW((void)v.members(), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("1.5").to_int64(), std::runtime_error);
+}
+
+TEST(JsonParse, Uint64RoundTripsAsQuotedString) {
+  // Seeds above int64 range travel as strings (see common/json.hpp).
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+  JsonWriter w;
+  w.value_u64(big);
+  const JsonValue v = JsonValue::parse(w.str());
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.to_uint64(), big);
+  // Integer number tokens convert too.
+  EXPECT_EQ(JsonValue::parse("42").to_uint64(), 42u);
+}
+
+TEST(JsonWriter, BuildsCompactDocuments) {
+  JsonWriter w;
+  w.obj_open();
+  w.key("n").value(std::int64_t{4096});
+  w.key("name").value("bsr");
+  w.key("on").value(true);
+  w.key("xs").arr_open();
+  w.value(1.5);
+  w.value(std::int64_t{-2});
+  w.arr_close();
+  w.key("nested").obj_open();
+  w.obj_close();
+  w.key("spliced").raw(R"([1,2])");
+  w.obj_close();
+  EXPECT_EQ(w.str(),
+            R"({"n":4096,"name":"bsr","on":true,"xs":[1.5,-2],)"
+            R"("nested":{},"spliced":[1,2]})");
+}
+
+TEST(JsonWriter, DoublesUseShortestExactForm) {
+  JsonWriter w;
+  w.arr_open();
+  w.value(0.1);
+  w.value(1.0);
+  w.arr_close();
+  const JsonValue v = JsonValue::parse(w.str());
+  EXPECT_DOUBLE_EQ(v.items()[0].to_double(), 0.1);
+  EXPECT_DOUBLE_EQ(v.items()[1].to_double(), 1.0);
+  // Shortest form re-serializes byte-identically (the store fixpoint).
+  EXPECT_EQ(json_double(v.items()[0].to_double()),
+            v.items()[0].number_token());
+}
+
+TEST(JsonHelpers, QuoteEscapes) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b\\c\nd"), R"("a\"b\\c\nd")");
+  EXPECT_EQ(json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonHelpers, DoubleClampsNonFinite) {
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+}  // namespace
+}  // namespace bsr

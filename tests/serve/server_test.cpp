@@ -1,0 +1,308 @@
+// The bsr_served server loop end to end, over localhost TCP with an
+// injectable runner: cold/warm/restart byte-identity, deterministic
+// single-flight coalescing (N concurrent identical requests -> exactly one
+// execution), admission control, the sweep op, and graceful shutdown.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/report_json.hpp"
+
+namespace bsr::serve {
+namespace {
+
+constexpr const char* kSmallConfig = R"({"n":1024,"b":128})";
+
+RunConfig small_config() {
+  RunConfig cfg;
+  cfg.n = 1024;
+  cfg.b = 128;
+  return cfg;
+}
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "bsr_serve_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// A started memory-only TCP server whose runner counts executions.
+struct TestServer {
+  explicit TestServer(ServerConfig config = {}) {
+    config.socket_path.clear();
+    config.tcp_port = 0;  // ephemeral
+    if (!config.runner) {
+      config.runner = [this](const RunConfig& cfg) {
+        ++executions;
+        return bsr::run(cfg);
+      };
+    }
+    server = std::make_unique<Server>(std::move(config));
+    server->start();
+  }
+
+  [[nodiscard]] Client client() const {
+    return Client::connect_tcp(server->port());
+  }
+
+  std::atomic<int> executions{0};
+  std::unique_ptr<Server> server;
+};
+
+std::string run_request(const std::string& config_json) {
+  return std::string(R"({"op":"run","config":)") + config_json + "}";
+}
+
+TEST(ServerTest, ColdRunExecutesOnceAndRepeatIsByteIdenticalFromMemory) {
+  TestServer ts;
+  Client c = ts.client();
+
+  const std::string cold = c.call_raw(run_request(kSmallConfig));
+  const std::string warm = c.call_raw(run_request(kSmallConfig));
+  EXPECT_EQ(ts.executions.load(), 1);
+
+  const JsonValue v1 = JsonValue::parse(cold);
+  const JsonValue v2 = JsonValue::parse(warm);
+  EXPECT_TRUE(v1.at("ok").as_bool());
+  EXPECT_EQ(v1.at("source").as_string(), "executed");
+  EXPECT_EQ(v2.at("source").as_string(), "memory");
+  EXPECT_EQ(v1.at("fingerprint").as_string(),
+            small_config().fingerprint());
+  // The report payload — not the envelope, whose source tag legitimately
+  // differs — must be byte-identical.
+  EXPECT_EQ(v1.at("report").dump(), v2.at("report").dump());
+
+  const ServeStats stats = ts.server->stats();
+  EXPECT_EQ(stats.runs, 2u);
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.memory_hits, 1u);
+  ts.server->stop();
+}
+
+TEST(ServerTest, RestartOverTheSameStoreServesByteIdenticalWithoutRerun) {
+  const std::string dir = fresh_dir("restart");
+  std::string cold_report;
+  {
+    ServerConfig cfg;
+    cfg.store_dir = dir;
+    TestServer ts(std::move(cfg));
+    Client c = ts.client();
+    const JsonValue v = JsonValue::parse(c.call_raw(run_request(kSmallConfig)));
+    EXPECT_EQ(v.at("source").as_string(), "executed");
+    cold_report = v.at("report").dump();
+    EXPECT_EQ(ts.executions.load(), 1);
+    ts.server->stop();
+  }
+  {
+    ServerConfig cfg;
+    cfg.store_dir = dir;
+    TestServer ts(std::move(cfg));  // the restarted daemon
+    Client c = ts.client();
+    const JsonValue v = JsonValue::parse(c.call_raw(run_request(kSmallConfig)));
+    EXPECT_EQ(v.at("source").as_string(), "store");
+    EXPECT_EQ(v.at("report").dump(), cold_report);
+    EXPECT_EQ(ts.executions.load(), 0);  // never re-executed
+    EXPECT_EQ(ts.server->stats().store_hits, 1u);
+    ts.server->stop();
+  }
+}
+
+TEST(ServerTest, ConcurrentIdenticalRequestsCoalesceToExactlyOneExecution) {
+  // Deterministic, not statistical: the runner BLOCKS until the single-
+  // flight group proves all other requests joined its flight, so the workers
+  // cannot sneak through sequentially.
+  constexpr int kClients = 4;
+  const std::string fp = small_config().fingerprint();
+
+  std::atomic<int> executions{0};
+  std::unique_ptr<Server> server;  // the runner below queries it
+  ServerConfig cfg;
+  cfg.workers = kClients;
+  cfg.runner = [&](const RunConfig& rc) {
+    ++executions;
+    while (server->flights().waiters(fp) <
+           static_cast<std::uint64_t>(kClients - 1)) {
+      std::this_thread::yield();
+    }
+    return bsr::run(rc);
+  };
+  server = std::make_unique<Server>(std::move(cfg));
+  server->start();
+
+  std::vector<std::thread> threads;
+  std::vector<std::string> responses(kClients);
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client c = Client::connect_tcp(server->port());
+      responses[i] = c.call_raw(run_request(kSmallConfig));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(executions.load(), 1);  // the acceptance assertion
+  int leaders = 0;
+  std::string report;
+  for (const std::string& r : responses) {
+    const JsonValue v = JsonValue::parse(r);
+    EXPECT_TRUE(v.at("ok").as_bool());
+    const std::string source = v.at("source").as_string();
+    leaders += source == "executed" ? 1 : 0;
+    if (source != "executed") {
+      EXPECT_EQ(source, "coalesced");
+    }
+    if (report.empty()) {
+      report = v.at("report").dump();
+    } else {
+      EXPECT_EQ(v.at("report").dump(), report);  // all share one result
+    }
+  }
+  EXPECT_EQ(leaders, 1);
+  const ServeStats stats = server->stats();
+  EXPECT_EQ(stats.executed, 1u);
+  EXPECT_EQ(stats.coalesced, static_cast<std::uint64_t>(kClients - 1));
+  server->stop();
+}
+
+TEST(ServerTest, AdmissionControlRefusesBeyondQueueDepth) {
+  // One worker, queue depth one. Connection A occupies the worker inside a
+  // gated runner; connection B fills the queue; connection C must get the
+  // explicit overloaded rejection. Accept order is kernel-FIFO, so the
+  // sequence is deterministic once the runner is provably entered.
+  std::atomic<bool> in_runner{false};
+  std::atomic<bool> release{false};
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_depth = 1;
+  cfg.runner = [&](const RunConfig& rc) {
+    in_runner.store(true);
+    while (!release.load()) std::this_thread::yield();
+    return bsr::run(rc);
+  };
+  TestServer ts(std::move(cfg));
+
+  std::thread a_thread([&] {
+    // Scoped client: closes its connection once answered, freeing the one
+    // worker for the queued connection B.
+    Client a = ts.client();
+    const JsonValue v = JsonValue::parse(a.call_raw(run_request(kSmallConfig)));
+    EXPECT_TRUE(v.at("ok").as_bool());
+  });
+  while (!in_runner.load()) std::this_thread::yield();
+
+  Client b = ts.client();  // sits in the queue (depth 1: now full)
+  Client c = ts.client();  // must be refused
+
+  const JsonValue rejection = c.call(R"({"op":"stats"})");
+  EXPECT_FALSE(rejection.at("ok").as_bool());
+  EXPECT_EQ(rejection.at("error").as_string(), "overloaded");
+  EXPECT_TRUE(rejection.at("retry").as_bool());
+
+  release.store(true);
+  a_thread.join();
+  // B gets served once the worker frees up.
+  EXPECT_TRUE(b.stats().at("ok").as_bool());
+  EXPECT_EQ(ts.server->stats().overloaded, 1u);
+  ts.server->stop();
+}
+
+TEST(ServerTest, SweepOpExpandsAxesAndDedupesViaFingerprints) {
+  TestServer ts;
+  Client c = ts.client();
+  const JsonValue v = c.call(
+      R"({"op":"sweep","config":{"n":1024,"b":128},)"
+      R"("axes":{"strategy":["sr","bsr"],"r":[0,0.5]}})");
+  ASSERT_TRUE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("cells").to_int64(), 4);
+  ASSERT_EQ(v.at("rows").items().size(), 4u);
+
+  const JsonValue& first = v.at("rows").items()[0];
+  EXPECT_EQ(first.at("coords").at("strategy").as_string(), "sr");
+  EXPECT_EQ(first.at("coords").at("r").as_string(), "0");
+  EXPECT_TRUE(first.at("time_s").is_number());
+  EXPECT_TRUE(first.at("energy_j").is_number());
+
+  // SR ignores r, so its r=0.5 cell dedupes onto r=0 ("memory"); BSR's two
+  // r values are distinct runs: 3 executions for 4 cells.
+  EXPECT_EQ(ts.executions.load(), 3);
+  EXPECT_EQ(ts.server->stats().runs, 4u);
+  ts.server->stop();
+}
+
+TEST(ServerTest, BadRequestsAnswerOkFalseAndKeepTheConnectionUsable) {
+  TestServer ts;
+  Client c = ts.client();
+
+  const JsonValue bad1 = c.call(R"({"op":"warp_drive"})");
+  EXPECT_FALSE(bad1.at("ok").as_bool());
+  const JsonValue bad2 = c.call(R"({"op":"run","config":{"n":-5}})");
+  EXPECT_FALSE(bad2.at("ok").as_bool());
+  EXPECT_FALSE(bad2.at("retry").as_bool());
+  const JsonValue bad3 = c.call(R"({"op":"run","config":{"typo_knob":1}})");
+  EXPECT_FALSE(bad3.at("ok").as_bool());
+
+  // Same connection still serves good requests afterwards.
+  const JsonValue good = c.call(R"({"op":"stats"})");
+  EXPECT_TRUE(good.at("ok").as_bool());
+  EXPECT_EQ(good.at("bad_requests").to_int64(), 3);
+  EXPECT_EQ(ts.executions.load(), 0);
+  ts.server->stop();
+}
+
+TEST(ServerTest, StatsOpReportsCountersAndConfig) {
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_depth = 5;
+  cfg.store_dir = fresh_dir("stats");
+  TestServer ts(std::move(cfg));
+  Client c = ts.client();
+  (void)c.call_raw(run_request(kSmallConfig));
+
+  const JsonValue v = c.stats();
+  ASSERT_TRUE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("workers").to_int64(), 2);
+  EXPECT_EQ(v.at("queue_depth").to_int64(), 5);
+  EXPECT_EQ(v.at("executed").to_int64(), 1);
+  EXPECT_EQ(v.at("cache_entries").to_int64(), 1);
+  EXPECT_EQ(v.at("store").at("saves").to_int64(), 1);
+  ts.server->stop();
+}
+
+TEST(ServerTest, ShutdownOpStopsTheDaemon) {
+  TestServer ts;
+  std::thread waiter([&] { ts.server->wait(); });
+
+  Client c = ts.client();
+  const JsonValue v = c.shutdown();
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("op").as_string(), "shutdown");
+
+  waiter.join();  // wait() returns only when the daemon is down
+  EXPECT_FALSE(ts.server->running());
+}
+
+TEST(ServerTest, StopIsIdempotentAndUnlinksTheUnixSocket) {
+  const std::string path = ::testing::TempDir() + "bsr_serve_sock_test.sock";
+  ServerConfig cfg;
+  cfg.socket_path = path;
+  Server server(std::move(cfg));
+  server.start();
+  EXPECT_TRUE(std::filesystem::exists(path));
+  {
+    Client c = Client::connect_unix_socket(path);
+    EXPECT_TRUE(c.stats().at("ok").as_bool());
+  }
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace bsr::serve

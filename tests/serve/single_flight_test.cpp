@@ -1,0 +1,113 @@
+#include "serve/single_flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace bsr::serve {
+namespace {
+
+TEST(SingleFlight, UncontendedCallLeadsAndReturnsTheValue) {
+  SingleFlight<int> group;
+  const auto result = group.do_call("k", [] { return 7; });
+  EXPECT_TRUE(result.leader);
+  EXPECT_EQ(result.value, 7);
+  EXPECT_EQ(group.led(), 1u);
+  EXPECT_EQ(group.coalesced(), 0u);
+  EXPECT_EQ(group.waiters("k"), 0u);  // the flight is forgotten after publish
+}
+
+TEST(SingleFlight, NConcurrentIdenticalKeysExecuteExactlyOnce) {
+  // The acceptance-test shape from ISSUE 7, made deterministic: the leader's
+  // work function BLOCKS until waiters("k") proves all N-1 followers joined
+  // the flight, so coalescing cannot be a lucky race.
+  constexpr int kThreads = 8;
+  SingleFlight<int> group;
+  std::atomic<int> executions{0};
+
+  std::vector<std::thread> threads;
+  std::vector<SingleFlight<int>::Result> results(kThreads);
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      results[i] = group.do_call("k", [&] {
+        ++executions;
+        while (group.waiters("k") <
+               static_cast<std::uint64_t>(kThreads - 1)) {
+          std::this_thread::yield();
+        }
+        return 42;
+      });
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(executions.load(), 1);
+  int leaders = 0;
+  for (const auto& r : results) {
+    EXPECT_EQ(r.value, 42);
+    leaders += r.leader ? 1 : 0;
+  }
+  EXPECT_EQ(leaders, 1);
+  EXPECT_EQ(group.led(), 1u);
+  EXPECT_EQ(group.coalesced(), static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(SingleFlight, DistinctKeysDoNotCoalesce) {
+  SingleFlight<int> group;
+  (void)group.do_call("a", [] { return 1; });
+  (void)group.do_call("b", [] { return 2; });
+  EXPECT_EQ(group.led(), 2u);
+  EXPECT_EQ(group.coalesced(), 0u);
+}
+
+TEST(SingleFlight, SequentialCallsReExecute) {
+  // Single-flight dedupes IN-FLIGHT work only; remembering completed values
+  // is the cache tiers' business.
+  SingleFlight<int> group;
+  int calls = 0;
+  (void)group.do_call("k", [&] { return ++calls; });
+  const auto second = group.do_call("k", [&] { return ++calls; });
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(second.value, 2);
+}
+
+TEST(SingleFlight, LeaderExceptionRethrownInEveryFollower) {
+  SingleFlight<int> group;
+  std::atomic<bool> leader_in_fn{false};
+
+  std::thread leader([&] {
+    EXPECT_THROW(
+        (void)group.do_call("k",
+                            [&]() -> int {
+                              leader_in_fn.store(true);
+                              // Throw only once the follower provably joined.
+                              while (group.waiters("k") == 0) {
+                                std::this_thread::yield();
+                              }
+                              throw std::runtime_error("simulated failure");
+                            }),
+        std::runtime_error);
+  });
+  std::thread follower([&] {
+    // The flight certainly exists once the leader is inside its fn.
+    while (!leader_in_fn.load()) std::this_thread::yield();
+    EXPECT_THROW((void)group.do_call("k", []() -> int { return 0; }),
+                 std::runtime_error);
+  });
+  leader.join();
+  follower.join();
+
+  // A failed flight is forgotten too: the next call for the key re-executes.
+  const auto retry = group.do_call("k", [] { return 9; });
+  EXPECT_EQ(retry.value, 9);
+}
+
+}  // namespace
+}  // namespace bsr::serve

@@ -1,0 +1,144 @@
+// DiskResultStore: durable save/load round-trips, byte-identical serialized
+// records, and LOUD misses (never crashes, never wrong results) on corrupt,
+// old-schema, or fingerprint-mismatched records.
+#include "serve/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "serve/report_json.hpp"
+
+namespace bsr::serve {
+namespace {
+
+RunConfig small_config() {
+  RunConfig cfg;
+  cfg.n = 1024;
+  cfg.b = 128;
+  return cfg;
+}
+
+/// A fresh per-test store directory under the test's temp dir (leftovers
+/// from a previous ctest run are wiped so first-load-misses stay misses).
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "bsr_store_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void overwrite(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  ASSERT_TRUE(out.good()) << path;
+  out << content;
+}
+
+TEST(DiskResultStore, MissThenSaveThenHit) {
+  DiskResultStore store(fresh_dir("roundtrip"));
+  const RunConfig cfg = small_config();
+  const std::string fp = cfg.fingerprint() + ":roundtrip";
+
+  EXPECT_EQ(store.load(fp), nullptr);
+  EXPECT_EQ(store.stats().misses, 1u);
+
+  const core::RunReport report = bsr::run(cfg);
+  store.save(fp, report);
+  EXPECT_EQ(store.stats().saves, 1u);
+
+  const std::shared_ptr<const core::RunReport> loaded = store.load(fp);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().rejected, 0u);
+  EXPECT_EQ(serialize_report(*loaded), serialize_report(report));
+}
+
+TEST(DiskResultStore, SerializedPathIsByteIdentical) {
+  DiskResultStore store(fresh_dir("serialized"));
+  const std::string fp = "fp-serialized";
+  const std::string cold = serialize_report(bsr::run(small_config()));
+
+  store.save_serialized(fp, cold);
+  const std::shared_ptr<const std::string> warm = store.load_serialized(fp);
+  ASSERT_NE(warm, nullptr);
+  EXPECT_EQ(*warm, cold);  // the byte-identity contract, cross-process
+}
+
+TEST(DiskResultStore, SurvivesReopen) {
+  const std::string dir = fresh_dir("reopen");
+  const std::string fp = "fp-reopen";
+  const std::string cold = serialize_report(bsr::run(small_config()));
+  {
+    DiskResultStore store(dir);
+    store.save_serialized(fp, cold);
+  }
+  DiskResultStore reopened(dir);  // a daemon restart
+  const std::shared_ptr<const std::string> warm =
+      reopened.load_serialized(fp);
+  ASSERT_NE(warm, nullptr);
+  EXPECT_EQ(*warm, cold);
+}
+
+TEST(DiskResultStore, CorruptRecordIsALoudMissNotACrash) {
+  DiskResultStore store(fresh_dir("corrupt"));
+  const std::string fp = "fp-corrupt";
+  store.save_serialized(fp, serialize_report(bsr::run(small_config())));
+
+  overwrite(store.record_path(fp), "{\"schema\":1,\"fingerpr");  // truncated
+  EXPECT_EQ(store.load(fp), nullptr);
+  EXPECT_EQ(store.load_serialized(fp), nullptr);
+  EXPECT_EQ(store.stats().rejected, 2u);
+  EXPECT_EQ(store.stats().hits, 0u);
+}
+
+TEST(DiskResultStore, OldSchemaVersionIsRejected) {
+  DiskResultStore store(fresh_dir("schema"));
+  const std::string fp = "fp-schema";
+  const std::string report_json = serialize_report(bsr::run(small_config()));
+  store.save_serialized(fp, report_json);
+
+  // Rewrite the record claiming a pre-historic schema version.
+  overwrite(store.record_path(fp),
+            "{\"schema\":0,\"fingerprint\":\"" + fp +
+                "\",\"report\":" + report_json + "}");
+  EXPECT_EQ(store.load_serialized(fp), nullptr);
+  EXPECT_EQ(store.stats().rejected, 1u);
+}
+
+TEST(DiskResultStore, FingerprintMismatchIsRejected) {
+  // A record copied to the wrong path (or a hash collision) must never be
+  // served as the requested configuration's result.
+  DiskResultStore store(fresh_dir("mismatch"));
+  store.save_serialized("fp-A", serialize_report(bsr::run(small_config())));
+
+  std::ifstream in(store.record_path("fp-A"), std::ios::binary);
+  const std::string record((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  overwrite(store.record_path("fp-B"), record);
+
+  EXPECT_EQ(store.load_serialized("fp-B"), nullptr);
+  EXPECT_EQ(store.stats().rejected, 1u);
+  // The original record still loads fine.
+  EXPECT_NE(store.load_serialized("fp-A"), nullptr);
+}
+
+TEST(DiskResultStore, DeserializationFailureInsideAValidEnvelopeRejects) {
+  DiskResultStore store(fresh_dir("badreport"));
+  const std::string fp = "fp-badreport";
+  overwrite(store.record_path(fp),
+            "{\"schema\":1,\"fingerprint\":\"" + fp +
+                "\",\"report\":{\"not_a_report\":true}}");
+  // load_serialized trusts the envelope; load() must still reject loudly.
+  EXPECT_EQ(store.load(fp), nullptr);
+  EXPECT_GE(store.stats().rejected, 1u);
+}
+
+TEST(DiskResultStore, UnreadableDirectoryThrowsAtConstruction) {
+  EXPECT_THROW(DiskResultStore("/proc/definitely/not/creatable"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bsr::serve

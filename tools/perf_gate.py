@@ -1,20 +1,32 @@
 #!/usr/bin/env python3
-"""Regenerate and gate the committed kernel/throughput record BENCH_kernels.json.
+"""Regenerate and gate the committed throughput records.
 
-The record distills `bench_kernels --benchmark_format=json` down to the fields
-that are stable across machines and runs of the same binary: benchmark name,
-CPU time, and the throughput counters (GFLOP/s for the numeric kernels,
-cells/s and runs/s for the simulator hot loop). Timestamps, hostnames, and
-load averages are dropped so the committed file only changes when performance
-changes.
+Two records, selected with --mode:
+
+  kernels (default) — BENCH_kernels.json. Distills `bench_kernels
+      --benchmark_format=json` down to the fields that are stable across
+      machines and runs of the same binary: benchmark name, CPU time, and
+      the throughput counters (GFLOP/s for the numeric kernels, cells/s and
+      runs/s for the simulator hot loop). Timestamps, hostnames, and load
+      averages are dropped so the committed file only changes when
+      performance changes.
+
+  serve — BENCH_serve.json. Distills `bench_serve --format=json` (the
+      serving-subsystem load generator) to one entry per repeat-ratio
+      scenario: the gated qps counter plus the client-observed latency
+      percentiles, kept as informational trajectory but never gated —
+      wall-clock tails move with the host, order-of-magnitude QPS collapses
+      do not.
 
 Usage:
-    # Refresh the committed snapshot (run from the repo root):
+    # Refresh a committed snapshot (run from the repo root):
     python3 tools/perf_gate.py --bench build/bench/bench_kernels --write
+    python3 tools/perf_gate.py --mode serve --bench build/bench/bench_serve --write
 
     # CI regression gate: re-run and fail if any throughput counter dropped
     # below committed/tolerance:
     python3 tools/perf_gate.py --bench build/bench/bench_kernels --check
+    python3 tools/perf_gate.py --mode serve --bench build/bench/bench_serve --check
 
 Only the *throughput counters* are gated, never raw times: absolute CPU time
 shifts with the runner's hardware, but so do the counters, which is why the
@@ -34,9 +46,20 @@ import sys
 from pathlib import Path
 
 # Counters treated as higher-is-better throughput and therefore gated.
-RATE_COUNTERS = ("GFLOP/s", "cells/s", "runs/s")
+RATE_COUNTERS = ("GFLOP/s", "cells/s", "runs/s", "qps")
 
-REGEN_COMMAND = "python3 tools/perf_gate.py --bench build/bench/bench_kernels --write"
+REGEN_COMMANDS = {
+    "kernels":
+        "python3 tools/perf_gate.py --bench build/bench/bench_kernels --write",
+    "serve":
+        "python3 tools/perf_gate.py --mode serve "
+        "--bench build/bench/bench_serve --write",
+}
+DEFAULT_RECORDS = {"kernels": "BENCH_kernels.json", "serve": "BENCH_serve.json"}
+
+# Kept as the historical name: the kernels-mode regeneration command, still
+# referenced by the CI warning annotations.
+REGEN_COMMAND = REGEN_COMMANDS["kernels"]
 
 
 def run_bench(bench: Path, bench_filter: str) -> dict:
@@ -44,6 +67,14 @@ def run_bench(bench: Path, bench_filter: str) -> dict:
     if bench_filter:
         cmd.append(f"--benchmark_filter={bench_filter}")
     proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True)
+    return json.loads(proc.stdout)
+
+
+def run_serve_bench(bench: Path) -> list:
+    # bench_serve's own defaults ARE the gate scenario (requests, clients,
+    # repeat ratios), so the record stays comparable across refreshes.
+    proc = subprocess.run([str(bench), "--format=json"],
+                          stdout=subprocess.PIPE, check=True)
     return json.loads(proc.stdout)
 
 
@@ -64,11 +95,24 @@ def distill(raw: dict) -> dict:
         if counters:
             entry["counters"] = counters
         benches.append(entry)
-    return {"command": REGEN_COMMAND, "benchmarks": benches}
+    return {"command": REGEN_COMMANDS["kernels"], "benchmarks": benches}
+
+
+def distill_serve(rows: list) -> dict:
+    benches = []
+    for row in rows:
+        benches.append({
+            "name": f"serve/repeat={row['repeat']:g}",
+            "p50_ms": sig4(row["p50_ms"]),
+            "p95_ms": sig4(row["p95_ms"]),
+            "p99_ms": sig4(row["p99_ms"]),
+            "counters": {"qps": sig4(row["qps"])},
+        })
+    return {"command": REGEN_COMMANDS["serve"], "benchmarks": benches}
 
 
 def check(committed: dict, fresh: dict, tolerance: float,
-          bench_filter: str = "") -> int:
+          bench_filter: str = "", regen: str = REGEN_COMMAND) -> int:
     by_name = {b["name"]: b for b in fresh["benchmarks"]}
     # A filter narrows the fresh run, so only gate the matching committed
     # entries (Google Benchmark treats the filter as a regex; so do we).
@@ -98,18 +142,21 @@ def check(committed: dict, fresh: dict, tolerance: float,
     extra = set(by_name) - {b["name"] for b in committed["benchmarks"]}
     for name in sorted(extra):
         print(f"note {name}: not in committed record "
-              f"(refresh with: {REGEN_COMMAND})")
+              f"(refresh with: {regen})")
     return failures
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=("kernels", "serve"),
+                        default="kernels",
+                        help="which bench/record pair to drive (default: "
+                             "kernels)")
     parser.add_argument("--bench", required=True, type=Path,
-                        help="path to the bench_kernels binary")
-    parser.add_argument("--record", type=Path,
-                        default=Path(__file__).resolve().parent.parent
-                        / "BENCH_kernels.json",
-                        help="committed record (default: repo BENCH_kernels.json)")
+                        help="path to the bench binary for the chosen mode")
+    parser.add_argument("--record", type=Path, default=None,
+                        help="committed record (default: the repo-root "
+                             "BENCH_<mode>.json)")
     parser.add_argument("--filter", default="",
                         help="forwarded as --benchmark_filter")
     parser.add_argument("--tolerance", type=float, default=3.0,
@@ -122,11 +169,23 @@ def main() -> int:
                       help="re-run and gate against the committed record")
     args = parser.parse_args()
 
+    if args.record is None:
+        args.record = (Path(__file__).resolve().parent.parent
+                       / DEFAULT_RECORDS[args.mode])
+    regen = REGEN_COMMANDS[args.mode]
+
     if not args.bench.exists():
         print(f"error: bench binary not found: {args.bench}", file=sys.stderr)
         return 2
 
-    fresh = distill(run_bench(args.bench, args.filter))
+    if args.mode == "serve":
+        if args.filter:
+            print("error: --filter only applies to --mode kernels",
+                  file=sys.stderr)
+            return 2
+        fresh = distill_serve(run_serve_bench(args.bench))
+    else:
+        fresh = distill(run_bench(args.bench, args.filter))
 
     if args.write:
         args.record.write_text(json.dumps(fresh, indent=1) + "\n")
@@ -135,14 +194,14 @@ def main() -> int:
 
     if not args.record.exists():
         print(f"error: no committed record at {args.record}; "
-              f"create one with: {REGEN_COMMAND}", file=sys.stderr)
+              f"create one with: {regen}", file=sys.stderr)
         return 2
     committed = json.loads(args.record.read_text())
-    failures = check(committed, fresh, args.tolerance, args.filter)
+    failures = check(committed, fresh, args.tolerance, args.filter, regen)
     if failures:
         print(f"\n{failures} throughput counter(s) below the committed floor "
               f"(tolerance {args.tolerance}x). If the regression is intended, "
-              f"refresh with: {REGEN_COMMAND}")
+              f"refresh with: {regen}")
         return 1
     print("\nall throughput counters within tolerance")
     return 0

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving subsystem (docs/SERVING.md): starts a
+# bsr_served daemon on a scratch Unix socket with a scratch durable store,
+# drives it with bsr_servectl, and asserts the request-path contract —
+# cold run "executed", repeat "memory", byte-identical reports, a clean
+# shutdown, and no leaked socket file. Exits 0 on success, non-zero with the
+# failing step on stderr otherwise.
+#
+# Usage: tools/serve_smoke.sh [build-dir]   (default: build)
+set -u
+
+BUILD_DIR="${1:-build}"
+SERVED="$BUILD_DIR/src/bsr_served"
+SERVECTL="$BUILD_DIR/src/bsr_servectl"
+WORK_DIR="$(mktemp -d)"
+SOCKET="$WORK_DIR/bsr.sock"
+STORE="$WORK_DIR/store"
+CONFIG='{"n":1024,"b":128}'
+SERVED_PID=""
+
+fail() {
+    echo "serve_smoke: FAIL: $*" >&2
+    [ -n "$SERVED_PID" ] && kill "$SERVED_PID" 2>/dev/null
+    exit 1
+}
+
+cleanup() {
+    [ -n "$SERVED_PID" ] && kill "$SERVED_PID" 2>/dev/null
+    rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+[ -x "$SERVED" ] || fail "daemon binary not found: $SERVED"
+[ -x "$SERVECTL" ] || fail "client binary not found: $SERVECTL"
+
+"$SERVED" --socket "$SOCKET" --store "$STORE" --workers 2 &
+SERVED_PID=$!
+
+# The daemon binds before printing its listening line; poll for the socket.
+for _ in $(seq 1 100); do
+    [ -S "$SOCKET" ] && break
+    kill -0 "$SERVED_PID" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.05
+done
+[ -S "$SOCKET" ] || fail "socket never appeared: $SOCKET"
+
+# Cold run: executed exactly once, report persisted to the store.
+COLD=$("$SERVECTL" --socket "$SOCKET" --op run --config "$CONFIG") \
+    || fail "cold run request failed"
+echo "$COLD" | grep -q '"source":"executed"' \
+    || fail "cold run not executed: $COLD"
+
+# Repeat: a memory-cache hit with a byte-identical report payload (strip the
+# envelope's source tag, the one legitimate difference).
+WARM=$("$SERVECTL" --socket "$SOCKET" --op run --config "$CONFIG") \
+    || fail "repeat run request failed"
+echo "$WARM" | grep -q '"source":"memory"' \
+    || fail "repeat was not a memory-cache hit: $WARM"
+COLD_REPORT="${COLD#*\"report\":}"
+WARM_REPORT="${WARM#*\"report\":}"
+[ "$COLD_REPORT" = "$WARM_REPORT" ] \
+    || fail "repeat report differs from cold report"
+
+# Stats reflect the two runs and the store save.
+STATS=$("$SERVECTL" --socket "$SOCKET" --op stats) \
+    || fail "stats request failed"
+echo "$STATS" | grep -q '"executed":1' || fail "expected executed:1: $STATS"
+echo "$STATS" | grep -q '"memory_hits":1' \
+    || fail "expected memory_hits:1: $STATS"
+echo "$STATS" | grep -q '"saves":1' || fail "expected store saves:1: $STATS"
+
+# Graceful shutdown: the daemon exits 0 and unlinks its socket.
+"$SERVECTL" --socket "$SOCKET" --op shutdown >/dev/null \
+    || fail "shutdown request failed"
+wait "$SERVED_PID" || fail "daemon exited non-zero after shutdown"
+SERVED_PID=""
+[ ! -e "$SOCKET" ] || fail "socket file leaked after shutdown: $SOCKET"
+
+# Restart over the same store: the warm daemon serves from disk, no re-run.
+"$SERVED" --socket "$SOCKET" --store "$STORE" --workers 2 &
+SERVED_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$SOCKET" ] && break
+    sleep 0.05
+done
+RESTART=$("$SERVECTL" --socket "$SOCKET" --op run --config "$CONFIG") \
+    || fail "post-restart run request failed"
+echo "$RESTART" | grep -q '"source":"store"' \
+    || fail "post-restart run not served from the store: $RESTART"
+RESTART_REPORT="${RESTART#*\"report\":}"
+[ "$RESTART_REPORT" = "$COLD_REPORT" ] \
+    || fail "post-restart report differs from cold report"
+
+"$SERVECTL" --socket "$SOCKET" --op shutdown >/dev/null \
+    || fail "second shutdown request failed"
+wait "$SERVED_PID" || fail "daemon exited non-zero after second shutdown"
+SERVED_PID=""
+
+echo "serve_smoke: OK (cold executed, repeat from memory, restart from store)"
