@@ -13,7 +13,9 @@ int main(int argc, char** argv) {
   cli.arg_int("n", 30720, "matrix order")
       .arg_int("b", 0, "block (panel) size (0 = auto-tune)");
   add_variability_flags(cli);
+  add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
+  if (handled_version_flag(cli, "bench_fig02_slack")) return 0;
   const std::int64_t n = cli.get_int("n");
 
   RunConfig base;

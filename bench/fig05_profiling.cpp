@@ -57,7 +57,9 @@ int main(int argc, char** argv) {
   Cli cli;
   cli.arg_string("platform", "paper_default",
                  "platform profile (bsr::platforms() registry key)");
+  add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
+  if (handled_version_flag(cli, "bench_fig05_profiling")) return 0;
   const auto p = make_platform(cli.get("platform"));
   std::printf("== Fig. 5: profiling of the simulated CPU and GPU ==\n\n");
   efficiency_table(p.gpu, "GPU (a,b)");

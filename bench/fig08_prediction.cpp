@@ -107,7 +107,9 @@ int main(int argc, char** argv) {
                   "random walk); passing this flag, or a non-table --format, "
                   "selects the sweep mode")
       .arg_string("format", "table", "output: table, csv, or json");
+  add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
+  if (handled_version_flag(cli, "bench_fig08_prediction")) return 0;
   const std::int64_t n = cli.get_int("n");
   const std::int64_t b = cli.get_int("b");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));

@@ -111,8 +111,10 @@ int main(int argc, char** argv) {
                   "campaign-mode output: table, csv, or json");
   add_fault_flags(cli, "poisson");  // campaign-mode only, guarded below
   add_list_flag(cli);
+  add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
   if (handled_list_flag(cli)) return 0;
+  if (handled_version_flag(cli, "bench_fig09_abft")) return 0;
   if (!cli.get_bool("campaign") && !cli.get("faults", "").empty()) {
     // The statistical preset only drives campaign mode; numeric mode
     // injects real faults. Fail loudly instead of silently ignoring it.

@@ -16,7 +16,9 @@ int main(int argc, char** argv) {
   Cli cli;
   cli.arg_int("n", 30720, "matrix order")
       .arg_int("b", 512, "block (panel) size");
+  add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
+  if (handled_version_flag(cli, "bench_fig10_breakdown")) return 0;
   const std::int64_t n = cli.get_int("n");
 
   std::printf("== Fig. 10: per-iteration time and energy breakdown, LU n=%lld ==\n\n",

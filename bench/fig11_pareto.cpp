@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
   cli.arg_int("n", 30720, "matrix order")
       .arg_int("b", 512, "block (panel) size");
   add_list_flag(cli);
+  add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
   if (handled_list_flag(cli)) return 0;
+  if (handled_version_flag(cli, "bench_fig11_pareto")) return 0;
   const std::int64_t n = cli.get_int("n");
 
   RunConfig base;

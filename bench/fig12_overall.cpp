@@ -25,8 +25,11 @@ int main(int argc, char** argv) {
       .arg_string("format", "table", "output: table, csv, or json");
   add_variability_flags(cli);
   add_list_flag(cli);
+  add_trace_flag(cli);
+  add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
   if (handled_list_flag(cli)) return 0;
+  if (handled_version_flag(cli, "bench_fig12_overall")) return 0;
   const std::int64_t n = cli.get_int("n");
   const std::string format = cli.get("format");
   require_result_sink_or_exit(format);
@@ -51,6 +54,20 @@ int main(int argc, char** argv) {
     // loudly, in the same style as Cli::parse_or_exit.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
+  }
+
+  // --trace re-runs the grid's representative BSR cell with a recorder
+  // attached; the recorded run is byte-identical to the grid's cached one.
+  if (const std::string tpath = trace_path(cli); !tpath.empty()) {
+    RunConfig traced = base;
+    traced.strategy = "bsr";
+    try {
+      run_traced(traced, tpath, "bench_fig12_overall");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::fprintf(stderr, "trace: wrote %s\n", tpath.c_str());
   }
 
   if (format != "table") {

@@ -19,8 +19,11 @@ int main(int argc, char** argv) {
       .arg_string("format", "table", "output: table, csv, or json");
   add_variability_flags(cli);
   add_list_flag(cli);
+  add_trace_flag(cli);
+  add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
   if (handled_list_flag(cli)) return 0;
+  if (handled_version_flag(cli, "bench_fig13_sizes")) return 0;
   const std::string format = cli.get("format");
   require_result_sink_or_exit(format);
 
@@ -41,6 +44,22 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
+  }
+
+  // --trace re-runs the smallest size's BSR cell with a recorder attached;
+  // the recorded run is byte-identical to the grid's cached one.
+  if (const std::string tpath = trace_path(cli); !tpath.empty()) {
+    RunConfig traced = base;
+    traced.n = sizes.front();
+    traced.b = 0;  // auto-tune, matching size_axis
+    traced.strategy = "bsr";
+    try {
+      run_traced(traced, tpath, "bench_fig13_sizes");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::fprintf(stderr, "trace: wrote %s\n", tpath.c_str());
   }
 
   if (format != "table") {

@@ -108,8 +108,11 @@ int main(int argc, char** argv) {
       .arg_string("format", "table", "output: table, csv, or json");
   add_variability_flags(cli);
   add_list_flag(cli);
+  add_trace_flag(cli);
+  add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
   if (handled_list_flag(cli)) return 0;
+  if (handled_version_flag(cli, "bench_fig14_scale")) return 0;
   const std::string format = cli.get("format");
   require_result_sink_or_exit(format);
   const std::vector<int> counts = parse_counts_or_exit(cli.get("devices"));
@@ -142,6 +145,20 @@ int main(int argc, char** argv) {
     // loudly, in the same style as Cli::parse_or_exit.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
+  }
+
+  // --trace re-runs the first strong-scaling cell (smallest cluster) with a
+  // recorder attached; the recorded run is byte-identical to the grid's.
+  if (const std::string tpath = trace_path(cli); !tpath.empty()) {
+    RunConfig traced = base;
+    traced.devices = counts.front();
+    try {
+      run_traced(traced, tpath, "bench_fig14_scale");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::fprintf(stderr, "trace: wrote %s\n", tpath.c_str());
   }
 
   Curve strong{"strong", {}, counts};

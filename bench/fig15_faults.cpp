@@ -44,8 +44,11 @@ int main(int argc, char** argv) {
   add_fault_flags(cli, "poisson");
   add_variability_flags(cli);
   add_list_flag(cli);
+  add_trace_flag(cli);
+  add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
   if (handled_list_flag(cli)) return 0;
+  if (handled_version_flag(cli, "bench_fig15_faults")) return 0;
   const std::string format = cli.get("format");
   require_result_sink_or_exit(format);
   const int trials = static_cast<int>(positive_int_or_exit(cli, "trials"));
@@ -94,6 +97,22 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
+  }
+
+  // --trace records the campaign's first cell (first rate / strategy /
+  // device count) so recovery and fault spans show up in the timeline.
+  if (const std::string tpath = trace_path(cli); !tpath.empty()) {
+    RunConfig traced = base;
+    traced.faults.rate_multiplier = rates.front();
+    traced.strategy = strategies.front();
+    traced.devices = static_cast<int>(device_counts.front());
+    try {
+      run_traced(traced, tpath, "bench_fig15_faults");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    std::fprintf(stderr, "trace: wrote %s\n", tpath.c_str());
   }
 
   if (format != "table") {

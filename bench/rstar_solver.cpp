@@ -10,7 +10,9 @@ using namespace bsr;
 int main(int argc, char** argv) {
   Cli cli;
   cli.arg_int("n", 30720, "matrix order");
+  add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
+  if (handled_version_flag(cli, "bench_rstar_solver")) return 0;
   const std::int64_t n = cli.get_int("n");
 
   RunConfig base;

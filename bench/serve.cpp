@@ -219,7 +219,9 @@ int main(int argc, char** argv) {
                   "durable store directory for the in-process daemon "
                   "(empty = memory-only)")
       .arg_string("format", "table", "output: table, csv, or json");
+  add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
+  if (handled_version_flag(cli, "bench_serve")) return 0;
   require_result_sink_or_exit(cli.get("format"));
   const int requests =
       static_cast<int>(positive_int_or_exit(cli, "requests", 1000000));

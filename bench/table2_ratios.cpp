@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
   cli.arg_int("n", 30720, "matrix order")
       .arg_int("b", 512, "block (panel) size")
       .arg_int("k", 10, "iteration whose ratio to the next is printed");
+  add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
+  if (handled_version_flag(cli, "bench_table2_ratios")) return 0;
   const std::int64_t n = cli.get_int("n");
   const std::int64_t b = cli.get_int("b");
   const int k = static_cast<int>(cli.get_int("k"));

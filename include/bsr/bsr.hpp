@@ -17,6 +17,9 @@
 //                    with recovery-cost simulation (bsr/faults.hpp)
 //   bsr::Decomposer  the single-run facade, re-exported from core
 //   bsr::Cli         registered-flag command-line parsing with --help
+//   bsr::TraceRecorder / bsr::MetricsRegistry  deterministic run tracing
+//                    with Perfetto export, unified metrics, build stamps
+//                    (bsr/observability.hpp)
 //
 // Quickstart:
 //   bsr::RunConfig cfg;                       // paper defaults: LU, n=30720
@@ -35,6 +38,7 @@
 
 #include "bsr/cluster.hpp"
 #include "bsr/faults.hpp"
+#include "bsr/observability.hpp"
 #include "bsr/registry.hpp"
 #include "bsr/result_sink.hpp"
 #include "bsr/run_config.hpp"

@@ -1,0 +1,124 @@
+// bsr/observability.hpp — deterministic run tracing, the unified metrics
+// registry, and build provenance behind the facade.
+//
+// Three independent surfaces, one contract: *observation never perturbs the
+// simulation*.
+//
+//   1. Tracing. Attach a bsr::TraceRecorder to RunConfig::trace and every
+//      realized scheduling decision — iterations, lane busy windows, panel
+//      and update kernels, link transfers, DVFS transitions, fault recovery
+//      — is recorded as a flat POD span on the simulator's integer-ns time
+//      axis. Export with write_chrome_trace() and load the file in Perfetto
+//      (ui.perfetto.dev) or chrome://tracing.
+//
+//   2. Metrics. bsr::MetricsRegistry is a process-wide registry of named
+//      counters, gauges, and histograms with Prometheus-style text
+//      exposition — the serve daemon's `metrics` op and the benches' cache
+//      statistics share it.
+//
+//   3. Build provenance. bsr::build_info() reports the git describe string,
+//      compiler, and flags the binary was built with; the same stamp lands
+//      in trace metadata and the metrics exposition.
+//
+//   bsr::RunConfig cfg;
+//   bsr::TraceRecorder rec;
+//   cfg.trace = &rec;                       // observation on
+//   auto report = bsr::run(cfg);            // identical to the untraced run
+//   std::ofstream out("run.trace.json");
+//   bsr::write_chrome_trace(out, rec, bsr::trace_meta_for(cfg, "my_tool"));
+//
+// Guarantees:
+//   * Inert when off: RunConfig::trace == nullptr (the default) draws no
+//     random numbers, allocates nothing, and leaves every engine bit-for-bit
+//     identical to a build without observability.
+//   * Inert when on: recording copies values the engines already computed —
+//     a traced run's RunReport is byte-identical to the untraced run's.
+//   * Never fingerprinted: the recorder pointer is excluded from
+//     RunConfig::fingerprint() and every serialization path, so tracing a
+//     run can never split the sweep/serve result caches.
+//   * Deterministic export: same config + seed => byte-identical trace JSON
+//     (spans are sorted by (start, duration) and floats use shortest
+//     round-trip formatting).
+//
+// See docs/OBSERVABILITY.md for the span taxonomy and metric naming scheme.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/build_info.hpp"
+#include "common/metrics.hpp"
+#include "core/report.hpp"
+#include "obs/chrome_export.hpp"
+#include "obs/trace.hpp"
+
+namespace bsr {
+
+struct RunConfig;
+class Cli;
+
+/// Flat span recorder attached via RunConfig::trace (see obs/trace.hpp for
+/// the span layout). One recorder per run; not thread-safe.
+using TraceRecorder = obs::TraceRecorder;
+/// One recorded interval: [start_ns, start_ns + dur_ns) on the simulated
+/// clock plus the decision annotations (lane, clocks, slack, ABFT mode,
+/// fault counts) realized in that window.
+using TraceSpan = obs::TraceSpan;
+/// Discriminates what a TraceSpan describes (iteration, lane busy window,
+/// kernel, transfer, DVFS transition, recovery).
+using TraceSpanKind = obs::SpanKind;
+/// Run-level metadata stamped into the exported trace's otherData block.
+using TraceMeta = obs::TraceMeta;
+
+/// Process-wide registry of named counters / gauges / histograms with
+/// Prometheus-style text exposition (see common/metrics.hpp; reach the
+/// shared instance via MetricsRegistry::global()).
+using MetricsRegistry = common::MetricsRegistry;
+/// Monotonically increasing event count (MetricsRegistry::counter()).
+using MetricCounter = common::Counter;
+/// Last-write-wins instantaneous value (MetricsRegistry::gauge()).
+using MetricGauge = common::Gauge;
+/// Fixed-bucket distribution (MetricsRegistry::histogram()).
+using MetricHistogram = common::Histogram;
+
+/// Version / compiler / flags stamp baked in at build time.
+using BuildInfo = common::BuildInfo;
+
+/// The stamp for this binary ("unknown" fields when built outside git).
+using common::build_info;
+/// One-line human rendering: "<tool> <version> (<compiler>, <type>[, flags])".
+using common::build_info_line;
+
+/// Serializes a recorded run as Chrome trace-event JSON (Perfetto-loadable);
+/// deterministic for a fixed (recorder, meta).
+using obs::write_chrome_trace;
+/// write_chrome_trace into a returned string.
+using obs::chrome_trace_json;
+
+/// Builds the trace metadata for one run: `tool` plus cfg's fingerprint,
+/// canonical strategy key, and lane count (2 on single-node runs, 1 + devices
+/// on cluster runs).
+TraceMeta trace_meta_for(const RunConfig& cfg, const std::string& tool);
+
+/// Runs `cfg` with a recorder attached (any recorder already on cfg.trace is
+/// ignored) and writes the Chrome trace to `path`, stamped with
+/// trace_meta_for(cfg, tool). The report returned is byte-identical to
+/// bsr::run(cfg) without the recorder. Throws std::runtime_error when `path`
+/// cannot be opened or written.
+core::RunReport run_traced(const RunConfig& cfg, const std::string& path,
+                           const std::string& tool);
+
+/// Registers the benches' standard `--trace <path>` option (chainable,
+/// mirrors add_list_flag); empty default = tracing off.
+Cli& add_trace_flag(Cli& cli);
+
+/// The --trace argument, or "" when the flag was not given.
+std::string trace_path(const Cli& cli);
+
+/// Registers the standard `--version` switch (chainable).
+Cli& add_version_flag(Cli& cli);
+/// True when --version was given: build_info_line(tool) has been printed to
+/// stdout and the driver should `return 0`.
+bool handled_version_flag(const Cli& cli, const std::string& tool);
+
+}  // namespace bsr

@@ -19,6 +19,10 @@ namespace core {
 struct RunReport;
 }  // namespace core
 
+namespace obs {
+class TraceRecorder;
+}  // namespace obs
+
 /// Re-exported per-iteration ABFT policy (adaptive / force-none / -single /
 /// -full) so facade users never spell the legacy namespaces.
 using core::AbftPolicy;
@@ -109,6 +113,16 @@ struct RunConfig {
   int devices = 0;
   /// bsr::cluster_profiles() registry key, consulted when devices >= 1.
   std::string cluster = "paper_cluster";
+
+  // -- observability (bsr/observability.hpp) ----------------------------------
+  /// Optional span recorder riding alongside the configuration: when
+  /// non-null, both engines emit per-iteration / per-event spans into it at
+  /// their realization points (export with bsr::write_chrome_trace). The
+  /// pointer is deliberately excluded from fingerprint() and every
+  /// serialization — tracing observes a run, it can never change its bytes
+  /// or split the result caches. The recorder must outlive the run; the
+  /// caller owns it. Null (the default) is a strict no-op.
+  obs::TraceRecorder* trace = nullptr;
 
   /// The effective block size: b, or the auto-tuned size clamped to n.
   [[nodiscard]] std::int64_t block() const;

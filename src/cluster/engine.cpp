@@ -49,6 +49,7 @@ struct ClusterEvent {
 
 /// One compute resource: lane 0 is the host, lanes 1..N the accelerators.
 struct Lane {
+  int index = 0;  ///< 0 = host, 1 + d = accelerator d (trace lane id)
   const hw::DeviceModel* dev = nullptr;
   hw::DvfsController dvfs;
   hw::Guardband gb = hw::Guardband::Default;
@@ -99,6 +100,13 @@ class ClusterRun {
     // Worst simultaneous backlog: one update per device plus the finish/pd
     // chain; reserved up front so scheduling never reallocates mid-run.
     engine_.reserve(2 * lanes_.size() + 8);
+    trace_ = opt_.trace;
+    if (trace_ != nullptr) {
+      // ~4 spans per (iteration, lane) covers update + transfer + dvfs +
+      // recovery; one reservation keeps recording allocation-free.
+      trace_->reserve(trace_->size() +
+                      4 * static_cast<std::size_t>(iters_) * lanes_.size());
+    }
   }
 
   ClusterReport run() {
@@ -152,6 +160,7 @@ class ClusterRun {
   // -- lane helpers -----------------------------------------------------------
 
   void init_lane(Lane& lane, const hw::DeviceModel& dev, int index) {
+    lane.index = index;
     lane.dev = &dev;
     lane.dvfs = dev.make_dvfs();
     lane.use.name = dev.name;
@@ -226,6 +235,7 @@ class ClusterRun {
     lane.halt_idle = d.halt_idle;
     lane.gb = d.gb;
     lane.dvfs.set_guardband(d.gb);
+    const hw::Mhz f_before = lane.dvfs.current();
     SimTime lat;
     if (d.adjust && d.freq > 0) {
       lat = lane.dvfs.set_frequency(d.freq);
@@ -235,6 +245,17 @@ class ClusterRun {
         lane.use.dvfs_s += lat.seconds();
       }
     }
+    if (trace_ != nullptr && lat > SimTime::zero()) {
+      obs::TraceSpan tv;
+      tv.kind = obs::SpanKind::Dvfs;
+      tv.start_ns = start.ns();
+      tv.dur_ns = lat.ns();
+      tv.lane = lane.index;
+      tv.from_mhz = static_cast<std::int32_t>(f_before);
+      tv.freq_mhz = static_cast<std::int32_t>(lane.dvfs.current());
+      trace_->record(tv);
+    }
+    last_dvfs_lat_ = lat;
     const double p = lane.dev->busy_power(lane.dvfs.current(), lane.gb);
     lane.use.energy_j += p * busy.seconds();
     lane.use.busy_s += busy.seconds();
@@ -254,7 +275,7 @@ class ClusterRun {
   /// time* (the transfer's share of the aggregate bus bandwidth), so a
   /// 2x-link bus genuinely carries two concurrent link-speed streams before
   /// later transfers start queueing.
-  SimTime run_transfer(int device, SimTime ready, double bytes) {
+  SimTime run_transfer(int device, SimTime ready, double bytes, int k) {
     const LinkTopology& links = profile_.links;
     SimTime dur_link =
         links.host_links[static_cast<std::size_t>(device)].time_for_bytes(
@@ -274,7 +295,21 @@ class ClusterRun {
     const SimTime done = start + max(dur_link, dur_bus);
     link_free_[static_cast<std::size_t>(1 + device)] = done;
     bus_free_ = start + dur_bus;
+    record_transfer(1 + device, k, start, done);
     return done;
+  }
+
+  /// Emits one Transfer span on the target lane's link track (no-op when
+  /// tracing is off).
+  void record_transfer(int lane, int k, SimTime start, SimTime done) {
+    if (trace_ == nullptr) return;
+    obs::TraceSpan s;
+    s.kind = obs::SpanKind::Transfer;
+    s.start_ns = start.ns();
+    s.dur_ns = (done - start).ns();
+    s.k = k;
+    s.lane = lane;
+    trace_->record(s);
   }
 
   // -- workload shares --------------------------------------------------------
@@ -508,6 +543,17 @@ class ClusterRun {
     busy = busy * lane_noise(0, k);
     if (opt_.variability.enabled) busy = busy * host.var.compute_factor(k);
     const SimTime done = run_compute(host, ready, d, busy, w.pd_flops);
+    if (trace_ != nullptr) {
+      obs::TraceSpan s;
+      s.kind = obs::SpanKind::Panel;
+      s.start_ns = (done - busy).ns();
+      s.dur_ns = busy.ns();
+      s.k = k;
+      s.lane = 0;
+      s.freq_mhz = static_cast<std::int32_t>(host.dvfs.current());
+      s.dvfs_ns = last_dvfs_lat_.ns();
+      trace_->record(s);
+    }
     record(lanes_[0], OpKind::PD, k, busy.seconds(), 1.0);
     engine_.schedule_at(done, ClusterEvent{ClusterEvent::Kind::FinishPd, k, 0});
   }
@@ -515,7 +561,7 @@ class ClusterRun {
   /// Occupies the direct peer link between src and dst (one registration
   /// covers both directions); peer traffic bypasses the host bus entirely.
   SimTime run_peer_transfer(int src, int dst, SimTime ready, double bytes,
-                            const hw::TransferModel& link) {
+                            const hw::TransferModel& link, int k) {
     const auto key = std::minmax(src, dst);
     SimTime& free = peer_free_[{key.first, key.second}];
     const SimTime start = max(ready, free);
@@ -525,6 +571,7 @@ class ClusterRun {
             lanes_[static_cast<std::size_t>(1 + dst)].var.transfer_factor();
     }
     free = start + dur;
+    record_transfer(1 + dst, k, start, free);
     return free;
   }
 
@@ -553,8 +600,8 @@ class ClusterRun {
           relay_link != nullptr
               ? run_peer_transfer(relay_src, d,
                                   arrival[static_cast<std::size_t>(relay_src)],
-                                  bytes, *relay_link)
-              : run_transfer(d, lanes_[0].busy_until, bytes);
+                                  bytes, *relay_link, k)
+              : run_transfer(d, lanes_[0].busy_until, bytes, k);
       engine_.schedule_at(arrival[static_cast<std::size_t>(d)],
                           ClusterEvent{ClusterEvent::Kind::StartUpdate, k, d});
     }
@@ -586,6 +633,18 @@ class ClusterRun {
         (opt_.variability.enabled ? lane.var.compute_factor(k) : 1.0);
     const SimTime busy = (work.update + work.abft) * noise;
     SimTime done = run_compute(lane, engine_.now(), dec, busy, work.flops);
+    if (trace_ != nullptr) {
+      obs::TraceSpan s;
+      s.kind = obs::SpanKind::Update;
+      s.start_ns = (done - busy).ns();
+      s.dur_ns = busy.ns();
+      s.k = k;
+      s.lane = 1 + d;
+      s.freq_mhz = static_cast<std::int32_t>(f);
+      s.abft_mode = static_cast<std::uint8_t>(mode);
+      s.dvfs_ns = last_dvfs_lat_.ns();
+      trace_->record(s);
+    }
     switch (mode) {
       case abft::ChecksumMode::None: ++lane.use.iters_unprotected; break;
       case abft::ChecksumMode::SingleSide: ++lane.use.iters_single; break;
@@ -640,6 +699,22 @@ class ClusterRun {
           rb.seconds();
       extra += rb;
     }
+    if (trace_ != nullptr &&
+        (res.injected.total() > 0 || extra > SimTime::zero())) {
+      obs::TraceSpan s;
+      s.kind = obs::SpanKind::Recovery;
+      s.start_ns = lane.busy_until.ns();
+      s.dur_ns = extra.ns();
+      s.k = k;
+      s.lane = lane.index;
+      s.freq_mhz = static_cast<std::int32_t>(f);
+      s.abft_mode = static_cast<std::uint8_t>(mode);
+      s.recovery_ns = extra.ns();
+      s.faults_injected = res.injected.total();
+      s.faults_corrected = res.corrected();
+      s.rollbacks = res.rollbacks;
+      trace_->record(s);
+    }
     lane.use.busy_s += extra.seconds();
     lane.use.recovery_s += extra.seconds();
     lane.busy_until += extra;
@@ -653,7 +728,7 @@ class ClusterRun {
     if (k + 1 < iters_ && d == dist_.owner(k + 1)) {
       const SimTime arrived = run_transfer(
           d, lanes_[static_cast<std::size_t>(1 + d)].busy_until,
-          one_way_bytes(k + 1));
+          one_way_bytes(k + 1), k + 1);
       engine_.schedule_at(
           arrived, ClusterEvent{ClusterEvent::Kind::StartPd, k + 1, 0});
     }
@@ -701,6 +776,8 @@ class ClusterRun {
   const ClusterProfile& profile_;
   const predict::WorkloadModel& wl_;
   const ClusterOptions& opt_;
+  obs::TraceRecorder* trace_ = nullptr;  ///< opt_.trace; null = tracing off
+  SimTime last_dvfs_lat_;  ///< transition latency of the latest run_compute
   BlockCyclic dist_;
   int iters_ = 0;
   std::int64_t blocks_total_ = 0;

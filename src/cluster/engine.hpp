@@ -24,6 +24,7 @@
 #include "cluster/report.hpp"
 #include "cluster/topology.hpp"
 #include "energy/bsr_strategy.hpp"
+#include "obs/trace.hpp"
 #include "predict/workload.hpp"
 #include "sched/pipeline.hpp"
 
@@ -63,6 +64,12 @@ struct ClusterOptions {
   /// thread count. Disabled by default — the engine is then bit-for-bit the
   /// no-fault one.
   faultcamp::Spec faults;
+  /// Optional span recorder (bsr/observability.hpp): per-event busy windows
+  /// (PD / update / transfer / recovery / DVFS transitions) are emitted at
+  /// the points where durations are realized. Null (the default) skips every
+  /// emission; tracing observes the timeline without perturbing it, so the
+  /// ClusterReport is bit-for-bit identical either way.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Runs the whole factorization on the cluster; bitwise deterministic in

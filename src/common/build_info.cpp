@@ -1,0 +1,46 @@
+#include "common/build_info.hpp"
+
+namespace bsr::common {
+
+namespace {
+
+#ifndef BSR_GIT_DESCRIBE
+#define BSR_GIT_DESCRIBE "unknown"
+#endif
+#ifndef BSR_BUILD_COMPILER
+#define BSR_BUILD_COMPILER "unknown"
+#endif
+#ifndef BSR_BUILD_TYPE
+#define BSR_BUILD_TYPE "unknown"
+#endif
+#ifndef BSR_BUILD_FLAGS
+#define BSR_BUILD_FLAGS ""
+#endif
+
+std::string or_unknown(const char* s) {
+  return (s != nullptr && s[0] != '\0') ? std::string(s)
+                                        : std::string("unknown");
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      or_unknown(BSR_GIT_DESCRIBE),
+      or_unknown(BSR_BUILD_COMPILER),
+      or_unknown(BSR_BUILD_TYPE),
+      std::string(BSR_BUILD_FLAGS),
+  };
+  return info;
+}
+
+std::string build_info_line(const std::string& tool) {
+  const BuildInfo& b = build_info();
+  std::string line = tool + " " + b.version + " (" + b.compiler + ", " +
+                     b.build_type;
+  if (!b.flags.empty()) line += ", " + b.flags;
+  line += ")";
+  return line;
+}
+
+}  // namespace bsr::common

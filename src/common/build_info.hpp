@@ -1,0 +1,35 @@
+// Build provenance: which source revision, compiler, and flags produced this
+// binary. Stamped into `--version` output, trace metadata, and the metrics
+// exposition so every artifact a run emits is attributable to an exact build
+// — "which binary wrote this trace?" must never be a guess.
+//
+// The values arrive as compile definitions on bsr_common (BSR_GIT_DESCRIBE
+// from `git describe` at configure time, BSR_BUILD_COMPILER /
+// BSR_BUILD_TYPE / BSR_BUILD_FLAGS from the CMake toolchain variables); a
+// source export or a non-git checkout degrades to "unknown" rather than
+// failing the build.
+#pragma once
+
+#include <string>
+
+namespace bsr::common {
+
+/// Immutable per-binary build provenance (see file comment for the source of
+/// each field).
+struct BuildInfo {
+  std::string version;     ///< `git describe --always --dirty` at configure
+  std::string compiler;    ///< compiler id + version, e.g. "GNU 12.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE, e.g. "Release"
+  std::string flags;       ///< CXX flags the build type implied
+};
+
+/// The provenance baked into this binary. Never throws; fields the build
+/// system could not determine read "unknown".
+const BuildInfo& build_info();
+
+/// One-line human-readable report, e.g.
+/// `bsr_served 0.1.0-12-gabc1234 (GNU 12.2.0, Release, -O3 -DNDEBUG)` —
+/// what `--version` prints.
+std::string build_info_line(const std::string& tool);
+
+}  // namespace bsr::common

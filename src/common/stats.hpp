@@ -1,4 +1,13 @@
 // Small statistics helpers used by benches and the slack predictor tests.
+//
+// Degenerate-input contract (audited; tests/common/stats_test.cpp pins it):
+// the summary helpers never throw on short series. An empty span returns 0
+// from mean/variance/stddev/median/percentile/min/max; a single-sample span
+// returns that sample from every percentile (p99 of one trial is the trial)
+// and 0 from the n-1 variance. percentile() clamps p into [0, 1] and
+// linearly interpolates between order statistics, so p=0 is min and p=1 is
+// max exactly. Helpers with no meaningful degenerate value (linear_fit,
+// geomean on non-positive inputs) throw std::invalid_argument instead.
 #pragma once
 
 #include <cstddef>

@@ -80,6 +80,7 @@ cluster::ClusterOptions lower_options(const RunConfig& cfg) {
   o.noise.enabled = cfg.noise_enabled;
   o.variability = cfg.variability;
   o.faults = cfg.faults;
+  o.trace = cfg.trace;
   return o;
 }
 

@@ -309,6 +309,7 @@ RunReport Decomposer::run_with(const RunOptions& opts, const ExtendedOptions& ex
   cfg.seed = opts.seed;
   cfg.variability = opts.variability;
   cfg.faults = opts.faults;
+  cfg.trace = opts.trace;
   // The error-rate multiplier rescales the *platform* so the coverage math,
   // the BSR/ABFT-OC frequency policy, and the fault injector all observe the
   // same world (DESIGN.md: exposure compression for reduced-size numerics).

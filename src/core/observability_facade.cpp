@@ -1,0 +1,67 @@
+// Implementation of the bsr/observability.hpp facade: run-level trace
+// metadata, the run-and-export helper, and the benches' --trace / --version
+// flag helpers.
+#include "bsr/observability.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "bsr/registry.hpp"
+#include "bsr/run_config.hpp"
+#include "common/cli.hpp"
+#include "common/stdio_stream.hpp"
+
+namespace bsr {
+
+TraceMeta trace_meta_for(const RunConfig& cfg, const std::string& tool) {
+  TraceMeta meta;
+  meta.tool = tool;
+  meta.fingerprint = cfg.fingerprint();
+  meta.strategy = strategies().canonical(cfg.strategy);
+  // Lane 0 is always the host; cluster runs add one lane per device, the
+  // single-node pipeline has exactly the CPU and GPU lanes.
+  meta.lanes = cfg.devices >= 1 ? 1 + cfg.devices : 2;
+  return meta;
+}
+
+core::RunReport run_traced(const RunConfig& cfg, const std::string& path,
+                           const std::string& tool) {
+  RunConfig traced = cfg;
+  obs::TraceRecorder recorder;
+  traced.trace = &recorder;
+  core::RunReport report = run(traced);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("run_traced: cannot open trace path \"" + path +
+                             "\"");
+  }
+  write_chrome_trace(out, recorder, trace_meta_for(cfg, tool));
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("run_traced: write failed for \"" + path + "\"");
+  }
+  return report;
+}
+
+Cli& add_trace_flag(Cli& cli) {
+  return cli.arg_string("trace", "",
+                        "write a Chrome/Perfetto trace-event JSON of the "
+                        "run's scheduling decisions to this path (empty = "
+                        "tracing off; see docs/OBSERVABILITY.md)");
+}
+
+std::string trace_path(const Cli& cli) { return cli.get("trace", ""); }
+
+Cli& add_version_flag(Cli& cli) {
+  return cli.arg_flag("version",
+                      "print the build stamp (git describe, compiler, build "
+                      "type, flags) and exit");
+}
+
+bool handled_version_flag(const Cli& cli, const std::string& tool) {
+  if (!cli.get_bool("version", false)) return false;
+  stdout_stream() << build_info_line(tool) << "\n";
+  return true;
+}
+
+}  // namespace bsr

@@ -8,6 +8,10 @@
 #include "predict/workload.hpp"
 #include "var/models.hpp"
 
+namespace bsr::obs {
+class TraceRecorder;
+}  // namespace bsr::obs
+
 namespace bsr::core {
 
 /// Which energy-management strategy drives per-iteration clock decisions.
@@ -74,6 +78,9 @@ struct RunOptions {
   /// runs; numeric runs inject real faults instead); disabled by default.
   /// See bsr/faults.hpp.
   faultcamp::Spec faults;
+  /// Optional span recorder carried through from RunConfig::trace (see
+  /// bsr/observability.hpp); null = tracing off, bit-for-bit inert.
+  obs::TraceRecorder* trace = nullptr;
 
   [[nodiscard]] predict::WorkloadModel workload() const {
     return predict::WorkloadModel{factorization, n, b, elem_bytes};

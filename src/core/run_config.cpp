@@ -102,6 +102,7 @@ core::RunOptions RunConfig::options() const {
   o.recover_uncorrectable = recover_uncorrectable;
   o.variability = variability;
   o.faults = faults;
+  o.trace = trace;
   return o;
 }
 
@@ -209,6 +210,7 @@ RunConfig from_legacy(const core::RunOptions& opts,
   cfg.noise_enabled = opts.noise_enabled;
   cfg.variability = opts.variability;
   cfg.faults = opts.faults;
+  cfg.trace = opts.trace;
   return cfg;
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "bsr/registry.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "core/decomposer.hpp"
 
@@ -339,6 +340,22 @@ SweepResult Sweep::run() {
   result.unique_runs = jobs.size();
   result.cache_hits = result.requested_runs - result.unique_runs;
   counters_.executed += jobs.size();
+  {
+    // Mirror the grid's cache accounting into the process-wide metrics
+    // registry (bsr/observability.hpp) so long-lived hosts (the serve
+    // daemon, campaign drivers) expose cumulative sweep efficiency.
+    auto& reg = common::MetricsRegistry::global();
+    static common::Counter& requested = reg.counter(
+        "bsr_sweep_requested_runs_total", "cells requested across all sweeps");
+    static common::Counter& unique = reg.counter(
+        "bsr_sweep_unique_runs_total", "simulator executions across all sweeps");
+    static common::Counter& hits = reg.counter(
+        "bsr_sweep_cache_hits_total",
+        "cells served from the sweep result cache");
+    requested.inc(result.requested_runs);
+    unique.inc(result.unique_runs);
+    hits.inc(result.cache_hits);
+  }
   for (auto& [fp, slot] : job_index) {
     if (store_ != nullptr) store_->save(fp, *jobs[slot].report);
     cache_.emplace(fp, std::move(jobs[slot].report));

@@ -1,0 +1,200 @@
+#include "obs/chrome_export.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+#include <set>
+#include <vector>
+
+#include "common/build_info.hpp"
+#include "common/json.hpp"
+
+namespace bsr::obs {
+
+namespace {
+
+// Track layout: tid 0 carries whole-iteration spans, tid 1 + lane the lane
+// busy windows, and tid kLinkTidBase + lane the link occupation windows
+// (transfers overlap compute on their device, so they need their own track
+// to keep every track properly nested).
+constexpr int kIterationTid = 0;
+constexpr int kLaneTidBase = 1;
+constexpr int kLinkTidBase = 64;
+constexpr int kPid = 1;
+
+int tid_for(const TraceSpan& s) {
+  switch (s.kind) {
+    case SpanKind::Iteration: return kIterationTid;
+    case SpanKind::Transfer: return kLinkTidBase + s.lane;
+    default: return kLaneTidBase + s.lane;
+  }
+}
+
+const char* category(const TraceSpan& s) {
+  switch (s.kind) {
+    case SpanKind::Transfer: return "xfer";
+    case SpanKind::Recovery: return "fault";
+    case SpanKind::Dvfs: return "dvfs";
+    default: return "sim";
+  }
+}
+
+std::string span_name(const TraceSpan& s) {
+  switch (s.kind) {
+    case SpanKind::Iteration: return "iter " + std::to_string(s.k);
+    case SpanKind::CpuLane: return "cpu " + std::to_string(s.k);
+    case SpanKind::GpuLane: return "gpu " + std::to_string(s.k);
+    case SpanKind::Panel: return "PD " + std::to_string(s.k);
+    case SpanKind::Update: return "upd " + std::to_string(s.k);
+    case SpanKind::Transfer: return "xfer " + std::to_string(s.k);
+    case SpanKind::Recovery: return "recovery " + std::to_string(s.k);
+    case SpanKind::Dvfs:
+      return "dvfs " + std::to_string(s.from_mhz) + "->" +
+             std::to_string(s.freq_mhz);
+  }
+  return "span";
+}
+
+const char* abft_name(std::uint8_t mode) {
+  switch (mode) {
+    case 0: return "none";
+    case 1: return "single";
+    case 2: return "full";
+    default: return "n/a";
+  }
+}
+
+double us(std::int64_t ns) { return static_cast<double>(ns) / 1000.0; }
+double ms(std::int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+void event_header(JsonWriter& w, const char* name, const char* ph,
+                  const char* cat, double ts, int tid) {
+  w.obj_open();
+  w.key("name").value(name);
+  w.key("ph").value(ph);
+  w.key("cat").value(cat);
+  w.key("ts").value(ts);
+  w.key("pid").value(kPid);
+  w.key("tid").value(tid);
+}
+
+void metadata_event(JsonWriter& w, const char* what, int tid,
+                    const std::string& label) {
+  w.obj_open();
+  w.key("name").value(what);
+  w.key("ph").value("M");
+  w.key("pid").value(kPid);
+  w.key("tid").value(tid);
+  w.key("args").obj_open().key("name").value(label).obj_close();
+  w.obj_close();
+}
+
+void span_args(JsonWriter& w, const TraceSpan& s) {
+  w.key("args").obj_open();
+  if (s.k >= 0) w.key("k").value(s.k);
+  if (s.lane >= 0) w.key("lane").value(s.lane);
+  if (s.freq_mhz > 0) w.key("freq_mhz").value(s.freq_mhz);
+  if (s.kind == SpanKind::Dvfs) w.key("from_mhz").value(s.from_mhz);
+  if (s.abft_mode != kNoAbftMode) w.key("abft").value(abft_name(s.abft_mode));
+  if (s.kind == SpanKind::Iteration) w.key("slack_ms").value(ms(s.slack_ns));
+  if (s.dvfs_ns > 0) w.key("dvfs_ms").value(ms(s.dvfs_ns));
+  if (s.recovery_ns > 0) w.key("recovery_ms").value(ms(s.recovery_ns));
+  if (s.faults_injected > 0) {
+    w.key("faults_injected").value(s.faults_injected);
+    w.key("faults_corrected").value(s.faults_corrected);
+    w.key("rollbacks").value(s.rollbacks);
+  }
+  w.obj_close();
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceRecorder& rec, const TraceMeta& meta) {
+  const std::vector<TraceSpan>& spans = rec.spans();
+
+  // Deterministic event order: by start time, longest span first at equal
+  // starts (outer-before-inner keeps stack-based nesting checks simple),
+  // record order as the final tie-break.
+  std::vector<std::size_t> order(spans.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (spans[a].start_ns != spans[b].start_ns)
+                       return spans[a].start_ns < spans[b].start_ns;
+                     return spans[a].dur_ns > spans[b].dur_ns;
+                   });
+
+  std::set<int> tids;
+  for (const TraceSpan& s : spans) tids.insert(tid_for(s));
+
+  JsonWriter w;
+  w.obj_open();
+  w.key("traceEvents").arr_open();
+
+  metadata_event(w, "process_name", kIterationTid, "bsr-sim");
+  for (const int tid : tids) {
+    std::string label;
+    if (tid == kIterationTid) {
+      label = "iterations";
+    } else if (tid >= kLinkTidBase) {
+      label = "link " + std::to_string(tid - kLinkTidBase);
+    } else {
+      label = "lane " + std::to_string(tid - kLaneTidBase);
+    }
+    metadata_event(w, "thread_name", tid, label);
+  }
+
+  for (const std::size_t i : order) {
+    const TraceSpan& s = spans[i];
+    const std::string name = span_name(s);
+    event_header(w, name.c_str(), "X", category(s), us(s.start_ns),
+                 tid_for(s));
+    w.key("dur").value(us(s.dur_ns));
+    span_args(w, s);
+    w.obj_close();
+
+    if (s.kind == SpanKind::Iteration) {
+      // Slack as a counter track: the reclaimable gap the strategies feed on,
+      // plotted over the run.
+      event_header(w, "slack_ms", "C", "sim", us(s.start_ns), kIterationTid);
+      w.key("args").obj_open().key("slack_ms").value(ms(s.slack_ns)).obj_close();
+      w.obj_close();
+    }
+    if (s.faults_injected > 0) {
+      // Fault strikes as thread-scoped instants so they stay visible at any
+      // zoom level.
+      event_header(w, "fault", "i", "fault", us(s.start_ns), tid_for(s));
+      w.key("s").value("t");
+      w.key("args").obj_open();
+      w.key("injected").value(s.faults_injected);
+      w.key("corrected").value(s.faults_corrected);
+      w.key("rollbacks").value(s.rollbacks);
+      w.obj_close();
+      w.obj_close();
+    }
+  }
+
+  w.arr_close();
+
+  const common::BuildInfo& b = common::build_info();
+  w.key("displayTimeUnit").value("ms");
+  w.key("otherData").obj_open();
+  w.key("tool").value(meta.tool);
+  w.key("version").value(b.version);
+  w.key("compiler").value(b.compiler);
+  w.key("build_type").value(b.build_type);
+  w.key("fingerprint").value(meta.fingerprint);
+  w.key("strategy").value(meta.strategy);
+  w.key("lanes").value(meta.lanes);
+  w.key("spans").value(static_cast<std::int64_t>(spans.size()));
+  w.obj_close();
+  w.obj_close();
+  return w.take();
+}
+
+void write_chrome_trace(std::ostream& out, const TraceRecorder& rec,
+                        const TraceMeta& meta) {
+  out << chrome_trace_json(rec, meta) << "\n";
+}
+
+}  // namespace bsr::obs

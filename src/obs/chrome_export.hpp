@@ -1,0 +1,41 @@
+// Chrome trace-event JSON export for TraceRecorder buffers.
+//
+// Writes the "JSON Object Format" flavor of the trace-event spec
+// ({"traceEvents":[...], "otherData":{...}}) that Perfetto and
+// chrome://tracing load directly: one complete ("X") event per span on a
+// per-lane track, counter ("C") events for per-iteration slack, and instant
+// ("i") events where faults strike. Timestamps are the run's integer-ns
+// SimTime axis expressed in the spec's microseconds (fractional, exact to
+// the nanosecond).
+//
+// The writer is deterministic: events sort by (start, longest-first, record
+// order) and all numbers go through the shortest-round-trip double writer,
+// so the same recorder contents always produce byte-identical files —
+// tools/trace_validate.py and the tests rely on that.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace bsr::obs {
+
+/// Provenance stamped into the trace's `otherData` block (plus the build
+/// info baked into the binary), so a trace file is attributable to the exact
+/// tool, configuration, and build that produced it.
+struct TraceMeta {
+  std::string tool;         ///< producing binary, e.g. "bench_fig12_overall"
+  std::string fingerprint;  ///< RunConfig::fingerprint() of the traced run
+  std::string strategy;     ///< strategy registry key
+  int lanes = 2;            ///< lane tracks: 2 single-node, 1 + devices cluster
+};
+
+/// Writes `rec` as Chrome trace-event JSON to `out` (see file comment).
+void write_chrome_trace(std::ostream& out, const TraceRecorder& rec,
+                        const TraceMeta& meta);
+
+/// write_chrome_trace into a string (tests and the servectl path).
+std::string chrome_trace_json(const TraceRecorder& rec, const TraceMeta& meta);
+
+}  // namespace bsr::obs

@@ -1,0 +1,90 @@
+// Deterministic run tracing: flat POD span records collected at the
+// realization points of both engines (sched::HybridPipeline's per-iteration
+// lanes, the cluster engine's per-event busy windows) on the integer-ns
+// SimTime axis.
+//
+// The contract that makes tracing safe to ship in every build:
+//
+//   * **Inert when absent.** Engines hold a `TraceRecorder*` that defaults to
+//     nullptr; every emission site is guarded by that pointer, records only
+//     values the engine already computed, and draws no random numbers. A run
+//     with tracing off is bit-for-bit a run of a build without this module,
+//     and a run with tracing ON produces a byte-identical RunReport — the
+//     recorder observes the timeline, it never participates in it.
+//   * **Never fingerprinted.** The recorder rides alongside RunConfig as a
+//     raw pointer excluded from fingerprint() and serialization, so tracing
+//     can never split the result caches or perturb sweep reuse.
+//   * **Flat and arena-friendly.** A span is a few words of trivially
+//     copyable state in one contiguous vector — recording is a bounds check
+//     and a memcpy, no per-span allocation once reserve() has sized the
+//     buffer.
+//
+// Spans export as Chrome trace-event JSON (obs/chrome_export.hpp) loadable
+// directly in Perfetto / chrome://tracing; docs/OBSERVABILITY.md documents
+// the span taxonomy and the determinism contract in full.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bsr::obs {
+
+/// What a span's busy window was doing (the span taxonomy of
+/// docs/OBSERVABILITY.md). Single-node runs emit the first three kinds;
+/// cluster runs emit the rest; both emit Dvfs and Recovery.
+enum class SpanKind : std::uint8_t {
+  Iteration,  ///< sched: one whole pipeline iteration (slack annotated)
+  CpuLane,    ///< sched: the CPU lane's window of one iteration (dvfs + transfer + PD)
+  GpuLane,    ///< sched: the GPU lane's window (dvfs + update + ABFT + recovery)
+  Panel,      ///< cluster: host panel factorization PD(k)
+  Update,     ///< cluster: one device's local trailing update (incl. checksum)
+  Transfer,   ///< cluster: link occupation of a panel broadcast / return leg
+  Recovery,   ///< fault recovery (corrections + rollback recompute) in-lane
+  Dvfs,       ///< a realized DVFS transition window
+};
+
+/// Sentinel for TraceSpan::abft_mode on spans where no checksum mode applies.
+inline constexpr std::uint8_t kNoAbftMode = 0xff;
+
+/// One flat POD span on the simulated timeline. All times are integer
+/// nanoseconds of the run's SimTime axis; annotation fields not meaningful
+/// for a kind keep their zero/sentinel defaults (see the per-field notes).
+struct TraceSpan {
+  std::int64_t start_ns = 0;  ///< SimTime at which the window opens
+  std::int64_t dur_ns = 0;    ///< window length (>= 0)
+  SpanKind kind = SpanKind::Iteration;
+  /// abft::ChecksumMode of the protected window as an integer
+  /// (0 none / 1 single / 2 full); kNoAbftMode where not applicable.
+  std::uint8_t abft_mode = kNoAbftMode;
+  std::int32_t k = -1;     ///< iteration index; -1 where not applicable
+  std::int32_t lane = -1;  ///< 0 = host/CPU, 1.. = devices/GPU; -1 = whole run
+  std::int32_t freq_mhz = 0;   ///< live clock of the window (0 = n/a)
+  std::int32_t from_mhz = 0;   ///< Dvfs only: clock the transition left
+  std::int64_t slack_ns = 0;   ///< Iteration only: gpu_lane - cpu_lane
+  std::int64_t dvfs_ns = 0;    ///< transition latency charged inside the window
+  std::int64_t recovery_ns = 0;      ///< recovery time charged inside the window
+  std::int64_t faults_injected = 0;  ///< faults sampled into the window
+  std::int64_t faults_corrected = 0; ///< repaired in place by checksums
+  std::int64_t rollbacks = 0;        ///< rollback recomputes triggered
+};
+
+/// Append-only span buffer handed to the engines. Not thread-safe: one
+/// recorder observes one run (sweep cells wanting traces each get their own).
+class TraceRecorder {
+ public:
+  /// Pre-sizes the buffer (the facade reserves ~4 spans per iteration-lane
+  /// so steady-state recording never reallocates).
+  void reserve(std::size_t spans) { spans_.reserve(spans); }
+
+  void record(const TraceSpan& span) { spans_.push_back(span); }
+
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
+  [[nodiscard]] std::size_t size() const { return spans_.size(); }
+  [[nodiscard]] bool empty() const { return spans_.empty(); }
+  void clear() { spans_.clear(); }
+
+ private:
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace bsr::obs

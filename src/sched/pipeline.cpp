@@ -40,6 +40,12 @@ HybridPipeline::HybridPipeline(const hw::PlatformProfile& platform,
     gpu_faults_ = faultcamp::FaultProcess(config_.faults, config_.seed,
                                           /*lane=*/1);
   }
+  if (config_.trace != nullptr) {
+    // Up to 6 spans per iteration (iteration + two lanes + two dvfs +
+    // recovery); one reservation keeps recording allocation-free.
+    config_.trace->reserve(config_.trace->size() +
+                           6 * static_cast<std::size_t>(iters));
+  }
 }
 
 double HybridPipeline::noise_factor(hw::DeviceId dev, int k) const {
@@ -59,6 +65,8 @@ double halted_idle_power(const hw::DeviceModel& dev, hw::Mhz current) {
 }
 
 IterationOutcome HybridPipeline::run_iteration(int k, const IterationDecision& d) {
+  const hw::Mhz cpu_f_before = cpu_dvfs_.current();
+  const hw::Mhz gpu_f_before = gpu_dvfs_.current();
   cpu_dvfs_.set_guardband(d.cpu_guardband);
   gpu_dvfs_.set_guardband(d.gpu_guardband);
 
@@ -226,6 +234,85 @@ IterationOutcome HybridPipeline::run_iteration(int k, const IterationDecision& d
     const double gpu_busy = (o.pu_tmu + o.abft_time).seconds();
     cpu_var_.account(fc, cpu_busy, o.span.seconds() - cpu_busy);
     gpu_var_.account(fg, gpu_busy, o.span.seconds() - gpu_busy);
+  }
+
+  if (config_.trace != nullptr) {
+    // Observation only: every value below was already realized above, so a
+    // traced run's IterationOutcome stream — and therefore its RunReport —
+    // is byte-identical to an untraced one.
+    obs::TraceRecorder& tr = *config_.trace;
+    const std::int64_t t0 = now_.ns();
+
+    obs::TraceSpan it;
+    it.kind = obs::SpanKind::Iteration;
+    it.start_ns = t0;
+    it.dur_ns = o.span.ns();
+    it.k = k;
+    it.slack_ns = o.slack.ns();
+    tr.record(it);
+
+    obs::TraceSpan cl;
+    cl.kind = obs::SpanKind::CpuLane;
+    cl.start_ns = t0;
+    cl.dur_ns = o.cpu_lane.ns();
+    cl.k = k;
+    cl.lane = 0;
+    cl.freq_mhz = static_cast<std::int32_t>(fc);
+    cl.dvfs_ns = cpu_dvfs_lat.ns();
+    tr.record(cl);
+
+    obs::TraceSpan gl;
+    gl.kind = obs::SpanKind::GpuLane;
+    gl.start_ns = t0;
+    gl.dur_ns = o.gpu_lane.ns();
+    gl.k = k;
+    gl.lane = 1;
+    gl.freq_mhz = static_cast<std::int32_t>(fg);
+    gl.abft_mode = static_cast<std::uint8_t>(o.abft_mode);
+    gl.dvfs_ns = gpu_dvfs_lat.ns();
+    gl.recovery_ns = o.recovery.ns();
+    tr.record(gl);
+
+    if (cpu_dvfs_lat > SimTime::zero()) {
+      obs::TraceSpan tv;
+      tv.kind = obs::SpanKind::Dvfs;
+      tv.start_ns = t0;
+      tv.dur_ns = cpu_dvfs_lat.ns();
+      tv.k = k;
+      tv.lane = 0;
+      tv.from_mhz = static_cast<std::int32_t>(cpu_f_before);
+      tv.freq_mhz = static_cast<std::int32_t>(fc);
+      tr.record(tv);
+    }
+    if (gpu_dvfs_lat > SimTime::zero()) {
+      obs::TraceSpan tv;
+      tv.kind = obs::SpanKind::Dvfs;
+      tv.start_ns = t0;
+      tv.dur_ns = gpu_dvfs_lat.ns();
+      tv.k = k;
+      tv.lane = 1;
+      tv.from_mhz = static_cast<std::int32_t>(gpu_f_before);
+      tv.freq_mhz = static_cast<std::int32_t>(fg);
+      tr.record(tv);
+    }
+    if (o.faults.injected.total() > 0 || o.recovery > SimTime::zero()) {
+      // The GPU lane runs dvfs -> PU+TMU -> ABFT -> recovery, so the
+      // recovery window opens where the checksum pass ends.
+      obs::TraceSpan rv;
+      rv.kind = obs::SpanKind::Recovery;
+      rv.start_ns = t0 + (gpu_dvfs_lat + o.pu_tmu + o.abft_time).ns();
+      rv.dur_ns = o.recovery.ns();
+      rv.k = k;
+      rv.lane = 1;
+      rv.freq_mhz = static_cast<std::int32_t>(fg);
+      rv.abft_mode = static_cast<std::uint8_t>(o.abft_mode);
+      rv.recovery_ns = o.recovery.ns();
+      rv.faults_injected =
+          static_cast<std::int64_t>(o.faults.injected.total());
+      rv.faults_corrected = static_cast<std::int64_t>(o.faults.corrected());
+      rv.rollbacks = static_cast<std::int64_t>(o.faults.rollbacks);
+      tr.record(rv);
+    }
   }
 
   now_ += o.span;

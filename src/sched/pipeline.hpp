@@ -11,6 +11,7 @@
 
 #include "common/rng.hpp"
 #include "hw/energy_meter.hpp"
+#include "obs/trace.hpp"
 #include "sched/tasks.hpp"
 #include "sched/timeline.hpp"
 #include "var/models.hpp"
@@ -44,6 +45,12 @@ struct PipelineConfig {
   /// base clock. Disabled by default — the pipeline is then bit-for-bit the
   /// no-fault one, with no RNG draws.
   faultcamp::Spec faults;
+  /// Optional span recorder (bsr/observability.hpp). The pipeline emits
+  /// per-iteration / per-lane spans into it at the same realization points
+  /// that fill IterationOutcome; null (the default) skips every emission.
+  /// Pure observation: values already computed are copied out, no RNG is
+  /// drawn, and the run's results are bit-for-bit identical either way.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Idle power of a lane whose strategy "halted" it (Race-to-Halt): the drop

@@ -17,10 +17,10 @@ Request parse_request(const std::string& line) {
   }
   req.op = op->as_string();
   if (req.op != "run" && req.op != "sweep" && req.op != "stats" &&
-      req.op != "shutdown") {
+      req.op != "metrics" && req.op != "shutdown") {
     throw std::runtime_error(
         "unknown op \"" + req.op +
-        "\" (known ops: run, sweep, stats, shutdown)");
+        "\" (known ops: run, sweep, stats, metrics, shutdown)");
   }
   return req;
 }

@@ -4,6 +4,7 @@
 // Requests:   {"op":"run","config":{...}}
 //             {"op":"sweep","config":{...},"axes":{...}}
 //             {"op":"stats"}
+//             {"op":"metrics"}
 //             {"op":"shutdown"}
 // Responses:  {"ok":true,"op":...,...}        (op-specific payload)
 //             {"ok":false,"error":"...","retry":bool}
@@ -21,12 +22,12 @@ namespace bsr::serve {
 
 /// One parsed request line.
 struct Request {
-  std::string op;  ///< "run", "sweep", "stats", or "shutdown"
+  std::string op;  ///< "run", "sweep", "stats", "metrics", or "shutdown"
   JsonValue body;  ///< the whole request object (op-specific fields inside)
 };
 
 /// Parses one request line. Throws std::runtime_error on malformed JSON, a
-/// missing/non-string "op", or an op outside the four known ones.
+/// missing/non-string "op", or an op outside the five known ones.
 Request parse_request(const std::string& line);
 
 /// {"ok":false,"error":<message>,"retry":<retry>} — `retry` tells clients

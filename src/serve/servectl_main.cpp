@@ -7,11 +7,13 @@
 //
 // Sends one request, prints the daemon's response line to stdout, and exits
 // 0 on ok:true, 3 on ok:false (the response is still printed — the error
-// payload is the diagnostic).
+// payload is the diagnostic). --op metrics is decoded: the Prometheus-style
+// exposition text prints directly instead of one JSON-escaped line.
 #include <cstdio>
 #include <exception>
 #include <string>
 
+#include "bsr/observability.hpp"
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "serve/client.hpp"
@@ -20,13 +22,16 @@ int main(int argc, char** argv) {
   bsr::Cli cli;
   cli.arg_string("socket", "", "daemon Unix socket path")
       .arg_int("port", 0, "daemon localhost TCP port when --socket is empty")
-      .arg_string("op", "stats", "request op: run, sweep, stats, shutdown")
+      .arg_string("op", "stats",
+                  "request op: run, sweep, stats, metrics, shutdown")
       .arg_string("config", "",
                   "JSON RunConfig overrides for --op run/sweep (optional)")
       .arg_string("axes", "",
                   "JSON sweep axes for --op sweep, e.g. "
                   "'{\"strategy\":[\"sr\",\"bsr\"],\"n\":[2048,4096]}'");
+  bsr::add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
+  if (bsr::handled_version_flag(cli, "bsr_servectl")) return 0;
 
   const std::string socket_path = cli.get("socket");
   const long long port = bsr::int_flag_in_range_or_exit(cli, "port", 0, 65535);
@@ -48,10 +53,18 @@ int main(int argc, char** argv) {
             ? bsr::serve::Client::connect_tcp(static_cast<std::uint16_t>(port))
             : bsr::serve::Client::connect_unix_socket(socket_path);
     const std::string response = client.call_raw(w.take());
-    std::printf("%s\n", response.c_str());
     const bsr::JsonValue parsed = bsr::JsonValue::parse(response);
     const bsr::JsonValue* ok = parsed.find("ok");
-    return (ok != nullptr && ok->is_bool() && ok->as_bool()) ? 0 : 3;
+    const bool success = ok != nullptr && ok->is_bool() && ok->as_bool();
+    const bsr::JsonValue* exposition =
+        success && cli.get("op") == "metrics" ? parsed.find("exposition")
+                                              : nullptr;
+    if (exposition != nullptr && exposition->is_string()) {
+      std::fputs(exposition->as_string().c_str(), stdout);
+    } else {
+      std::printf("%s\n", response.c_str());
+    }
+    return success ? 0 : 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

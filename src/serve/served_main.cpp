@@ -3,13 +3,15 @@
 //   bsr_served --socket /tmp/bsr.sock --store /var/tmp/bsr-store
 //   bsr_served --port 7411 --workers 8 --queue-depth 128
 //
-// Serves run/sweep/stats/shutdown requests (newline-delimited JSON) until a
-// client sends {"op":"shutdown"} or the process receives SIGINT/SIGTERM.
+// Serves run/sweep/stats/metrics/shutdown requests (newline-delimited JSON)
+// until a client sends {"op":"shutdown"} or the process receives
+// SIGINT/SIGTERM.
 #include <csignal>
 #include <cstdio>
 #include <exception>
 #include <string>
 
+#include "bsr/observability.hpp"
 #include "common/cli.hpp"
 #include "serve/server.hpp"
 
@@ -36,7 +38,9 @@ int main(int argc, char** argv) {
                "connections allowed to wait before \"overloaded\" rejections")
       .arg_string("store", "",
                   "durable result-store directory (empty = memory-only)");
+  bsr::add_version_flag(cli);
   if (!cli.parse_or_exit(argc, argv)) return 0;
+  if (bsr::handled_version_flag(cli, "bsr_served")) return 0;
 
   bsr::serve::ServerConfig config;
   config.socket_path = cli.get("socket");

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/build_info.hpp"
 #include "common/thread_pool.hpp"
 #include "serve/protocol.hpp"
 #include "serve/report_json.hpp"
@@ -28,9 +29,49 @@ CachedResult make_cached(const core::RunReport& report, std::string json) {
   return e;
 }
 
+/// Seconds elapsed on the operational (steady) clock — never the simulated
+/// SimTime axis; request latency is a property of the daemon, not the run.
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
-Server::Server(ServerConfig config) : config_(std::move(config)) {
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      metrics_{[] {
+        auto& r = common::MetricsRegistry::global();
+        const auto buckets = common::Histogram::default_latency_buckets_s();
+        return Instruments{
+            r.counter("bsr_serve_connections_total",
+                      "connections accepted and served"),
+            r.counter("bsr_serve_overloaded_total",
+                      "connections refused by admission control"),
+            r.counter("bsr_serve_requests_total",
+                      "request lines parsed (any op)"),
+            r.counter("bsr_serve_bad_requests_total",
+                      "request lines answered with ok:false"),
+            r.counter("bsr_serve_runs_total",
+                      "run-op configs plus sweep-op cells resolved"),
+            r.counter("bsr_serve_memory_hits_total",
+                      "lookups served from the in-memory cache (tier 1)"),
+            r.counter("bsr_serve_coalesced_total",
+                      "lookups that joined an in-flight execution (tier 2)"),
+            r.counter("bsr_serve_store_hits_total",
+                      "lookups served from the durable store (tier 3)"),
+            r.counter("bsr_serve_executed_total",
+                      "lookups that executed the simulator (tier 4)"),
+            r.histogram("bsr_serve_request_latency_seconds",
+                        "wall time to serve one request line, any op",
+                        buckets),
+            r.histogram("bsr_serve_run_latency_seconds",
+                        "wall time to serve one run op", buckets),
+            r.histogram("bsr_serve_sweep_latency_seconds",
+                        "wall time to serve one sweep op (whole grid)",
+                        buckets),
+        };
+      }()} {
   if (config_.workers < 1) {
     throw std::invalid_argument("serve: need workers >= 1");
   }
@@ -132,6 +173,7 @@ void Server::accept_loop() {
         std::lock_guard<std::mutex> slock(stats_mutex_);
         ++stats_.overloaded;
       }
+      metrics_.overloaded.inc();
       // Refused by admission control: one explicit backpressure line, then
       // close. Never enqueue beyond queue_depth.
       try {
@@ -161,6 +203,7 @@ void Server::worker_loop() {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.connections;
     }
+    metrics_.connections.inc();
     const int fd = conn.fd();
     {
       std::lock_guard<std::mutex> lock(conns_mutex_);
@@ -192,17 +235,23 @@ bool Server::handle_line(const std::string& line, const Socket& conn) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.requests;
   }
+  metrics_.requests.inc();
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string op;
   std::string response;
   bool keep_open = true;
   bool shutdown = false;
   try {
     const Request req = parse_request(line);
+    op = req.op;
     if (req.op == "run") {
       response = handle_run(req.body);
     } else if (req.op == "sweep") {
       response = handle_sweep(req.body);
     } else if (req.op == "stats") {
       response = handle_stats();
+    } else if (req.op == "metrics") {
+      response = handle_metrics();
     } else {  // "shutdown" (parse_request rejects everything else)
       JsonWriter w;
       w.obj_open();
@@ -218,7 +267,15 @@ bool Server::handle_line(const std::string& line, const Socket& conn) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.bad_requests;
     }
+    metrics_.bad_requests.inc();
     response = error_response(e.what(), /*retry=*/false);
+  }
+  const double elapsed = seconds_since(t0);
+  metrics_.request_latency.observe(elapsed);
+  if (op == "run") {
+    metrics_.run_latency.observe(elapsed);
+  } else if (op == "sweep") {
+    metrics_.sweep_latency.observe(elapsed);
   }
   conn.send_all(response + "\n");
   if (shutdown) {
@@ -244,12 +301,16 @@ std::pair<CachedResult, const char*> Server::resolve(
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.runs;
   }
+  metrics_.runs.inc();
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     const auto it = cache_.find(fingerprint);
     if (it != cache_.end()) {
-      std::lock_guard<std::mutex> slock(stats_mutex_);
-      ++stats_.memory_hits;
+      {
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++stats_.memory_hits;
+      }
+      metrics_.memory_hits.inc();
       return {it->second, "memory"};
     }
   }
@@ -279,6 +340,11 @@ std::pair<CachedResult, const char*> Server::resolve(
     } else {
       ++stats_.coalesced;
     }
+  }
+  if (result.leader) {
+    (result.value.from_store ? metrics_.store_hits : metrics_.executed).inc();
+  } else {
+    metrics_.coalesced.inc();
   }
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -436,6 +502,46 @@ std::string Server::handle_stats() {
     w.key("saves").value(static_cast<std::int64_t>(st.saves));
     w.obj_close();
   }
+  w.obj_close();
+  return w.take();
+}
+
+std::string Server::handle_metrics() {
+  // Point-in-time values are refreshed at sampling time — gauges set here,
+  // not callbacks registered at construction, so a destroyed Server never
+  // leaves a dangling probe behind in the process-wide registry.
+  auto& reg = common::MetricsRegistry::global();
+  reg.gauge("bsr_build_info",
+            "constant 1; the build stamp is this help line: " +
+                common::build_info_line("bsr"))
+      .set(1.0);
+  reg.gauge("bsr_serve_cache_entries",
+            "entries in the in-memory serialized-report cache")
+      .set(static_cast<double>(cache_entries()));
+  reg.gauge("bsr_serve_workers", "configured connection-serving workers")
+      .set(static_cast<double>(config_.workers));
+  reg.gauge("bsr_serve_queue_depth",
+            "connections allowed to wait before admission control refuses")
+      .set(static_cast<double>(config_.queue_depth));
+  if (store_ != nullptr) {
+    const StoreStats st = store_->stats();
+    reg.gauge("bsr_serve_store_record_hits", "this store's valid-record loads")
+        .set(static_cast<double>(st.hits));
+    reg.gauge("bsr_serve_store_record_misses", "this store's load misses")
+        .set(static_cast<double>(st.misses));
+    reg.gauge("bsr_serve_store_record_rejected",
+              "this store's loud rejects (corrupt/stale/mismatched records)")
+        .set(static_cast<double>(st.rejected));
+    reg.gauge("bsr_serve_store_record_saves", "this store's records written")
+        .set(static_cast<double>(st.saves));
+  }
+
+  JsonWriter w;
+  w.obj_open();
+  w.key("ok").value(true);
+  w.key("op").value("metrics");
+  w.key("version").value(common::build_info().version);
+  w.key("exposition").value(reg.exposition());
   w.obj_close();
   return w.take();
 }

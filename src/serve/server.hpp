@@ -35,6 +35,7 @@
 
 #include "bsr/run_config.hpp"
 #include "common/json.hpp"
+#include "common/metrics.hpp"
 #include "common/socket.hpp"
 #include "core/report.hpp"
 #include "serve/single_flight.hpp"
@@ -151,6 +152,7 @@ class Server {
   std::string handle_run(const JsonValue& body);
   std::string handle_sweep(const JsonValue& body);
   std::string handle_stats();
+  std::string handle_metrics();
 
   /// The tiered lookup for one config. Returns the cached result plus the
   /// source tag ("memory" / "coalesced" / "store" / "executed").
@@ -188,6 +190,29 @@ class Server {
 
   mutable std::mutex stats_mutex_;
   ServeStats stats_;
+
+  /// ServeStats mirrored onto the process-wide metrics registry
+  /// (bsr/observability.hpp): the struct keeps its copy-out API, the
+  /// registry gets the same monotone counts plus request-latency
+  /// histograms, all sharing one `metrics`-op exposition. References are
+  /// resolved once in the constructor; re-registration of the same names
+  /// by a second Server in the same process returns the same instruments
+  /// (the counts are process-cumulative, as Prometheus counters must be).
+  struct Instruments {
+    common::Counter& connections;
+    common::Counter& overloaded;
+    common::Counter& requests;
+    common::Counter& bad_requests;
+    common::Counter& runs;
+    common::Counter& memory_hits;
+    common::Counter& coalesced;
+    common::Counter& store_hits;
+    common::Counter& executed;
+    common::Histogram& request_latency;  ///< all ops, seconds
+    common::Histogram& run_latency;      ///< run-op resolve path, seconds
+    common::Histogram& sweep_latency;    ///< sweep-op full grids, seconds
+  };
+  Instruments metrics_;
 };
 
 }  // namespace bsr::serve

@@ -9,11 +9,24 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/metrics.hpp"
 #include "serve/report_json.hpp"
 
 namespace bsr::serve {
 
 namespace {
+
+/// Process-wide corruption counter (bsr/observability.hpp): every loud
+/// reject — truncated record, garbage JSON, schema drift, fingerprint
+/// mismatch, report-schema drift — counts here as well as in the store's
+/// own stats(), so daemons surface corruption without polling stderr.
+common::Counter& rejected_records_counter() {
+  static common::Counter& c = common::MetricsRegistry::global().counter(
+      "bsr_store_rejected_records_total",
+      "durable-store records rejected as corrupt, stale-schema, or "
+      "mismatched (each one is a loud miss, never a served answer)");
+  return c;
+}
 
 /// FNV-1a over `s`, folded with a per-call basis so two independent 64-bit
 /// digests make one 32-hex-digit filename (collisions are additionally
@@ -64,6 +77,7 @@ std::shared_ptr<const std::string> DiskResultStore::load_serialized(
   const auto reject = [&](const std::string& why)
       -> std::shared_ptr<const std::string> {
     ++stats_.rejected;
+    rejected_records_counter().inc();
     std::fprintf(stderr,
                  "store: rejecting record %s (%s); treating as a miss\n",
                  path.c_str(), why.c_str());
@@ -97,6 +111,7 @@ std::shared_ptr<const core::RunReport> DiskResultStore::load(
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.rejected;
+    rejected_records_counter().inc();
     --stats_.hits;
     std::fprintf(stderr,
                  "store: rejecting record for %s (%s); treating as a miss\n",

@@ -1,0 +1,39 @@
+// Build stamping: every tool reports the same non-empty version / compiler /
+// flags tuple, and build_info_line renders it in the documented shape.
+#include "common/build_info.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bsr::common {
+namespace {
+
+TEST(BuildInfo, FieldsAreStamped) {
+  const BuildInfo& info = build_info();
+  EXPECT_FALSE(info.version.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.build_type.empty());
+  // flags may legitimately be empty for an unflagged build type, so only the
+  // identifying fields are required.
+}
+
+TEST(BuildInfo, LineHasTheDocumentedShape) {
+  // "<tool> <version> (<compiler>, <build_type>[, <flags>])" — the same line
+  // benches print for --version and traces embed in otherData.
+  const std::string line = build_info_line("bsr_test_tool");
+  const BuildInfo& info = build_info();
+  EXPECT_EQ(line.rfind("bsr_test_tool ", 0), 0u);
+  EXPECT_NE(line.find(info.version), std::string::npos);
+  EXPECT_NE(line.find("(" + info.compiler), std::string::npos);
+  EXPECT_NE(line.find(info.build_type), std::string::npos);
+  EXPECT_EQ(line.back(), ')');
+}
+
+TEST(BuildInfo, StableAcrossCalls) {
+  EXPECT_EQ(build_info_line("t"), build_info_line("t"));
+  EXPECT_EQ(&build_info(), &build_info());
+}
+
+}  // namespace
+}  // namespace bsr::common

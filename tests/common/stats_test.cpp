@@ -93,6 +93,45 @@ TEST(Stats, WilsonIntervalEdgeCases) {
   EXPECT_DOUBLE_EQ(none.hi, 1.0);
 }
 
+// The degenerate-input contract documented in common/stats.hpp: short
+// series (the fault benches run 3-trial campaigns whose p99 is asked of a
+// 3-sample series) must degrade predictably, never throw or index past the
+// end.
+TEST(Stats, SingleSampleIsEveryPercentile) {
+  const std::array<double, 1> one = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.99), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 42.0);
+  EXPECT_DOUBLE_EQ(median(one), 42.0);
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+}
+
+TEST(Stats, TailPercentileOfShortSeries) {
+  // p99 of two samples interpolates 99% of the way to the larger one; it
+  // must stay within [min, max] and reach max exactly at p=1.
+  const std::array<double, 2> two = {1.0, 3.0};
+  EXPECT_NEAR(percentile(two, 0.99), 2.98, 1e-12);
+  EXPECT_LE(percentile(two, 0.99), max(two));
+  EXPECT_GE(percentile(two, 0.99), min(two));
+  const std::array<double, 3> three = {5.0, 1.0, 3.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(three, 1.0), 5.0);
+  EXPECT_NEAR(percentile(three, 0.95), 4.8, 1e-12);
+}
+
+TEST(Stats, PercentileClampsOutOfRangeP) {
+  const std::array<double, 4> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, -0.5), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.5), 40.0);
+}
+
+TEST(Stats, EmptySeriesPercentilesAreZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.99), 0.0);
+  EXPECT_DOUBLE_EQ(min({}), 0.0);
+  EXPECT_DOUBLE_EQ(max({}), 0.0);
+}
+
 TEST(Stats, AccumulatorMatchesBatch) {
   const std::array<double, 6> xs = {2, 4, 4, 4, 5, 7};
   Accumulator acc;

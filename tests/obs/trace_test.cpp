@@ -1,0 +1,172 @@
+// The tracing determinism contract (include/bsr/observability.hpp): a run
+// with a recorder attached produces a byte-identical RunReport on both
+// engines, the recorder never enters the fingerprint, and the Chrome
+// trace-event export is valid JSON that renders byte-identically from the
+// same recorded state.
+#include "bsr/observability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "bsr/bsr.hpp"
+#include "common/json.hpp"
+#include "serve/report_json.hpp"
+
+namespace bsr {
+namespace {
+
+RunConfig small_config() {
+  RunConfig cfg;
+  cfg.n = 1024;
+  cfg.b = 128;
+  return cfg;
+}
+
+RunConfig cluster_config() {
+  RunConfig cfg = small_config();
+  cfg.devices = 2;
+  return cfg;
+}
+
+bool has_kind(const TraceRecorder& rec, TraceSpanKind kind) {
+  return std::any_of(rec.spans().begin(), rec.spans().end(),
+                     [kind](const TraceSpan& s) { return s.kind == kind; });
+}
+
+TEST(Trace, SingleNodeReportIsByteIdenticalWithTracingOn) {
+  const RunConfig cfg = small_config();
+  const std::string untraced = serve::serialize_report(run(cfg));
+
+  TraceRecorder rec;
+  RunConfig traced_cfg = cfg;
+  traced_cfg.trace = &rec;
+  const std::string traced = serve::serialize_report(run(traced_cfg));
+
+  EXPECT_EQ(traced, untraced);
+  EXPECT_FALSE(rec.empty());
+}
+
+TEST(Trace, ClusterReportIsByteIdenticalWithTracingOn) {
+  const RunConfig cfg = cluster_config();
+  const std::string untraced = serve::serialize_report(run(cfg));
+
+  TraceRecorder rec;
+  RunConfig traced_cfg = cfg;
+  traced_cfg.trace = &rec;
+  const std::string traced = serve::serialize_report(run(traced_cfg));
+
+  EXPECT_EQ(traced, untraced);
+  EXPECT_FALSE(rec.empty());
+}
+
+TEST(Trace, SingleNodeEmitsTheSchedTaxonomy) {
+  TraceRecorder rec;
+  RunConfig cfg = small_config();
+  cfg.trace = &rec;
+  run(cfg);
+
+  EXPECT_TRUE(has_kind(rec, TraceSpanKind::Iteration));
+  EXPECT_TRUE(has_kind(rec, TraceSpanKind::CpuLane));
+  EXPECT_TRUE(has_kind(rec, TraceSpanKind::GpuLane));
+  for (const TraceSpan& s : rec.spans()) {
+    EXPECT_GE(s.start_ns, 0) << "span starts before the run";
+    EXPECT_GE(s.dur_ns, 0) << "negative busy window";
+  }
+  // One Iteration span per pipeline iteration, each with its lane pair.
+  const auto iterations = static_cast<std::size_t>(
+      std::count_if(rec.spans().begin(), rec.spans().end(),
+                    [](const TraceSpan& s) {
+                      return s.kind == TraceSpanKind::Iteration;
+                    }));
+  EXPECT_GT(iterations, 1u);
+  EXPECT_GE(rec.size(), 3 * iterations);
+}
+
+TEST(Trace, ClusterEmitsTheClusterTaxonomy) {
+  TraceRecorder rec;
+  RunConfig cfg = cluster_config();
+  cfg.trace = &rec;
+  run(cfg);
+
+  EXPECT_TRUE(has_kind(rec, TraceSpanKind::Panel));
+  EXPECT_TRUE(has_kind(rec, TraceSpanKind::Update));
+  EXPECT_TRUE(has_kind(rec, TraceSpanKind::Transfer));
+  // Update spans cover every device lane (1..devices).
+  std::set<std::int32_t> update_lanes;
+  for (const TraceSpan& s : rec.spans())
+    if (s.kind == TraceSpanKind::Update) update_lanes.insert(s.lane);
+  EXPECT_EQ(update_lanes.size(), 2u);
+}
+
+TEST(Trace, RecorderNeverEntersTheFingerprint) {
+  RunConfig cfg = small_config();
+  const std::string bare = cfg.fingerprint();
+  TraceRecorder rec;
+  cfg.trace = &rec;
+  EXPECT_EQ(cfg.fingerprint(), bare)
+      << "a traced config must hit the same cache entries as an untraced one";
+}
+
+TEST(Trace, ChromeExportIsValidJsonWithTheDocumentedShape) {
+  TraceRecorder rec;
+  RunConfig cfg = small_config();
+  cfg.trace = &rec;
+  run(cfg);
+
+  const std::string json =
+      chrome_trace_json(rec, trace_meta_for(cfg, "trace_test"));
+  const JsonValue doc = JsonValue::parse(json);
+  ASSERT_TRUE(doc.is_object());
+
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  EXPECT_GT(events.items().size(), rec.size());  // spans + metadata + counters
+
+  const JsonValue& other = doc.at("otherData");
+  EXPECT_EQ(other.at("tool").as_string(), "trace_test");
+  EXPECT_EQ(other.at("fingerprint").as_string(), cfg.fingerprint());
+  EXPECT_EQ(other.at("strategy").as_string(), "bsr");
+  EXPECT_FALSE(other.at("version").as_string().empty());
+  EXPECT_EQ(other.at("spans").to_int64(),
+            static_cast<std::int64_t>(rec.size()));
+}
+
+TEST(Trace, ChromeExportIsDeterministic) {
+  TraceRecorder rec;
+  RunConfig cfg = small_config();
+  cfg.trace = &rec;
+  run(cfg);
+
+  const TraceMeta meta = trace_meta_for(cfg, "trace_test");
+  EXPECT_EQ(chrome_trace_json(rec, meta), chrome_trace_json(rec, meta));
+
+  // Same config, fresh run, fresh recorder: still the same bytes — traces
+  // are as reproducible as the runs they observe.
+  TraceRecorder rec2;
+  RunConfig cfg2 = small_config();
+  cfg2.trace = &rec2;
+  run(cfg2);
+  EXPECT_EQ(chrome_trace_json(rec2, trace_meta_for(cfg2, "trace_test")),
+            chrome_trace_json(rec, meta));
+}
+
+TEST(Trace, FaultCampaignSpansCarryFaultCounts) {
+  TraceRecorder rec;
+  RunConfig cfg = small_config();
+  cfg.faults.enabled = true;
+  cfg.faults.rate_multiplier = 50.0;  // make a strike near-certain
+  cfg.trace = &rec;
+  const core::RunReport report = run(cfg);
+
+  std::int64_t traced_faults = 0;
+  for (const TraceSpan& s : rec.spans())
+    if (s.kind == TraceSpanKind::Recovery) traced_faults += s.faults_injected;
+  EXPECT_EQ(traced_faults, report.faults_injected())
+      << "spans must account for exactly the faults the report counts";
+}
+
+}  // namespace
+}  // namespace bsr

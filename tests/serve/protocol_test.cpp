@@ -29,7 +29,7 @@ TEST(Protocol, RejectsMalformedRequests) {
     FAIL() << "expected a protocol error";
   } catch (const std::runtime_error& e) {
     // The error names the known ops so a typo is self-diagnosing.
-    EXPECT_NE(std::string(e.what()).find("run, sweep, stats, shutdown"),
+    EXPECT_NE(std::string(e.what()).find("run, sweep, stats, metrics, shutdown"),
               std::string::npos);
   }
 }

@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <filesystem>
+#include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -272,6 +274,76 @@ TEST(ServerTest, StatsOpReportsCountersAndConfig) {
   EXPECT_EQ(v.at("executed").to_int64(), 1);
   EXPECT_EQ(v.at("cache_entries").to_int64(), 1);
   EXPECT_EQ(v.at("store").at("saves").to_int64(), 1);
+  ts.server->stop();
+}
+
+/// Minimal Prometheus text-exposition parser: sample name (labels included)
+/// -> value token, comment lines indexed separately by metric name.
+struct Exposition {
+  std::map<std::string, std::string> samples;
+  std::map<std::string, std::string> types;  // name -> TYPE annotation
+  explicit Exposition(const std::string& text) { parse_text(text); }
+
+ private:
+  // gtest fatal assertions need a void function, so the ctor delegates here.
+  void parse_text(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      ASSERT_FALSE(line.empty()) << "blank line in exposition";
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::istringstream fields(line.substr(7));
+        std::string name;
+        std::string type;
+        fields >> name >> type;
+        types[name] = type;
+        continue;
+      }
+      if (line[0] == '#') continue;  // HELP or free comment
+      const std::size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      samples[line.substr(0, space)] = line.substr(space + 1);
+    }
+  }
+};
+
+TEST(ServerTest, MetricsOpExposesCountersHistogramsAndBuildInfo) {
+  ServerConfig cfg;
+  cfg.store_dir = fresh_dir("metrics");
+  TestServer ts(std::move(cfg));
+  Client c = ts.client();
+  (void)c.call_raw(run_request(kSmallConfig));
+  (void)c.call_raw(run_request(kSmallConfig));  // memory hit
+
+  const JsonValue v = JsonValue::parse(c.call_raw(R"({"op":"metrics"})"));
+  ASSERT_TRUE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("op").as_string(), "metrics");
+  EXPECT_FALSE(v.at("version").as_string().empty());
+
+  Exposition exp(v.at("exposition").as_string());
+  // Counters are process-cumulative (other tests in this binary contribute),
+  // so assert lower bounds, kinds, and internal consistency — not equality.
+  EXPECT_EQ(exp.types.at("bsr_serve_requests_total"), "counter");
+  EXPECT_GE(std::stoull(exp.samples.at("bsr_serve_requests_total")), 3u);
+  EXPECT_GE(std::stoull(exp.samples.at("bsr_serve_executed_total")), 1u);
+  EXPECT_GE(std::stoull(exp.samples.at("bsr_serve_memory_hits_total")), 1u);
+
+  // The request-latency histogram observed the two run requests (the metrics
+  // request itself is timed after its exposition snapshot, so it is not in
+  // this count) and the +Inf bucket equals the count.
+  EXPECT_EQ(exp.types.at("bsr_serve_request_latency_seconds"), "histogram");
+  const auto count =
+      std::stoull(exp.samples.at("bsr_serve_request_latency_seconds_count"));
+  EXPECT_GE(count, 2u);
+  EXPECT_EQ(std::stoull(exp.samples.at(
+                "bsr_serve_request_latency_seconds_bucket{le=\"+Inf\"}")),
+            count);
+
+  // Point-in-time gauges refreshed by the metrics op itself.
+  EXPECT_EQ(exp.types.at("bsr_serve_cache_entries"), "gauge");
+  EXPECT_EQ(exp.samples.at("bsr_serve_cache_entries"), "1");
+  EXPECT_EQ(exp.samples.at("bsr_build_info"), "1");
+  EXPECT_EQ(exp.samples.at("bsr_serve_store_record_saves"), "1");
   ts.server->stop();
 }
 

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics.hpp"
 #include "serve/report_json.hpp"
 
 namespace bsr::serve {
@@ -133,6 +134,41 @@ TEST(DiskResultStore, DeserializationFailureInsideAValidEnvelopeRejects) {
   // load_serialized trusts the envelope; load() must still reject loudly.
   EXPECT_EQ(store.load(fp), nullptr);
   EXPECT_GE(store.stats().rejected, 1u);
+}
+
+TEST(DiskResultStore, EveryCorruptionClassCountsTheRejectedMetric) {
+  // Satellite contract (docs/OBSERVABILITY.md): each corruption class —
+  // truncated record, garbage JSON, schema drift — is a loud miss that
+  // bumps the process-wide bsr_store_rejected_records_total counter, never
+  // a crash and never a stale answer.
+  common::Counter& rejected = common::MetricsRegistry::global().counter(
+      "bsr_store_rejected_records_total", "");
+  DiskResultStore store(fresh_dir("metric"));
+  const std::string good = serialize_report(bsr::run(small_config()));
+
+  const std::uint64_t before = rejected.value();
+
+  store.save_serialized("fp-trunc", "{\"schema\":1,\"report\":" + good + "}");
+  overwrite(store.record_path("fp-trunc"), "{\"schema\":1,\"fing");
+  EXPECT_EQ(store.load_serialized("fp-trunc"), nullptr);
+  EXPECT_EQ(rejected.value(), before + 1);
+
+  overwrite(store.record_path("fp-garbage"), "not json at all\n");
+  EXPECT_EQ(store.load_serialized("fp-garbage"), nullptr);
+  EXPECT_EQ(rejected.value(), before + 2);
+
+  overwrite(store.record_path("fp-drift"),
+            "{\"schema\":999,\"fingerprint\":\"fp-drift\",\"report\":" + good +
+                "}");
+  EXPECT_EQ(store.load_serialized("fp-drift"), nullptr);
+  EXPECT_EQ(rejected.value(), before + 3);
+
+  // A valid record written after the carnage still round-trips: corruption
+  // of one record never poisons the store.
+  store.save_serialized("fp-ok", good);
+  const std::shared_ptr<const std::string> ok = store.load_serialized("fp-ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(*ok, good);
 }
 
 TEST(DiskResultStore, UnreadableDirectoryThrowsAtConstruction) {

@@ -35,6 +35,15 @@ order-of-magnitude regressions (an accidentally quadratic loop, a defeated
 cache, a lost fast path), not single-digit-percent noise. Tighten with
 --tolerance for local A/B runs on one machine.
 
+Since the observability retrofit the hot loops carry trace emission sites
+(guarded by a null TraceRecorder pointer) and the servers mirror their stats
+onto the metrics registry, so this gate doubles as the disabled-tracing
+contract: bench_kernels and bench_serve run with tracing OFF, and their
+counters staying inside the tolerance bands is what "observability compiled
+in costs nothing when idle" means in CI. --min-gated guards that contract
+against vacuous passes — if a rename or a filter typo makes the comparison
+loop match nothing, the gate fails instead of reporting an empty success.
+
 stdlib only; no third-party imports.
 """
 
@@ -112,12 +121,13 @@ def distill_serve(rows: list) -> dict:
 
 
 def check(committed: dict, fresh: dict, tolerance: float,
-          bench_filter: str = "", regen: str = REGEN_COMMAND) -> int:
+          bench_filter: str = "", regen: str = REGEN_COMMAND) -> "tuple[int, int]":
     by_name = {b["name"]: b for b in fresh["benchmarks"]}
     # A filter narrows the fresh run, so only gate the matching committed
     # entries (Google Benchmark treats the filter as a regex; so do we).
     pattern = re.compile(bench_filter) if bench_filter else None
     failures = 0
+    gated = 0
     for ref in committed["benchmarks"]:
         name = ref["name"]
         if pattern and not pattern.search(name):
@@ -137,13 +147,14 @@ def check(committed: dict, fresh: dict, tolerance: float,
             verdict = "ok  " if cur_val >= floor else "FAIL"
             print(f"{verdict} {name} {counter}: {cur_val:g} "
                   f"(committed {ref_val:g}, floor {floor:g})")
+            gated += 1
             if cur_val < floor:
                 failures += 1
     extra = set(by_name) - {b["name"] for b in committed["benchmarks"]}
     for name in sorted(extra):
         print(f"note {name}: not in committed record "
               f"(refresh with: {regen})")
-    return failures
+    return failures, gated
 
 
 def main() -> int:
@@ -162,6 +173,11 @@ def main() -> int:
     parser.add_argument("--tolerance", type=float, default=3.0,
                         help="allowed throughput drop factor for --check "
                              "(default 3.0: cross-machine headroom)")
+    parser.add_argument("--min-gated", type=int, default=1,
+                        help="fail --check unless at least this many "
+                             "throughput counters were actually compared "
+                             "(guards against a vacuous pass when a rename "
+                             "or filter matches nothing; default 1)")
     mode = parser.add_mutually_exclusive_group(required=True)
     mode.add_argument("--write", action="store_true",
                       help="regenerate the committed record")
@@ -197,13 +213,20 @@ def main() -> int:
               f"create one with: {regen}", file=sys.stderr)
         return 2
     committed = json.loads(args.record.read_text())
-    failures = check(committed, fresh, args.tolerance, args.filter, regen)
+    failures, gated = check(committed, fresh, args.tolerance, args.filter,
+                            regen)
     if failures:
         print(f"\n{failures} throughput counter(s) below the committed floor "
               f"(tolerance {args.tolerance}x). If the regression is intended, "
               f"refresh with: {regen}")
         return 1
-    print("\nall throughput counters within tolerance")
+    if gated < args.min_gated:
+        print(f"\nerror: only {gated} throughput counter(s) compared, "
+              f"--min-gated {args.min_gated} required - the gate would pass "
+              f"vacuously; fix the filter or refresh with: {regen}",
+              file=sys.stderr)
+        return 1
+    print(f"\nall {gated} throughput counters within tolerance")
     return 0
 
 

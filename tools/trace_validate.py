@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate a trace written by --trace / bsr::write_chrome_trace.
+
+Checks, in order (the first failure exits 1 with a message naming the event):
+
+  1. Well-formedness — the file is one JSON object with a `traceEvents`
+     array and the `otherData` provenance block the exporter stamps
+     (tool, version, fingerprint, strategy, lanes, spans).
+  2. Monotone timestamps — the exporter sorts events by start time, so the
+     file order must be non-decreasing in `ts`. An out-of-order event means
+     the writer (or a hand-edited file) broke the determinism contract.
+  3. Span nesting — on every track (pid, tid), complete ("X") events must
+     nest: a span opening inside another must close inside it too. Lanes
+     and links are separate tracks precisely so this holds.
+  4. Lane coverage — every lane the `otherData.lanes` count promises
+     (tid 1 .. lanes) carries at least one span; a silent lane means an
+     engine stopped emitting at its realization points.
+  5. Accounting — the number of "X" events equals `otherData.spans`.
+
+stdlib only; no third-party imports.
+
+Usage:
+    bench_fig12_overall --n 2048 --trace run.trace.json
+    python3 tools/trace_validate.py run.trace.json
+"""
+
+import argparse
+import json
+import sys
+
+# Track layout mirrored from src/obs/chrome_export.cpp.
+ITERATION_TID = 0
+LANE_TID_BASE = 1
+LINK_TID_BASE = 64
+
+REQUIRED_OTHER_DATA = ("tool", "version", "fingerprint", "strategy", "lanes",
+                       "spans")
+
+# Slop for fractional-microsecond comparisons: the exporter writes exact
+# nanosecond values, so one picosecond absorbs shortest-round-trip formatting
+# without masking real overlap.
+EPS_US = 1e-6
+
+
+def fail(msg: str) -> "NoReturn":
+    print(f"trace_validate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path: str) -> None:
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing, not an array, or empty")
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail("otherData provenance block missing")
+    for key in REQUIRED_OTHER_DATA:
+        if key not in other:
+            fail(f"otherData.{key} missing")
+
+    spans = 0
+    last_ts = None
+    stacks = {}  # (pid, tid) -> list of (start_us, end_us, name)
+    lanes_seen = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            continue  # metadata carries no timestamp
+        for key in ("ts", "pid", "tid"):
+            if not isinstance(ev.get(key), (int, float)):
+                fail(f"event {i} ({ev.get('name')!r}): missing numeric {key}")
+        ts = ev["ts"]
+        if ts < 0:
+            fail(f"event {i} ({ev['name']!r}): negative ts {ts}")
+        if last_ts is not None and ts < last_ts - EPS_US:
+            fail(f"event {i} ({ev['name']!r}): ts {ts} before previous "
+                 f"{last_ts} - timestamps must be non-decreasing")
+        last_ts = ts
+
+        if ph != "X":
+            continue
+        spans += 1
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail(f"event {i} ({ev['name']!r}): bad dur {dur!r}")
+        tid = ev["tid"]
+        if LANE_TID_BASE <= tid < LINK_TID_BASE:
+            lanes_seen.add(tid - LANE_TID_BASE)
+
+        stack = stacks.setdefault((ev["pid"], tid), [])
+        while stack and stack[-1][1] <= ts + EPS_US:
+            stack.pop()  # the enclosing span already closed
+        if stack:
+            top_start, top_end, top_name = stack[-1]
+            if ts + dur > top_end + EPS_US:
+                fail(f"event {i} ({ev['name']!r}) on tid {tid}: "
+                     f"[{ts}, {ts + dur}] overlaps the end of enclosing "
+                     f"{top_name!r} [{top_start}, {top_end}] - spans on one "
+                     f"track must nest")
+        stack.append((ts, ts + dur, ev.get("name")))
+
+    lanes = other["lanes"]
+    if not isinstance(lanes, int) or lanes < 1:
+        fail(f"otherData.lanes = {lanes!r} is not a positive integer")
+    missing = sorted(set(range(lanes)) - lanes_seen)
+    if missing:
+        fail(f"lanes {missing} carry no spans (otherData.lanes promises "
+             f"{lanes} lanes on tids {LANE_TID_BASE}.."
+             f"{LANE_TID_BASE + lanes - 1})")
+
+    if spans != other["spans"]:
+        fail(f"{spans} X events but otherData.spans = {other['spans']}")
+
+    print(f"trace_validate: ok: {path}: {spans} spans on "
+          f"{len(stacks)} tracks, {lanes} lanes covered, "
+          f"tool={other['tool']} version={other['version']} "
+          f"strategy={other['strategy']}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", nargs="+",
+                        help="Chrome trace-event JSON file(s) to validate")
+    args = parser.parse_args()
+    for path in args.trace:
+        validate(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
