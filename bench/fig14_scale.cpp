@@ -105,6 +105,19 @@ int main(int argc, char** argv) {
       .arg_double("r", 0.0, "BSR reclamation ratio in [0, 1]")
       .arg_string("cluster", "paper_cluster", "cluster profile registry key")
       .arg_string("devices", "1,2,4,8", "comma-separated GPU counts")
+      .arg_string("nodes", "",
+                  "comma-separated rack node counts; each count runs "
+                  "devices = nodes x devices_per_node of --cluster (rack "
+                  "profiles only; overrides --devices)")
+      .arg_string("grid", "auto",
+                  "process grid PxQ (e.g. 4x2; P*Q must equal each device "
+                  "count) or auto (near-square on racks, 1-D on flat)")
+      .arg_string("collective", "auto",
+                  "panel-broadcast schedule registry key (auto, relay, "
+                  "ring, tree)")
+      .arg_flag("rebalance",
+                "re-weight per-device work shares every iteration by "
+                "predicted throughput (straggler rebalancing)")
       .arg_string("format", "table", "output: table, csv, or json");
   add_variability_flags(cli);
   add_list_flag(cli);
@@ -115,7 +128,6 @@ int main(int argc, char** argv) {
   if (handled_version_flag(cli, "bench_fig14_scale")) return 0;
   const std::string format = cli.get("format");
   require_result_sink_or_exit(format);
-  const std::vector<int> counts = parse_counts_or_exit(cli.get("devices"));
   const std::int64_t n = cli.get_int("n");
 
   RunConfig base;
@@ -124,7 +136,45 @@ int main(int argc, char** argv) {
   base.strategy = cli.get("strategy");
   base.reclamation_ratio = cli.get_double("r");
   base.cluster = cli.get("cluster");
+  base.collective = cli.get("collective");
+  base.rebalance = cli.get_bool("rebalance");
+  if (const std::string grid = cli.get("grid"); grid != "auto") {
+    int p = 0;
+    int q = 0;
+    char tail = '\0';
+    if (std::sscanf(grid.c_str(), "%dx%d%c", &p, &q, &tail) != 2 || p < 1 ||
+        q < 1) {
+      std::fprintf(stderr,
+                   "error: --grid wants PxQ with positive integers (e.g. "
+                   "4x2) or auto; got \"%s\"\n",
+                   grid.c_str());
+      return 2;
+    }
+    base.grid_p = p;
+    base.grid_q = q;
+  }
   apply_variability_flags_or_exit(cli, base);
+
+  // --nodes axes run whole rack chassis: each count lowers to
+  // nodes x devices_per_node accelerators of the profile. Flat profiles
+  // have no node size, so the flag fails loudly naming the profile.
+  std::vector<int> counts;
+  if (const std::string nodes = cli.get("nodes"); !nodes.empty()) {
+    const ClusterProfileInfo info = cluster_profile_info(base.cluster);
+    if (info.devices_per_node <= 0) {
+      std::fprintf(stderr,
+                   "error: --nodes needs a rack profile with a per-node "
+                   "device count; profile \"%s\" is flat (use --devices)\n",
+                   base.cluster.c_str());
+      return 2;
+    }
+    for (const long long v : parse_int_list_or_exit(
+             "nodes", nodes, 1, 4096, "a node count in [1, 4096]", "1,2,4")) {
+      counts.push_back(static_cast<int>(v) * info.devices_per_node);
+    }
+  } else {
+    counts = parse_counts_or_exit(cli.get("devices"));
+  }
 
   // Both curves run as one grid so the shared result cache executes the
   // 1-GPU cell — identical in strong and weak scaling, and the single most

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,8 @@ using cluster::ClusterReport;
 /// Re-exported per-device accounting (busy/idle/DVFS seconds, energy,
 /// flops, ABFT iteration counts, final clock).
 using cluster::DeviceUsage;
+/// Re-exported panel-broadcast schedule (relay / ring / binomial tree).
+using cluster::BroadcastSchedule;
 
 /// Builds a ClusterProfile for a given accelerator count.
 using ClusterProfileFactory = std::function<cluster::ClusterProfile(int)>;
@@ -57,12 +60,54 @@ using ClusterProfileFactory = std::function<cluster::ClusterProfile(int)>;
 ///   paper_cluster (alias pcie): N replicated paper GPUs on per-device PCIe
 ///     x16 links behind a shared host bus;
 ///   nvlink_pairs (alias nvlink): paper_cluster plus 40 GB/s peer links
-///     between adjacent device pairs.
+///     between adjacent device pairs;
+///   rack_4x8 / rack_8x8 (alias rack): hierarchical racks of 4 / 8
+///     DGX-style nodes, 8 paper GPUs per node behind per-node buses with
+///     all-to-all intra-node NVLink, joined by a 25 GB/s inter-node network.
 Registry<ClusterProfileFactory>& cluster_profiles();
 /// Resolves `key` through bsr::cluster_profiles() and builds the profile
-/// for `devices` accelerators.
+/// for `devices` accelerators. Throws std::invalid_argument naming the
+/// profile and its capacity when `devices` exceeds what the profile holds.
 cluster::ClusterProfile make_cluster_profile(const std::string& key,
                                              int devices);
+
+/// Static shape metadata of a registered cluster profile, consulted without
+/// building the profile (validation error messages, --nodes axes, auto
+/// grid/collective resolution).
+struct ClusterProfileInfo {
+  /// Most devices the profile can hold; RunConfig::validate() and the
+  /// profile factory both fail loudly (profile name + this capacity) beyond.
+  int capacity = 4096;
+  /// Devices per rack node; 0 = flat single-node profile.
+  int devices_per_node = 0;
+};
+/// Shape metadata for `key` (any alias). Unregistered-but-valid keys (e.g.
+/// profiles added to the registry at runtime) report the permissive default.
+ClusterProfileInfo cluster_profile_info(const std::string& key);
+
+/// A collective-schedule registry value: a concrete schedule, or nullopt for
+/// "auto" (pick per topology: binomial tree on hierarchical rack profiles,
+/// the classic relay on flat ones).
+using ClusterCollective = std::optional<cluster::BroadcastSchedule>;
+
+/// Registry of panel-broadcast schedules for RunConfig::collective:
+/// auto (per-topology default), relay, ring, tree (alias binomial).
+Registry<ClusterCollective>& collectives();
+
+/// The distribution/collective knobs a cluster run of `cfg` will actually
+/// use, with "auto" resolved against the profile's shape: flat profiles keep
+/// the 1-D (devices x 1) grid and the relay broadcast (bit-for-bit the
+/// pre-grid behavior); rack profiles get a near-square process grid and the
+/// binomial tree. Feeds both engine lowering and fingerprint(), so cache
+/// keys never alias across layouts.
+struct ResolvedClusterLayout {
+  int grid_p = 0;                 ///< process-grid columns owners
+  int grid_q = 0;                 ///< process-grid row owners
+  cluster::BroadcastSchedule schedule =
+      cluster::BroadcastSchedule::Relay;  ///< resolved broadcast schedule
+};
+/// Resolves cfg's grid/collective for its profile (cfg.devices >= 1).
+ResolvedClusterLayout resolved_cluster_layout(const RunConfig& cfg);
 
 /// Explicit scale-out configuration: a base RunConfig (strategy, workload,
 /// ABFT, seed) plus the cluster shape.

@@ -113,6 +113,25 @@ struct RunConfig {
   int devices = 0;
   /// bsr::cluster_profiles() registry key, consulted when devices >= 1.
   std::string cluster = "paper_cluster";
+  /// Process grid for the trailing-update distribution (2-D block-cyclic,
+  /// ScaLAPACK-style): grid_p owners across block columns, grid_q across
+  /// block rows; grid_p * grid_q must equal `devices`. 0/0 (default) picks
+  /// per topology: flat profiles keep the 1-D (devices x 1) layout —
+  /// bit-for-bit the pre-grid engine — and rack profiles get a near-square
+  /// grid. Ignored when devices = 0.
+  int grid_p = 0;
+  int grid_q = 0;  ///< see grid_p
+  /// Panel-broadcast schedule, a bsr::collectives() registry key ("auto",
+  /// "relay", "ring", "tree"). "auto" (default) resolves per topology: the
+  /// classic relay on flat profiles, the binomial tree on rack profiles.
+  /// Ignored when devices = 0.
+  std::string collective = "auto";
+  /// Straggler rebalancing: re-weight per-device work shares every iteration
+  /// by the lanes' predicted TMU throughput, so devices drifting slow under
+  /// the variability model shed trailing blocks instead of pinning the
+  /// critical path. Off (default) keeps the static block-cyclic shares —
+  /// bit-for-bit the pre-rebalancing engine. Ignored when devices = 0.
+  bool rebalance = false;
 
   // -- observability (bsr/observability.hpp) ----------------------------------
   /// Optional span recorder riding alongside the configuration: when

@@ -2,16 +2,37 @@
 
 namespace bsr::cluster {
 
+namespace {
+
+/// Count of j in [first, last) with j mod m == r.
+std::int64_t cyclic_count(std::int64_t first, std::int64_t last,
+                          std::int64_t m, std::int64_t r) {
+  if (first >= last) return 0;
+  const std::int64_t lo = first + ((r - first) % m + m) % m;
+  if (lo >= last) return 0;
+  return (last - 1 - lo) / m + 1;
+}
+
+}  // namespace
+
 std::int64_t BlockCyclic::local_cols(const predict::WorkloadModel& wl, int k,
                                      int d) const {
   const std::int64_t first = static_cast<std::int64_t>(k) + 1;
   const std::int64_t last = wl.num_iterations();  // exclusive
-  if (first >= last) return 0;
-  // Count j in [first, last) with j mod devices == d.
-  const std::int64_t dd = devices;
-  const std::int64_t lo = first + ((d - first) % dd + dd) % dd;
-  if (lo >= last) return 0;
-  return (last - 1 - lo) / dd + 1;
+  return cyclic_count(first, last, p(), col_group(d));
+}
+
+std::int64_t BlockCyclic::local_blocks(const predict::WorkloadModel& wl,
+                                       int k, int d) const {
+  const std::int64_t first = static_cast<std::int64_t>(k) + 1;
+  const std::int64_t last = wl.num_iterations();
+  return local_cols(wl, k, d) *
+         cyclic_count(first, last, q(), row_group(d));
+}
+
+bool BlockCyclic::has_work(const predict::WorkloadModel& wl, int k,
+                           int d) const {
+  return local_blocks(wl, k, d) > 0;
 }
 
 double BlockCyclic::share(const predict::WorkloadModel& wl, int k,
@@ -19,7 +40,24 @@ double BlockCyclic::share(const predict::WorkloadModel& wl, int k,
   const std::int64_t total =
       static_cast<std::int64_t>(wl.num_iterations()) - k - 1;
   if (total <= 0) return 0.0;
-  return static_cast<double>(local_cols(wl, k, d)) /
+  if (q() == 1) {
+    // 1-D layout: the share is the trailing-column fraction, computed with
+    // the pre-grid arithmetic so existing runs stay bit-for-bit identical.
+    return static_cast<double>(local_cols(wl, k, d)) /
+           static_cast<double>(total);
+  }
+  return static_cast<double>(local_blocks(wl, k, d)) /
+         static_cast<double>(total * total);
+}
+
+double BlockCyclic::row_slice(const predict::WorkloadModel& wl, int k,
+                              int rg) const {
+  const std::int64_t total =
+      static_cast<std::int64_t>(wl.num_iterations()) - k - 1;
+  if (total <= 0) return 0.0;
+  if (q() == 1) return 1.0;
+  return static_cast<double>(cyclic_count(static_cast<std::int64_t>(k) + 1,
+                                          wl.num_iterations(), q(), rg)) /
          static_cast<double>(total);
 }
 

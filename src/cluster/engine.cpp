@@ -78,9 +78,26 @@ class ClusterRun {
       : profile_(profile),
         wl_(workload),
         opt_(options),
-        dist_{std::max(1, profile.num_devices())},
+        dist_{std::max(1, profile.num_devices()), options.grid_p,
+              options.grid_q},
         iters_(workload.num_iterations()),
-        blocks_total_((workload.n / workload.b) * (workload.n / workload.b)) {
+        blocks_total_((workload.n / workload.b) * (workload.n / workload.b)),
+        // Panel-priority look-ahead (hierarchical relay only): the next
+        // panel's owner updates that one column first and ships it home
+        // mid-update, overlapping the host's factorization with the rest of
+        // its trailing update. Fault campaigns disable it — a panel may only
+        // leave the device after the whole update's checksum verification,
+        // or a rollback would retract data already in flight.
+        early_ship_(profile.links.hierarchical() && !options.faults.enabled &&
+                    options.schedule == BroadcastSchedule::Relay),
+        // Accelerator-resident panel pipeline (hierarchical ring/tree): from
+        // iteration 1 on, panel k is factored on its owner device the moment
+        // panel k-1 arrives there, and broadcast device-to-device from that
+        // owner. The serial host panel — the 8-GPU scaling wall — leaves the
+        // critical path entirely; the relay schedule keeps the legacy
+        // host-staged pipeline as the comparison baseline.
+        device_pd_(profile.links.hierarchical() &&
+                   options.schedule != BroadcastSchedule::Relay) {
     lanes_.resize(1 + static_cast<std::size_t>(profile_.num_devices()));
     init_lane(lanes_[0], profile_.host, /*lane=*/0);
     for (int d = 0; d < profile_.num_devices(); ++d) {
@@ -88,6 +105,10 @@ class ClusterRun {
                 profile_.devices[static_cast<std::size_t>(d)], 1 + d);
     }
     link_free_.assign(lanes_.size(), SimTime::zero());
+    node_bus_free_.assign(
+        static_cast<std::size_t>(profile_.links.num_nodes()), SimTime::zero());
+    send_free_.assign(static_cast<std::size_t>(profile_.num_devices()),
+                      SimTime::zero());
     // Flat per-(iteration, lane) plan storage and reusable decide() scratch:
     // one allocation each for the whole run instead of per-iteration churn.
     plans_.resize(static_cast<std::size_t>(iters_) * lanes_.size());
@@ -97,6 +118,15 @@ class ClusterRun {
     arrival_.resize(static_cast<std::size_t>(profile_.num_devices()));
     upd_scheduled_.assign(
         static_cast<std::size_t>(iters_) * lanes_.size(), false);
+    if (opt_.rebalance) {
+      eff_share_.assign(static_cast<std::size_t>(iters_) *
+                            static_cast<std::size_t>(profile_.num_devices()),
+                        0.0);
+      weights_.resize(static_cast<std::size_t>(profile_.num_devices()));
+    }
+    recips_.reserve(static_cast<std::size_t>(profile_.num_devices()));
+    leaders_.reserve(static_cast<std::size_t>(profile_.links.num_nodes()));
+    group_.reserve(static_cast<std::size_t>(profile_.num_devices()));
     // Worst simultaneous backlog: one update per device plus the finish/pd
     // chain; reserved up front so scheduling never reallocates mid-run.
     engine_.reserve(2 * lanes_.size() + 8);
@@ -115,7 +145,7 @@ class ClusterRun {
     // immediately, and under R2H the hardware governor halts them — neither
     // should idle at base-clock power for the whole run.
     for (int d = 0; d < profile_.num_devices(); ++d) {
-      if (dist_.local_cols(wl_, 0, d) != 0) continue;
+      if (dist_.has_work(wl_, 0, d)) continue;
       Lane& lane = lanes_[static_cast<std::size_t>(1 + d)];
       if (opt_.strategy == ClusterStrategy::R2H) {
         lane.halt_idle = true;
@@ -274,27 +304,49 @@ class ClusterRun {
   /// The link is held for the whole transfer; the bus only for its *service
   /// time* (the transfer's share of the aggregate bus bandwidth), so a
   /// 2x-link bus genuinely carries two concurrent link-speed streams before
-  /// later transfers start queueing.
+  /// later transfers start queueing. On a hierarchical topology a transfer
+  /// to a remote node additionally occupies the inter-node network and the
+  /// target node's bus, each for its own service time under the same rule;
+  /// on a flat topology those segments do not exist and the arithmetic is
+  /// bit-for-bit the pre-hierarchical one.
   SimTime run_transfer(int device, SimTime ready, double bytes, int k) {
     const LinkTopology& links = profile_.links;
     SimTime dur_link =
         links.host_links[static_cast<std::size_t>(device)].time_for_bytes(
             bytes);
     SimTime dur_bus = links.host_bus.time_for_bytes(bytes);
+    const int node = links.node(device);
+    SimTime dur_inter;
+    SimTime dur_node_bus;
+    if (node != 0) {
+      dur_inter = links.internode.time_for_bytes(bytes);
+      dur_node_bus = links.node_bus.time_for_bytes(bytes);
+    }
     if (opt_.variability.enabled) {
       // One jitter draw per realized transfer, from the device lane's
-      // stream, scaling both the link and its bus share.
+      // stream, scaling the link and every shared-segment service time.
       const double j =
           lanes_[static_cast<std::size_t>(1 + device)].var.transfer_factor();
       dur_link = dur_link * j;
       dur_bus = dur_bus * j;
+      dur_inter = dur_inter * j;
+      dur_node_bus = dur_node_bus * j;
     }
-    const SimTime start =
+    SimTime start =
         max(max(ready, link_free_[static_cast<std::size_t>(1 + device)]),
             bus_free_);
-    const SimTime done = start + max(dur_link, dur_bus);
+    if (node != 0) {
+      start = max(start, internode_free_);
+      start = max(start, node_bus_free_[static_cast<std::size_t>(node)]);
+    }
+    const SimTime done =
+        start + max(max(dur_link, dur_bus), max(dur_inter, dur_node_bus));
     link_free_[static_cast<std::size_t>(1 + device)] = done;
     bus_free_ = start + dur_bus;
+    if (node != 0) {
+      internode_free_ = start + dur_inter;
+      node_bus_free_[static_cast<std::size_t>(node)] = start + dur_node_bus;
+    }
     record_transfer(1 + device, k, start, done);
     return done;
   }
@@ -327,6 +379,18 @@ class ClusterRun {
     return m * b * static_cast<double>(wl_.elem_bytes);
   }
 
+  /// Device d's effective share of iteration k's trailing-update work: the
+  /// structural block-cyclic fraction, or the rebalanced one decide() stored
+  /// for this iteration when straggler rebalancing is on. decide(k) always
+  /// runs before any share consumer of iteration k (it fires when PD(k)
+  /// starts), so the rebalanced row is never read unfilled.
+  [[nodiscard]] double share_for(int k, int d) const {
+    if (!opt_.rebalance) return dist_.share(wl_, k, d);
+    return eff_share_[static_cast<std::size_t>(k) *
+                          static_cast<std::size_t>(profile_.num_devices()) +
+                      static_cast<std::size_t>(d)];
+  }
+
   /// Noise-free compute duration of device d's local share of iteration k at
   /// clock f, split into the useful update and the checksum overhead.
   struct DeviceWork {
@@ -337,7 +401,7 @@ class ClusterRun {
   [[nodiscard]] DeviceWork device_work(int k, int d, hw::Mhz f,
                                        abft::ChecksumMode mode) const {
     const predict::IterationWork w = wl_.iteration(k);
-    const double share = dist_.share(wl_, k, d);
+    const double share = share_for(k, d);
     const hw::DeviceModel& dev = profile_.devices[static_cast<std::size_t>(d)];
     DeviceWork out;
     out.flops = w.gpu_flops() * share;
@@ -378,7 +442,7 @@ class ClusterRun {
   /// that per-device ABFT-OC covers (both for the frequency cap at plan time
   /// and the mode choice at update start, so the two cannot disagree).
   [[nodiscard]] std::int64_t local_blocks(int k, int d) const {
-    const double share = dist_.share(wl_, k, d);
+    const double share = share_for(k, d);
     return std::max<std::int64_t>(
         1, static_cast<std::int64_t>(
                std::llround(share * static_cast<double>(blocks_total_))));
@@ -392,11 +456,42 @@ class ClusterRun {
         .mode;
   }
 
+  /// Straggler rebalancing (generalized critical-lane selection): re-weight
+  /// iteration k's work shares by each lane's predicted TMU throughput. The
+  /// per-lane predictors absorb the realized durations — including the
+  /// variability drift walks — so a lane that has drifted slow sheds trailing
+  /// blocks to the fast lanes instead of pinning every iteration's critical
+  /// path. Communication volumes keep the structural block-cyclic fractions:
+  /// the re-assignment rides along the panel broadcast the devices receive
+  /// anyway. Uses only per-lane state recorded before PD(k) starts, so runs
+  /// stay bitwise deterministic at any sweep thread count.
+  void rebalance_shares(int k) {
+    const int nd = profile_.num_devices();
+    double* row = eff_share_.data() +
+                  static_cast<std::size_t>(k) * static_cast<std::size_t>(nd);
+    for (int d = 0; d < nd; ++d) row[d] = dist_.share(wl_, k, d);
+    if (k == 0) return;  // untrained predictors: no per-lane signal yet
+    double wsum = 0.0;
+    for (int d = 0; d < nd; ++d) {
+      const double pred =
+          predictor(lanes_[static_cast<std::size_t>(1 + d)])
+              .predict(OpKind::TMU, k);
+      if (!(pred > 0.0)) return;  // defensive: keep the structural shares
+      weights_[static_cast<std::size_t>(d)] = row[d] / pred;
+      wsum += weights_[static_cast<std::size_t>(d)];
+    }
+    if (!(wsum > 0.0)) return;  // final iterations: no trailing work at all
+    for (int d = 0; d < nd; ++d) {
+      row[d] = weights_[static_cast<std::size_t>(d)] / wsum;
+    }
+  }
+
   /// Computes the full per-lane plan for iteration k into `plan` (a row of
   /// plans_, n_lanes wide). Called once, when PD(k) starts (deterministic
   /// point in event order), using whatever the predictors have absorbed by
   /// then.
   void decide(int k, LaneDecision* plan) {
+    if (opt_.rebalance) rebalance_shares(k);
     const std::size_t n_lanes = lanes_.size();
     std::fill(plan, plan + n_lanes, LaneDecision{});
     const bool bsr = opt_.strategy == ClusterStrategy::BSR;
@@ -416,7 +511,7 @@ class ClusterRun {
         if (i > 0) {
           plan[i].core_t =
               predictor(lanes_[i]).predict(OpKind::TMU, k) *
-              dist_.share(wl_, k, static_cast<int>(i) - 1);
+              share_for(k, static_cast<int>(i) - 1);
         }
       }
       return;
@@ -430,20 +525,42 @@ class ClusterRun {
     std::vector<double>& over = over_;   // fixed transfer part
     std::fill(core.begin(), core.end(), 0.0);
     std::fill(over.begin(), over.end(), 0.0);
-    core[0] = predictor(lanes_[0]).predict(OpKind::PD, k);
-    if (k + 1 < iters_) {
-      over[0] = profile_.links
-                    .device_to_host(dist_.owner(k + 1), one_way_bytes(k + 1))
-                    .seconds();
+    if (device_pd_ && k > 0) {
+      // Accelerator-resident panels: the host lane is idle from iteration 1
+      // on; the panel cost lands on the owner device's estimate below.
+      core[0] = 0.0;
+      over[0] = 0.0;
+    } else {
+      core[0] = predictor(lanes_[0]).predict(OpKind::PD, k);
+      if (k + 1 < iters_) {
+        over[0] = profile_.links
+                      .device_to_host(dist_.owner(k + 1), one_way_bytes(k + 1))
+                      .seconds();
+      }
     }
     for (std::size_t i = 1; i < n_lanes; ++i) {
       const int d = static_cast<int>(i) - 1;
-      const double share = dist_.share(wl_, k, d);
+      const double share = share_for(k, d);
+      // The broadcast payload a device waits for is its row group's slice of
+      // the panel (the whole panel on the 1-D layout, where row_slice is 1).
+      const double bytes =
+          one_way_bytes(k) * dist_.row_slice(wl_, k, dist_.row_group(d));
       core[i] = predictor(lanes_[i]).predict(OpKind::TMU, k) * share;
       over[i] = share > 0.0
-                    ? profile_.links.host_to_device(d, one_way_bytes(k))
-                          .seconds()
+                    ? profile_.links.host_to_device(d, bytes).seconds()
                     : 0.0;
+      if (device_pd_ && k > 0 && d == dist_.owner(k)) {
+        // The panel-owning lane additionally factors panel k this
+        // iteration. Model-based estimate (the per-lane PD history is too
+        // sparse under round-robin ownership to feed the predictors).
+        core[i] += lanes_[i]
+                       .dev->perf
+                       .time_for_flops(wl_.iteration(k).pd_flops,
+                                       hw::KernelClass::Panel,
+                                       lanes_[i].dev->freq.base_mhz,
+                                       lanes_[i].dev->freq)
+                       .seconds();
+      }
     }
     std::vector<double>& lane_t = lane_t_;
     for (std::size_t i = 0; i < n_lanes; ++i) lane_t[i] = core[i] + over[i];
@@ -469,8 +586,18 @@ class ClusterRun {
       if (bsr && opt_.bsr.reclamation_ratio > 0.0 && slack > 0.0) {
         t_desired = core[crit] - (opt_.bsr.reclamation_ratio * slack + l);
       }
-      hw::Mhz f = energy::freq_for_time(core[crit], t_desired, *lane.dev, oc);
-      if (!oc) f = std::min(f, lane.dev->freq.base_mhz);
+      hw::Mhz f;
+      if (bsr && crit == 0 && profile_.links.hierarchical()) {
+        // Rack-scale generalization of the critical-lane rule: when the
+        // host panel lane is the bottleneck of a hierarchical pipeline,
+        // every trailing update on every node is gated on the next panel —
+        // there is no second lane to reclaim against, so BSR runs the panel
+        // at the domain's top clock instead of balancing toward t_second.
+        f = oc ? lane.dev->freq.max_oc_mhz : lane.dev->freq.max_default_mhz;
+      } else {
+        f = energy::freq_for_time(core[crit], t_desired, *lane.dev, oc);
+        if (!oc) f = std::min(f, lane.dev->freq.base_mhz);
+      }
       if (crit > 0 && !opt_.forced_abft) {
         // ABFT-OC may cap the clock at the coverable frequency (the checksum
         // mode itself is chosen at update start, against the live clock).
@@ -532,29 +659,37 @@ class ClusterRun {
 
   void start_pd(int k, SimTime ready) {
     decide(k, plan_row(k));
-    Lane& host = lanes_[0];
-    LaneDecision d = plan_row(k)[0];
+    // Panel 0 is always factored on the host (the matrix is generated
+    // there); from k = 1 the accelerator-resident pipeline factors panel k
+    // on its owner device, queued behind whatever that lane is running —
+    // the panel-k-1 arrival that fired this event gives it lane priority
+    // over the same device's iteration-k trailing update.
+    const bool on_device = device_pd_ && k > 0;
+    Lane& lane = on_device
+                     ? lanes_[static_cast<std::size_t>(1 + dist_.owner(k))]
+                     : lanes_[0];
+    LaneDecision d = plan_row(k)[static_cast<std::size_t>(lane.index)];
     const predict::IterationWork w = wl_.iteration(k);
     // Realize the clock first so the busy time reflects the new frequency
     // (variability may quantize or thermally clamp the plan's choice).
-    const hw::Mhz f = realize_clock(host, d);
-    SimTime busy = host.dev->perf.time_for_flops(
-        w.pd_flops, hw::KernelClass::Panel, f, host.dev->freq);
-    busy = busy * lane_noise(0, k);
-    if (opt_.variability.enabled) busy = busy * host.var.compute_factor(k);
-    const SimTime done = run_compute(host, ready, d, busy, w.pd_flops);
+    const hw::Mhz f = realize_clock(lane, d);
+    SimTime busy = lane.dev->perf.time_for_flops(
+        w.pd_flops, hw::KernelClass::Panel, f, lane.dev->freq);
+    busy = busy * lane_noise(lane.index, k);
+    if (opt_.variability.enabled) busy = busy * lane.var.compute_factor(k);
+    const SimTime done = run_compute(lane, ready, d, busy, w.pd_flops);
     if (trace_ != nullptr) {
       obs::TraceSpan s;
       s.kind = obs::SpanKind::Panel;
       s.start_ns = (done - busy).ns();
       s.dur_ns = busy.ns();
       s.k = k;
-      s.lane = 0;
-      s.freq_mhz = static_cast<std::int32_t>(host.dvfs.current());
+      s.lane = lane.index;
+      s.freq_mhz = static_cast<std::int32_t>(lane.dvfs.current());
       s.dvfs_ns = last_dvfs_lat_.ns();
       trace_->record(s);
     }
-    record(lanes_[0], OpKind::PD, k, busy.seconds(), 1.0);
+    record(lane, OpKind::PD, k, busy.seconds(), 1.0);
     engine_.schedule_at(done, ClusterEvent{ClusterEvent::Kind::FinishPd, k, 0});
   }
 
@@ -575,34 +710,258 @@ class ClusterRun {
     return free;
   }
 
+  /// Direct cross-node device-to-device transfer (GPUDirect-RDMA-style): the
+  /// payload crosses the shared inter-node fabric once, held for the full
+  /// transfer, without touching the host bus or staging through host memory.
+  /// Only the ring/tree collective schedules issue these; the relay schedule
+  /// predates the hierarchy and always goes through the host.
+  SimTime run_internode_transfer(int dst, SimTime ready, double bytes, int k) {
+    SimTime dur = profile_.links.internode.time_for_bytes(bytes);
+    if (opt_.variability.enabled) {
+      dur = dur *
+            lanes_[static_cast<std::size_t>(1 + dst)].var.transfer_factor();
+    }
+    const SimTime start = max(ready, internode_free_);
+    internode_free_ = start + dur;
+    record_transfer(1 + dst, k, start, internode_free_);
+    return internode_free_;
+  }
+
+  /// Device-to-device hop with no direct peer link: d2h, pinned-buffer
+  /// staging, h2d — each leg a full contended host transfer.
+  SimTime run_staged_transfer(int src, int dst, SimTime ready, double bytes,
+                              int k) {
+    const SimTime up = run_transfer(src, ready, bytes, k);
+    return run_transfer(dst, up + profile_.links.staging_latency, bytes, k);
+  }
+
+  /// One device-to-device broadcast hop under the collective schedules: peer
+  /// link when registered, the inter-node fabric when the endpoints sit on
+  /// different nodes, staged through host memory otherwise.
+  SimTime run_hop(int src, int dst, SimTime ready, double bytes, int k) {
+    if (const hw::TransferModel* link = profile_.links.peer(src, dst)) {
+      return run_peer_transfer(src, dst, ready, bytes, *link, k);
+    }
+    if (profile_.links.node(src) != profile_.links.node(dst)) {
+      return run_internode_transfer(dst, ready, bytes, k);
+    }
+    return run_staged_transfer(src, dst, ready, bytes, k);
+  }
+
   void finish_pd(int k) {
     // Broadcast the factored panel to every device that owns trailing
-    // columns; each transfer fires that device's update on arrival. Devices
-    // with a direct peer link to a lower-indexed device that also needs the
-    // panel receive it as a one-hop relay over that link instead (NCCL-style
-    // pair forwarding), halving the pressure on the shared host bus.
+    // blocks; each arrival fires that device's update. On the 1-D layout the
+    // whole panel goes to every device; a p x q grid splits the broadcast
+    // into one job per process-grid row group, carrying only that group's
+    // row slice of the panel (the 2-D volume saving).
+    std::fill(arrival_.begin(), arrival_.end(), SimTime());
     const double bytes = one_way_bytes(k);
-    std::vector<SimTime>& arrival = arrival_;  // member scratch, fully rewritten
-    std::fill(arrival.begin(), arrival.end(), SimTime());
-    for (int d = 0; d < profile_.num_devices(); ++d) {
-      if (dist_.local_cols(wl_, k, d) == 0) continue;
+    // The broadcast root: the host, or — in the accelerator-resident panel
+    // pipeline — the device that just factored panel k and already holds it.
+    const int source = device_pd_ && k > 0 ? dist_.owner(k) : -1;
+    // Ring and tree hand the payload to the *next* panel's owner at the
+    // earliest hop: its arrival gates the next panel factorization, so the
+    // pipeline is only as deep as that first delivery. From a device root
+    // the chain starts at the root itself (the next owner is its cyclic
+    // successor, one hop away). Rotation is a hierarchical-only refinement —
+    // on flat profiles the schedules keep the ascending legacy order.
+    const int next_owner = k + 1 < iters_ ? dist_.owner(k + 1) : -1;
+    const int lead = source >= 0
+                         ? source
+                         : profile_.links.hierarchical() ? next_owner : -1;
+    for (int rg = 0; rg < dist_.q(); ++rg) {
+      recips_.clear();
+      for (int d = rg * dist_.p(); d < (rg + 1) * dist_.p(); ++d) {
+        if (d < profile_.num_devices() && dist_.has_work(wl_, k, d)) {
+          recips_.push_back(d);
+        }
+      }
+      if (recips_.empty()) continue;
+      const double job_bytes = bytes * dist_.row_slice(wl_, k, rg);
+      switch (opt_.schedule) {
+        case BroadcastSchedule::Relay: relay_job(k, job_bytes); break;
+        case BroadcastSchedule::Ring:
+          ring_job(k, job_bytes, lead, source);
+          break;
+        case BroadcastSchedule::Tree:
+          tree_job(k, job_bytes, lead, source);
+          break;
+      }
+      if (opt_.schedule != BroadcastSchedule::Relay) {
+        // The next panel factorization fires at its owner's arrival and is
+        // scheduled *before* the same-instant StartUpdate events, so it
+        // gets the lane first — panel-priority, the panel column's own
+        // update folded into the factorization window.
+        if (device_pd_ && next_owner >= 0 && dist_.row_group(next_owner) == rg) {
+          engine_.schedule_at(
+              arrival_[static_cast<std::size_t>(next_owner)],
+              ClusterEvent{ClusterEvent::Kind::StartPd, k + 1, 0});
+        }
+        schedule_job_updates(k);
+      }
+    }
+  }
+
+  /// The host-rooted star with opportunistic one-hop peer forwarding — the
+  /// pre-collective broadcast, now restricted to one job's recipients
+  /// (recips_). Every recipient either relays off the first earlier
+  /// recipient it shares a peer link with, or takes its own host transfer.
+  /// On a flat 1-D topology this loop is the pre-collective code path,
+  /// bit-for-bit; on a hierarchical one the relay source's send port
+  /// serializes (send_free_), so fanning eight peers out of one device costs
+  /// eight sends, not one.
+  void relay_job(int k, double bytes) {
+    for (std::size_t i = 0; i < recips_.size(); ++i) {
+      const int d = recips_[i];
       const hw::TransferModel* relay_link = nullptr;
       int relay_src = -1;
-      for (int q = 0; q < d; ++q) {
-        if (dist_.local_cols(wl_, k, q) == 0) continue;
-        if (const hw::TransferModel* peer = profile_.links.peer(q, d)) {
+      for (std::size_t j = 0; j < i; ++j) {
+        if (const hw::TransferModel* peer =
+                profile_.links.peer(recips_[j], d)) {
           relay_link = peer;
-          relay_src = q;
+          relay_src = recips_[j];
           break;
         }
       }
-      arrival[static_cast<std::size_t>(d)] =
-          relay_link != nullptr
-              ? run_peer_transfer(relay_src, d,
-                                  arrival[static_cast<std::size_t>(relay_src)],
-                                  bytes, *relay_link, k)
-              : run_transfer(d, lanes_[0].busy_until, bytes, k);
-      engine_.schedule_at(arrival[static_cast<std::size_t>(d)],
+      SimTime at;
+      if (relay_link != nullptr) {
+        SimTime ready = arrival_[static_cast<std::size_t>(relay_src)];
+        if (profile_.links.hierarchical()) {
+          ready = max(ready, send_free_[static_cast<std::size_t>(relay_src)]);
+        }
+        at = run_peer_transfer(relay_src, d, ready, bytes, *relay_link, k);
+        if (profile_.links.hierarchical()) {
+          send_free_[static_cast<std::size_t>(relay_src)] = at;
+        }
+      } else {
+        at = run_transfer(d, lanes_[0].busy_until, bytes, k);
+      }
+      arrival_[static_cast<std::size_t>(d)] = at;
+      engine_.schedule_at(at,
+                          ClusterEvent{ClusterEvent::Kind::StartUpdate, k, d});
+    }
+  }
+
+  /// Seeds a job's first device with the payload: a no-op when it *is* the
+  /// broadcast root, one device-to-device hop from a device root (the root's
+  /// send port serializes across jobs and tree rounds), or the legacy host
+  /// transfer when the root is the host (source < 0).
+  SimTime seed_first(int first, int source, double bytes, int k) {
+    if (first == source) return engine_.now();
+    if (source >= 0) {
+      const SimTime ready =
+          max(engine_.now(), send_free_[static_cast<std::size_t>(source)]);
+      const SimTime at = run_hop(source, first, ready, bytes, k);
+      send_free_[static_cast<std::size_t>(source)] = at;
+      return at;
+    }
+    return run_transfer(first, lanes_[0].busy_until, bytes, k);
+  }
+
+  /// Ring broadcast: root -> first recipient, then a node-contiguous chain
+  /// of device-to-device hops (device ids are node-contiguous on the rack
+  /// profiles), so the root pays for exactly one send per job. The chain is
+  /// rotated to start at `lead` (the broadcast root when it is a recipient,
+  /// else the next panel's owner) when that device is in this job.
+  void ring_job(int k, double bytes, int lead, int source) {
+    for (std::size_t i = 0; i < recips_.size(); ++i) {
+      if (recips_[i] == lead) {
+        std::rotate(recips_.begin(),
+                    recips_.begin() + static_cast<std::ptrdiff_t>(i),
+                    recips_.end());
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < recips_.size(); ++i) {
+      const int d = recips_[i];
+      if (i == 0) {
+        arrival_[static_cast<std::size_t>(d)] =
+            seed_first(d, source, bytes, k);
+      } else {
+        const int src = recips_[i - 1];
+        arrival_[static_cast<std::size_t>(d)] =
+            run_hop(src, d, arrival_[static_cast<std::size_t>(src)], bytes, k);
+      }
+    }
+  }
+
+  /// Two-level binomial tree: the host seeds the first node's leader, the
+  /// node leaders propagate binomially over the inter-node fabric, and each
+  /// node's recipients double the holder set every round over intra-node
+  /// peer links. Sends are issued in deterministic (round, rank) order and
+  /// each sender's port serializes through send_free_.
+  void tree_job(int k, double bytes, int lead, int source) {
+    // Node leaders, in node order (recips_ is ascending and device ids are
+    // node-contiguous): normally a node's first recipient, but `lead` (the
+    // broadcast root when it is a recipient, else the next panel's owner)
+    // is promoted to lead its node — and, by rotation, the whole tree — so
+    // the pipeline-critical device holds the payload at the earliest hop.
+    leaders_.clear();
+    std::size_t lead_leader = recips_.size();  // index into leaders_
+    for (std::size_t i = 0; i < recips_.size(); ++i) {
+      if (i == 0 || profile_.links.node(recips_[i]) !=
+                        profile_.links.node(recips_[i - 1])) {
+        leaders_.push_back(recips_[i]);
+      }
+      if (recips_[i] == lead) {
+        leaders_.back() = lead;
+        lead_leader = leaders_.size() - 1;
+      }
+    }
+    if (lead_leader < leaders_.size()) {
+      std::rotate(leaders_.begin(),
+                  leaders_.begin() + static_cast<std::ptrdiff_t>(lead_leader),
+                  leaders_.end());
+    }
+    arrival_[static_cast<std::size_t>(leaders_[0])] =
+        seed_first(leaders_[0], source, bytes, k);
+    binomial_rounds(leaders_, k, bytes);
+    // Intra-node fan-out over each node's contiguous slice of recips_, the
+    // node's leader (the promoted lead, where it applies) at rank 0 —
+    // binomial_rounds requires rank 0 to hold the payload already.
+    std::size_t i = 0;
+    while (i < recips_.size()) {
+      const int node = profile_.links.node(recips_[i]);
+      std::size_t j = i;
+      group_.clear();
+      while (j < recips_.size() && profile_.links.node(recips_[j]) == node) {
+        group_.push_back(recips_[j]);
+        ++j;
+      }
+      for (std::size_t u = 1; u < group_.size(); ++u) {
+        if (group_[u] == lead) {
+          std::swap(group_[0], group_[u]);
+          break;
+        }
+      }
+      binomial_rounds(group_, k, bytes);
+      i = j;
+    }
+  }
+
+  /// Standard binomial broadcast over `ranks` (rank 0 already holds the
+  /// payload): in round r, every rank u < 2^r sends to rank u + 2^r.
+  void binomial_rounds(const std::vector<int>& ranks, int k, double bytes) {
+    for (std::size_t stride = 1; stride < ranks.size(); stride <<= 1) {
+      for (std::size_t u = 0; u < stride && u + stride < ranks.size(); ++u) {
+        const int src = ranks[u];
+        const int dst = ranks[u + stride];
+        const SimTime ready =
+            max(arrival_[static_cast<std::size_t>(src)],
+                send_free_[static_cast<std::size_t>(src)]);
+        arrival_[static_cast<std::size_t>(dst)] =
+            run_hop(src, dst, ready, bytes, k);
+        send_free_[static_cast<std::size_t>(src)] =
+            arrival_[static_cast<std::size_t>(dst)];
+      }
+    }
+  }
+
+  /// Fires StartUpdate for every recipient of the current job at its
+  /// computed arrival, in ascending device order (deterministic tie-breaks).
+  void schedule_job_updates(int k) {
+    for (const int d : recips_) {
+      engine_.schedule_at(arrival_[static_cast<std::size_t>(d)],
                           ClusterEvent{ClusterEvent::Kind::StartUpdate, k, d});
     }
   }
@@ -650,11 +1009,26 @@ class ClusterRun {
       case abft::ChecksumMode::SingleSide: ++lane.use.iters_single; break;
       case abft::ChecksumMode::Full: ++lane.use.iters_full; break;
     }
-    const double share = dist_.share(wl_, k, d);
+    const double share = share_for(k, d);
     if (share > 0.0) {
       // Measured profiles exclude recovery time below: a fault is an
       // anomaly, not an efficiency change the predictors should learn.
       record(lane, OpKind::TMU, k, (work.update * noise).seconds(), share);
+    }
+    if (early_ship_ && k + 1 < iters_ && d == dist_.owner(k + 1)) {
+      // Panel-priority look-ahead: the owner reorders its local update to
+      // finish panel column k+1 first (one of its local_cols columns) and
+      // DMAs it home at that instant, so the host factors PD(k+1) while the
+      // rest of this device's trailing update is still running. The lane
+      // itself stays busy until `done` — only the transfer departs early.
+      const std::int64_t cols =
+          std::max<std::int64_t>(1, dist_.local_cols(wl_, k, d));
+      const SimTime slice_done =
+          done - busy + busy * (1.0 / static_cast<double>(cols));
+      const SimTime arrived =
+          run_transfer(d, slice_done, one_way_bytes(k + 1), k + 1);
+      engine_.schedule_at(
+          arrived, ClusterEvent{ClusterEvent::Kind::StartPd, k + 1, 0});
     }
     if (opt_.faults.enabled) {
       done = expose_update(lane, dec, k, d, f, mode, work.update * noise);
@@ -724,18 +1098,21 @@ class ClusterRun {
   void finish_update(int k, int d) {
     // Look-ahead: the owner of panel k+1 ships it home the moment its own
     // update is done; the host can then factor it while the other devices
-    // are still updating iteration k.
-    if (k + 1 < iters_ && d == dist_.owner(k + 1)) {
+    // are still updating iteration k. (The hierarchical relay ships it
+    // mid-update from start_update() instead, and the accelerator-resident
+    // pipeline never ships panels home at all.)
+    if (!early_ship_ && !device_pd_ && k + 1 < iters_ &&
+        d == dist_.owner(k + 1)) {
       const SimTime arrived = run_transfer(
           d, lanes_[static_cast<std::size_t>(1 + d)].busy_until,
           one_way_bytes(k + 1), k + 1);
       engine_.schedule_at(
           arrived, ClusterEvent{ClusterEvent::Kind::StartPd, k + 1, 0});
     }
-    // Once a device owns no trailing columns it never works again
+    // Once a device owns no trailing blocks it never works again
     // (block-cyclic ownership only shrinks): park the retired lane so it
     // does not burn last-clock idle power until the makespan barrier.
-    if (k + 1 >= iters_ || dist_.local_cols(wl_, k + 1, d) == 0) {
+    if (k + 1 >= iters_ || !dist_.has_work(wl_, k + 1, d)) {
       park_lane(lanes_[static_cast<std::size_t>(1 + d)]);
     }
   }
@@ -781,15 +1158,23 @@ class ClusterRun {
   BlockCyclic dist_;
   int iters_ = 0;
   std::int64_t blocks_total_ = 0;
+  bool early_ship_ = false;  ///< panel-priority look-ahead (see ctor)
+  bool device_pd_ = false;   ///< accelerator-resident panels (see ctor)
 
   BasicEventEngine<ClusterEvent> engine_;
   std::vector<Lane> lanes_;
   std::vector<SimTime> link_free_;  ///< indexed like lanes_ (slot 0 unused)
   SimTime bus_free_;
+  SimTime internode_free_;            ///< shared inter-node fabric
+  std::vector<SimTime> node_bus_free_;  ///< per-node bus (slot 0 unused)
+  std::vector<SimTime> send_free_;    ///< per-device send port (collectives)
   std::map<std::pair<int, int>, SimTime> peer_free_;  ///< key (min, max)
   std::vector<LaneDecision> plans_;  ///< flat (iteration, lane) plan grid
   std::vector<double> core_, over_, lane_t_;  ///< decide() scratch
+  std::vector<double> eff_share_;  ///< flat (iteration, device) shares
+  std::vector<double> weights_;    ///< rebalance_shares() scratch
   std::vector<SimTime> arrival_;              ///< finish_pd() scratch
+  std::vector<int> recips_, leaders_, group_;  ///< broadcast-job scratch
   std::vector<char> upd_scheduled_;
 };
 
@@ -807,6 +1192,18 @@ ClusterReport run_cluster(const ClusterProfile& profile,
         "run_cluster: link topology covers " +
         std::to_string(profile.links.num_devices()) + " devices, profile has " +
         std::to_string(profile.num_devices()));
+  }
+  if ((options.grid_p > 0) != (options.grid_q > 0)) {
+    throw std::invalid_argument(
+        "run_cluster: set both grid_p and grid_q (or neither for the 1-D "
+        "layout)");
+  }
+  if (options.grid_p > 0 &&
+      options.grid_p * options.grid_q != profile.num_devices()) {
+    throw std::invalid_argument(
+        "run_cluster: process grid " + std::to_string(options.grid_p) + "x" +
+        std::to_string(options.grid_q) + " must cover exactly " +
+        std::to_string(profile.num_devices()) + " devices");
   }
   ClusterRun run(profile, workload, options);
   return run.run();

@@ -35,6 +35,22 @@ namespace bsr::cluster {
 /// drive the cluster engine; core rejects them with a clear message.)
 enum class ClusterStrategy { Original, R2H, SR, BSR };
 
+/// How the factored panel reaches the devices each iteration.
+///
+///   Relay — the pre-collective behavior: a host-rooted star over the
+///       per-device links (queueing on the host bus), with a one-hop
+///       opportunistic forward over a direct peer link when a lower-indexed
+///       recipient already holds the panel.
+///   Ring — a node-contiguous chain host -> d0 -> d1 -> ...: each recipient
+///       forwards over its peer link (staging through the host only when no
+///       peer link exists), so the host pays for one send however many
+///       devices listen.
+///   Tree — a two-level binomial broadcast: the host sends once per node
+///       (crossing the inter-node network), then each node's recipients
+///       double the holder set every round over intra-node peer links —
+///       O(log per_node) rounds instead of a per-device host send.
+enum class BroadcastSchedule { Relay, Ring, Tree };
+
 struct ClusterOptions {
   ClusterStrategy strategy = ClusterStrategy::BSR;
   /// r / fc_desired / ablation switches, shared by every device pair.
@@ -70,6 +86,21 @@ struct ClusterOptions {
   /// emission; tracing observes the timeline without perturbing it, so the
   /// ClusterReport is bit-for-bit identical either way.
   obs::TraceRecorder* trace = nullptr;
+  /// Process grid for the trailing-update distribution: grid_p owners across
+  /// block columns, grid_q across block rows (grid_p * grid_q must equal the
+  /// device count). 0/0 (default) keeps the 1-D column-cyclic layout —
+  /// bit-for-bit the pre-grid engine.
+  int grid_p = 0;
+  int grid_q = 0;
+  /// Panel-broadcast schedule. Relay (default) is bit-for-bit the
+  /// pre-collective engine on the 1-D layout.
+  BroadcastSchedule schedule = BroadcastSchedule::Relay;
+  /// Straggler rebalancing: re-weight per-device work shares each iteration
+  /// by the lanes' predicted throughput (per-lane TMU predictions absorb the
+  /// variability drift walks), so a drifting-slow device sheds trailing
+  /// blocks instead of pinning the critical path. Off (default) keeps the
+  /// static block-cyclic shares — bit-for-bit the pre-rebalancing engine.
+  bool rebalance = false;
 };
 
 /// Runs the whole factorization on the cluster; bitwise deterministic in

@@ -1,5 +1,6 @@
 #include "cluster/topology.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -19,9 +20,24 @@ const hw::TransferModel& link_or_throw(
 
 }  // namespace
 
+int LinkTopology::num_nodes() const {
+  int last = 0;
+  for (const int n : node_of) last = std::max(last, n);
+  return last + 1;
+}
+
 SimTime LinkTopology::host_to_device(int device, double bytes) const {
   const hw::TransferModel& link = link_or_throw(host_links, device);
-  return max(link.time_for_bytes(bytes), host_bus.time_for_bytes(bytes));
+  SimTime t = max(link.time_for_bytes(bytes), host_bus.time_for_bytes(bytes));
+  if (node(device) != 0) {
+    // Remote node: the transfer additionally crosses the inter-node network
+    // and the target node's local bus. Segments are pipelined (store-and-
+    // forward at wire speed), so the uncontended duration is the slowest
+    // segment, exactly like the link-vs-bus rule above.
+    t = max(t, internode.time_for_bytes(bytes));
+    t = max(t, node_bus.time_for_bytes(bytes));
+  }
+  return t;
 }
 
 SimTime LinkTopology::device_to_host(int device, double bytes) const {
@@ -76,6 +92,49 @@ ClusterProfile ClusterProfile::nvlink_pairs(int num_gpus) {
                                  .latency = SimTime::from_micros(3.0)};
   for (int d = 0; d + 1 < num_gpus; d += 2) {
     c.links.peer_links.emplace(std::make_pair(d, d + 1), nvlink);
+  }
+  return c;
+}
+
+void check_profile_capacity(const std::string& profile_name, int num_gpus,
+                            int capacity) {
+  if (num_gpus <= capacity) return;
+  throw std::invalid_argument("cluster profile \"" + profile_name +
+                              "\" holds at most " + std::to_string(capacity) +
+                              " devices; got " + std::to_string(num_gpus));
+}
+
+ClusterProfile ClusterProfile::rack(int num_gpus, int per_node, int max_nodes,
+                                    const std::string& profile_name) {
+  check_profile_capacity(profile_name, num_gpus, per_node * max_nodes);
+  ClusterProfile c = paper_scaleout(num_gpus);
+  c.devices_per_node = per_node;
+  c.links.node_of.resize(static_cast<std::size_t>(num_gpus));
+  for (int d = 0; d < num_gpus; ++d) {
+    c.links.node_of[static_cast<std::size_t>(d)] = d / per_node;
+  }
+  // The rack chassis are a hardware generation ahead of the paper's testbed:
+  // PCIe 4.0 x16 per device behind a root complex that sustains two
+  // concurrent gen4 streams (DGX-class dual-socket I/O).
+  const hw::TransferModel gen4{.bandwidth_gbs = 25.0,
+                               .latency = SimTime::from_micros(5.0)};
+  c.links.host_links.assign(static_cast<std::size_t>(num_gpus), gen4);
+  c.links.host_bus = {.bandwidth_gbs = 2.0 * gen4.bandwidth_gbs,
+                      .latency = gen4.latency};
+  // Each non-host node mirrors the host's root complex; the inter-node
+  // fabric sustains one HDR-class stream between any two chassis.
+  c.links.node_bus = c.links.host_bus;
+  c.links.internode = {.bandwidth_gbs = 25.0,
+                       .latency = SimTime::from_micros(5.0)};
+  // DGX-style all-to-all NVLink inside every node: peer traffic between
+  // chassis still stages through the hosts.
+  const hw::TransferModel nvlink{.bandwidth_gbs = 40.0,
+                                 .latency = SimTime::from_micros(3.0)};
+  for (int a = 0; a < num_gpus; ++a) {
+    for (int b = a + 1; b < num_gpus; ++b) {
+      if (a / per_node != b / per_node) continue;
+      c.links.peer_links.emplace(std::make_pair(a, b), nvlink);
+    }
   }
   return c;
 }

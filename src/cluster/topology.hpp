@@ -8,10 +8,17 @@
 // bus-bound even though the eight links are independent. Device-to-device
 // traffic is staged through host memory (d2h + staging + h2d) unless an
 // explicit peer link (NVLink-style) is registered for the pair.
+//
+// A topology may additionally be *hierarchical*: devices group into nodes
+// (node_of), each node has its own local bus, and traffic leaving the host's
+// node (node 0, where the host lives) crosses the shared inter-node network
+// on top of the host bus. A flat topology (node_of empty) is bit-for-bit the
+// pre-hierarchical model: only the link and the host bus are consulted.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -34,7 +41,32 @@ struct LinkTopology {
   /// back to the (dst, src) entry, so one registration covers both directions.
   std::map<std::pair<int, int>, hw::TransferModel> peer_links;
 
+  // -- hierarchy (rack profiles) ----------------------------------------------
+  /// node_of[d] is the node (chassis) device d sits in; empty = flat topology
+  /// (every device on the host's node). The host lives on node 0.
+  std::vector<int> node_of;
+  /// Local bus of each non-host node: host<->device traffic to node j > 0
+  /// additionally crosses node j's bus. Node 0's bus IS host_bus.
+  hw::TransferModel node_bus;
+  /// The shared inter-node network (switch fabric). Every transfer whose
+  /// endpoints sit on different nodes crosses it exactly once.
+  hw::TransferModel internode;
+
   [[nodiscard]] std::size_t num_devices() const { return host_links.size(); }
+
+  /// Node of device d: node_of[d], or 0 for a flat topology.
+  [[nodiscard]] int node(int device) const {
+    return node_of.empty() ? 0 : node_of[static_cast<std::size_t>(device)];
+  }
+  /// 1 + max(node_of) (1 for a flat topology).
+  [[nodiscard]] int num_nodes() const;
+  /// True for rack-style topologies (node_of populated), even when every
+  /// populated device happens to sit in node 0: the hierarchical scheduling
+  /// rules (send-port serialization, panel-priority look-ahead, critical-
+  /// lane boost) key off the profile's *shape*, not the device count, so a
+  /// rack's scaling curve is one consistent model from 1 device up. Flat
+  /// profiles (empty node_of) keep the pre-hierarchical engine bit-for-bit.
+  [[nodiscard]] bool hierarchical() const { return !node_of.empty(); }
 
   /// Uncontended transfer times (the engine adds queueing on top).
   [[nodiscard]] SimTime host_to_device(int device, double bytes) const;
@@ -51,6 +83,10 @@ struct ClusterProfile {
   hw::DeviceModel host;
   std::vector<hw::DeviceModel> devices;
   LinkTopology links;
+  /// Devices per node for rack-style profiles; 0 = flat single-node profile.
+  /// Drives the node geometry of `--nodes` axes and the auto process-grid /
+  /// auto collective resolution (flat profiles keep the 1-D relay behavior).
+  int devices_per_node = 0;
 
   [[nodiscard]] int num_devices() const {
     return static_cast<int>(devices.size());
@@ -66,6 +102,21 @@ struct ClusterProfile {
   /// device pairs (0-1, 2-3, ...), for topologies where peer traffic should
   /// not stage through the host.
   static ClusterProfile nvlink_pairs(int num_gpus);
+
+  /// A rack of `max_nodes` DGX-style nodes, each holding `per_node` paper
+  /// GPUs behind its own node bus, with all-to-all 40 GB/s NVLink peer links
+  /// inside every node and a shared 25 GB/s inter-node network. Devices fill
+  /// nodes in order (device d sits on node d / per_node); the host lives on
+  /// node 0. Throws std::invalid_argument naming `profile_name` and the rack
+  /// capacity when num_gpus exceeds max_nodes * per_node.
+  static ClusterProfile rack(int num_gpus, int per_node, int max_nodes,
+                             const std::string& profile_name);
 };
+
+/// Throws std::invalid_argument naming the profile and its capacity when
+/// `num_gpus` exceeds it — the shared loud-failure path for every profile
+/// factory and for RunConfig/--devices validation.
+void check_profile_capacity(const std::string& profile_name, int num_gpus,
+                            int capacity);
 
 }  // namespace bsr::cluster

@@ -13,13 +13,22 @@ Registry<ClusterProfileFactory>& cluster_profiles() {
   static Registry<ClusterProfileFactory> reg = [] {
     Registry<ClusterProfileFactory> r("cluster profile");
     r.add("paper_cluster", [](int devices) {
+      cluster::check_profile_capacity("paper_cluster", devices, 16);
       return cluster::ClusterProfile::paper_scaleout(devices);
     });
     r.add("nvlink_pairs", [](int devices) {
+      cluster::check_profile_capacity("nvlink_pairs", devices, 16);
       return cluster::ClusterProfile::nvlink_pairs(devices);
+    });
+    r.add("rack_4x8", [](int devices) {
+      return cluster::ClusterProfile::rack(devices, 8, 4, "rack_4x8");
+    });
+    r.add("rack_8x8", [](int devices) {
+      return cluster::ClusterProfile::rack(devices, 8, 8, "rack_8x8");
     });
     r.alias("pcie", "paper_cluster");
     r.alias("nvlink", "nvlink_pairs");
+    r.alias("rack", "rack_8x8");
     return r;
   }();
   return reg;
@@ -28,6 +37,54 @@ Registry<ClusterProfileFactory>& cluster_profiles() {
 cluster::ClusterProfile make_cluster_profile(const std::string& key,
                                              int devices) {
   return cluster_profiles().get(key)(devices);
+}
+
+ClusterProfileInfo cluster_profile_info(const std::string& key) {
+  const std::string canon = cluster_profiles().canonical(key);
+  if (canon == "paper_cluster" || canon == "nvlink_pairs") return {16, 0};
+  if (canon == "rack_4x8") return {32, 8};
+  if (canon == "rack_8x8") return {64, 8};
+  return {};  // runtime-registered profile: permissive flat default
+}
+
+Registry<ClusterCollective>& collectives() {
+  static Registry<ClusterCollective> reg = [] {
+    Registry<ClusterCollective> r("collective");
+    r.add("auto", std::nullopt);
+    r.add("relay", cluster::BroadcastSchedule::Relay);
+    r.add("ring", cluster::BroadcastSchedule::Ring);
+    r.add("tree", cluster::BroadcastSchedule::Tree);
+    r.alias("binomial", "tree");
+    return r;
+  }();
+  return reg;
+}
+
+ResolvedClusterLayout resolved_cluster_layout(const RunConfig& cfg) {
+  const ClusterProfileInfo info = cluster_profile_info(cfg.cluster);
+  ResolvedClusterLayout lay;
+  if (cfg.grid_p > 0) {
+    lay.grid_p = cfg.grid_p;
+    lay.grid_q = cfg.grid_q;
+  } else if (info.devices_per_node > 0) {
+    // Near-square grid: q the largest divisor of devices with q <= sqrt,
+    // p >= q — the ScaLAPACK rule of thumb for minimizing broadcast volume.
+    int q = 1;
+    for (int c = 1; c * c <= cfg.devices; ++c) {
+      if (cfg.devices % c == 0) q = c;
+    }
+    lay.grid_p = cfg.devices / q;
+    lay.grid_q = q;
+  } else {
+    lay.grid_p = cfg.devices;
+    lay.grid_q = 1;
+  }
+  const ClusterCollective coll = collectives().get(cfg.collective);
+  lay.schedule = coll.has_value() ? *coll
+                 : info.devices_per_node > 0
+                     ? cluster::BroadcastSchedule::Tree
+                     : cluster::BroadcastSchedule::Relay;
+  return lay;
 }
 
 RunConfig ClusterConfig::lowered() const {
@@ -81,6 +138,15 @@ cluster::ClusterOptions lower_options(const RunConfig& cfg) {
   o.variability = cfg.variability;
   o.faults = cfg.faults;
   o.trace = cfg.trace;
+  const ResolvedClusterLayout lay = resolved_cluster_layout(cfg);
+  // The resolved 1-D layout lowers to the engine's 0/0 default so flat
+  // profiles drive the exact pre-grid code path.
+  if (lay.grid_q != 1 || lay.grid_p != cfg.devices) {
+    o.grid_p = lay.grid_p;
+    o.grid_q = lay.grid_q;
+  }
+  o.schedule = lay.schedule;
+  o.rebalance = cfg.rebalance;
   return o;
 }
 

@@ -115,6 +115,7 @@ void print_registered_keys(std::ostream& out) {
   group("abft policies", abft_policies().keys());
   group("result sinks", result_sinks().keys());
   group("cluster profiles", cluster_profiles().keys());
+  group("collectives", collectives().keys());
   group("variability presets", variability_presets().keys());
   group("fault presets", fault_presets().keys());
 }
@@ -123,8 +124,8 @@ Cli& add_list_flag(Cli& cli) {
   return cli.arg_flag("list",
                       "print every registry's keys grouped under headers "
                       "(strategies / platforms / abft policies / result "
-                      "sinks / cluster profiles / variability presets / "
-                      "fault presets) and exit");
+                      "sinks / cluster profiles / collectives / variability "
+                      "presets / fault presets) and exit");
 }
 
 bool handled_list_flag(const Cli& cli) {

@@ -75,7 +75,10 @@ void RunConfig::validate() const {
     (void)strategies().get(strategy);
     (void)abft_policies().get(abft_policy);
     (void)platforms().get(platform);
-    if (devices >= 1) (void)cluster_profiles().get(cluster);
+    if (devices >= 1) {
+      (void)cluster_profiles().get(cluster);
+      (void)collectives().get(collective);
+    }
   } catch (const std::invalid_argument& e) {
     fail(e.what());
   }
@@ -83,6 +86,34 @@ void RunConfig::validate() const {
     fail("strategy \"" + strategy +
          "\" is registry-only (no built-in generalization); the cluster "
          "engine supports original/r2h/sr/bsr");
+  }
+  if (devices >= 1) {
+    // Capacity is checked here — before any sweep cell runs — so an
+    // oversized --devices / weak_devices_axis count fails naming the profile
+    // and its rack size, not as a generic error deep in the sweep.
+    const ClusterProfileInfo info = cluster_profile_info(cluster);
+    try {
+      cluster::check_profile_capacity(cluster_profiles().canonical(cluster),
+                                      devices, info.capacity);
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+    }
+    if ((grid_p > 0) != (grid_q > 0)) {
+      fail("set both grid_p and grid_q (or neither for the auto layout); got "
+           "grid_p=" + std::to_string(grid_p) +
+           ", grid_q=" + std::to_string(grid_q));
+    }
+    if (grid_p < 0 || grid_q < 0) {
+      fail("process grid must be positive (got grid_p=" +
+           std::to_string(grid_p) + ", grid_q=" + std::to_string(grid_q) +
+           ")");
+    }
+    if (grid_p > 0 && grid_p * grid_q != devices) {
+      fail("process grid " + std::to_string(grid_p) + "x" +
+           std::to_string(grid_q) + " must cover exactly devices=" +
+           std::to_string(devices) + " (got " +
+           std::to_string(grid_p * grid_q) + ")");
+    }
   }
 }
 
@@ -172,6 +203,24 @@ std::string RunConfig::fingerprint() const {
   fp += ";devices=" + std::to_string(devices);
   fp += ";cluster=" + (devices >= 1 ? cluster_profiles().canonical(cluster)
                                     : std::string("-"));
+  // Grid / collective / rebalance only drive cluster runs, and are recorded
+  // *resolved* (never the literal "auto"), so an explicit layout and the
+  // auto choice that resolves to it share one cache entry, while different
+  // layouts on the same profile can never alias.
+  if (devices >= 1) {
+    const ResolvedClusterLayout lay = resolved_cluster_layout(*this);
+    fp += ";grid=" + std::to_string(lay.grid_p) + "x" +
+          std::to_string(lay.grid_q);
+    fp += ";coll=";
+    switch (lay.schedule) {
+      case cluster::BroadcastSchedule::Relay: fp += "relay"; break;
+      case cluster::BroadcastSchedule::Ring: fp += "ring"; break;
+      case cluster::BroadcastSchedule::Tree: fp += "tree"; break;
+    }
+    fp += ";rebal=" + std::to_string(rebalance);
+  } else {
+    fp += ";grid=-;coll=-;rebal=0";
+  }
   // Disabled variability collapses to "var=0" whatever the other fields say,
   // so toggling a block off restores the deterministic-world cache key.
   fp += ';' + var::fingerprint_fragment(variability);

@@ -1,0 +1,157 @@
+// Satellite: golden-schedule contracts for the panel-broadcast collectives.
+// On a flat two-device profile the relay, ring, and tree schedules degenerate
+// to the same single transfer, so their reports must be bitwise identical
+// (the golden-equivalence guard that keeps new schedules honest); on a
+// multi-node rack their hop structures genuinely differ and ring/tree must
+// beat the host-staged relay strictly. Fingerprints keep every resolved
+// layout in its own result-cache key.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "bsr/bsr.hpp"
+
+namespace bsr {
+namespace {
+
+core::RunReport run_with(const std::string& cluster, int devices,
+                         const std::string& collective) {
+  RunConfig cfg;
+  cfg.n = 4096;
+  cfg.b = 256;
+  cfg.devices = devices;
+  cfg.cluster = cluster;
+  cfg.collective = collective;
+  return run(cfg);
+}
+
+TEST(Collectives, AllSchedulesBitwiseEqualWhenTimingsCoincide) {
+  // Two devices on a flat profile: every schedule sends the panel to device 0
+  // then forwards once over the pair's peer link, in the same legacy order
+  // (the owner-first rotation only engages on hierarchical profiles). The
+  // reports must agree to the last bit — exact double equality, no tolerance.
+  const core::RunReport relay = run_with("nvlink_pairs", 2, "relay");
+  for (const char* schedule : {"ring", "tree"}) {
+    const core::RunReport other = run_with("nvlink_pairs", 2, schedule);
+    EXPECT_EQ(relay.seconds(), other.seconds()) << schedule;
+    EXPECT_EQ(relay.total_energy_j(), other.total_energy_j()) << schedule;
+    EXPECT_EQ(relay.ed2p(), other.ed2p()) << schedule;
+    ASSERT_EQ(relay.device_usage.size(), other.device_usage.size());
+    for (std::size_t d = 0; d < relay.device_usage.size(); ++d) {
+      EXPECT_EQ(relay.device_usage[d].busy_s, other.device_usage[d].busy_s)
+          << schedule << " lane " << d;
+      EXPECT_EQ(relay.device_usage[d].energy_j, other.device_usage[d].energy_j)
+          << schedule << " lane " << d;
+    }
+  }
+}
+
+TEST(Collectives, RingAndTreeStrictlyBeatRelayAcrossNodes) {
+  // Two rack nodes: relay stages every panel through the host and its
+  // serial send port, while ring/tree factor panels on the owning device and
+  // fan out over peer/inter-node hops — a structurally shorter critical
+  // path, so the makespan win must be strict, not a tie.
+  const double relay = run_with("rack_8x8", 16, "relay").seconds();
+  const double ring = run_with("rack_8x8", 16, "ring").seconds();
+  const double tree = run_with("rack_8x8", 16, "tree").seconds();
+  EXPECT_LT(ring, relay);
+  EXPECT_LT(tree, relay);
+}
+
+TEST(Collectives, AutoResolvesPerTopology) {
+  // Flat profiles keep the pre-collective relay bit-for-bit; racks pick the
+  // binomial tree and a near-square grid.
+  RunConfig flat;
+  flat.devices = 4;
+  ResolvedClusterLayout layout = resolved_cluster_layout(flat);
+  EXPECT_EQ(layout.schedule, cluster::BroadcastSchedule::Relay);
+  EXPECT_EQ(layout.grid_p, 4);
+  EXPECT_EQ(layout.grid_q, 1);
+  RunConfig rack;
+  rack.devices = 8;
+  rack.cluster = "rack_8x8";
+  layout = resolved_cluster_layout(rack);
+  EXPECT_EQ(layout.schedule, cluster::BroadcastSchedule::Tree);
+  EXPECT_EQ(layout.grid_p * layout.grid_q, 8);
+  EXPECT_GT(layout.grid_q, 1);  // near-square, not 1-D
+}
+
+TEST(Collectives, FingerprintSeparatesEveryResolvedLayout) {
+  RunConfig base;
+  base.devices = 8;
+  base.cluster = "rack_8x8";
+  RunConfig grid = base;
+  grid.grid_p = 8;
+  grid.grid_q = 1;
+  EXPECT_NE(base.fingerprint(), grid.fingerprint());  // auto is near-square
+  RunConfig ring = base;
+  ring.collective = "ring";
+  EXPECT_NE(base.fingerprint(), ring.fingerprint());  // auto is tree
+  RunConfig rebal = base;
+  rebal.rebalance = true;
+  EXPECT_NE(base.fingerprint(), rebal.fingerprint());
+  // Spelling out what auto resolves to is the *same* experiment, so it must
+  // alias to the same cache key.
+  RunConfig resolved = base;
+  const ResolvedClusterLayout layout = resolved_cluster_layout(base);
+  resolved.grid_p = layout.grid_p;
+  resolved.grid_q = layout.grid_q;
+  resolved.collective = "tree";
+  EXPECT_EQ(base.fingerprint(), resolved.fingerprint());
+  // Single-node runs have no layout: the knobs normalize out entirely.
+  RunConfig single = ring;
+  single.devices = 0;
+  RunConfig single_default = base;
+  single_default.devices = 0;
+  EXPECT_EQ(single.fingerprint(), single_default.fingerprint());
+}
+
+TEST(Collectives, OversizedDeviceCountsFailLoudlyWithProfileAndCapacity) {
+  const auto expect_names = [](const auto& fn, const std::string& profile,
+                               const std::string& capacity) {
+    try {
+      fn();
+      FAIL() << "expected std::invalid_argument for " << profile;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(profile), std::string::npos) << what;
+      EXPECT_NE(what.find(capacity), std::string::npos) << what;
+    }
+  };
+  RunConfig cfg;
+  cfg.devices = 100;
+  cfg.cluster = "rack_8x8";
+  expect_names([&] { cfg.validate(); }, "rack_8x8", "64");
+  expect_names([] { (void)make_cluster_profile("rack_4x8", 33); }, "rack_4x8",
+               "32");
+  expect_names([] { (void)make_cluster_profile("paper_cluster", 17); },
+               "paper_cluster", "16");
+  // In range: both paths accept the exact capacity.
+  cfg.devices = 64;
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(make_cluster_profile("rack_4x8", 32).num_devices(), 32);
+}
+
+TEST(Collectives, GridMustCoverTheDeviceCountExactly) {
+  RunConfig cfg;
+  cfg.devices = 8;
+  cfg.grid_p = 3;
+  cfg.grid_q = 3;
+  try {
+    cfg.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3x3"), std::string::npos) << what;
+    EXPECT_NE(what.find("devices=8"), std::string::npos) << what;
+  }
+  cfg.grid_q = 0;  // half-specified grids are rejected too
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.grid_p = 4;
+  cfg.grid_q = 2;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+}  // namespace
+}  // namespace bsr

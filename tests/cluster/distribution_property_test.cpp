@@ -1,0 +1,180 @@
+// Satellite: distribution-invariant property suite for the 2-D block-cyclic
+// layout. Rather than pinning individual owner values, these tests assert the
+// partition laws that make any process grid a valid distribution — every
+// trailing block owned exactly once, per-device counts balanced to within one
+// block row plus one block column, the 1-D layout recovered bit-for-bit at
+// q = 1, and flop conservation through the engine under every grid shape —
+// swept over every factor pair of several device counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bsr/bsr.hpp"
+#include "cluster/distribution.hpp"
+
+namespace bsr::cluster {
+namespace {
+
+predict::WorkloadModel workload(std::int64_t n, std::int64_t b) {
+  return predict::WorkloadModel{predict::Factorization::LU, n, b, 8};
+}
+
+/// Every (p, q) with p * q == devices, in ascending p.
+std::vector<BlockCyclic> all_grids(int devices) {
+  std::vector<BlockCyclic> grids;
+  for (int p = 1; p <= devices; ++p) {
+    if (devices % p != 0) continue;
+    grids.push_back(BlockCyclic{devices, p, devices / p});
+  }
+  return grids;
+}
+
+TEST(DistributionProperty, EveryTrailingBlockOwnedExactlyOnce) {
+  const predict::WorkloadModel wl = workload(4096, 256);  // K = 16
+  const std::int64_t K = wl.num_iterations();
+  for (const int devices : {1, 2, 4, 6, 8, 12}) {
+    for (const BlockCyclic& dist : all_grids(devices)) {
+      for (int k = 0; k < K; ++k) {
+        // Direct census of the trailing block set [k+1, K)^2: owner_block is
+        // a total function into [0, devices), so counting it per device and
+        // matching local_blocks proves each block has exactly one owner.
+        std::vector<std::int64_t> census(static_cast<std::size_t>(devices), 0);
+        for (std::int64_t i = k + 1; i < K; ++i) {
+          for (std::int64_t j = k + 1; j < K; ++j) {
+            const int owner = dist.owner_block(i, j);
+            ASSERT_GE(owner, 0);
+            ASSERT_LT(owner, devices);
+            ++census[static_cast<std::size_t>(owner)];
+          }
+        }
+        const std::int64_t trailing = K - k - 1;
+        std::int64_t sum = 0;
+        for (int d = 0; d < devices; ++d) {
+          EXPECT_EQ(census[static_cast<std::size_t>(d)],
+                    dist.local_blocks(wl, k, d))
+              << "grid " << dist.p() << "x" << dist.q() << " k=" << k
+              << " d=" << d;
+          sum += dist.local_blocks(wl, k, d);
+        }
+        EXPECT_EQ(sum, trailing * trailing)
+            << "grid " << dist.p() << "x" << dist.q() << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(DistributionProperty, PerDeviceCountsBalancedWithinOnePanel) {
+  const predict::WorkloadModel wl = workload(8192, 256);  // K = 32
+  for (const int devices : {2, 4, 8, 16}) {
+    for (const BlockCyclic& dist : all_grids(devices)) {
+      for (int k = 0; k + 1 < wl.num_iterations(); ++k) {
+        const std::int64_t t = wl.num_iterations() - k - 1;
+        std::int64_t lo = t * t;
+        std::int64_t hi = 0;
+        for (int d = 0; d < devices; ++d) {
+          const std::int64_t c = dist.local_blocks(wl, k, d);
+          lo = std::min(lo, c);
+          hi = std::max(hi, c);
+        }
+        // Block-cyclic balance: a device's count is (cols in its column
+        // group) x (rows in its row group), each within one of the even
+        // split, so the spread is at most one trailing block column plus one
+        // trailing block row.
+        const std::int64_t col_ceil = (t + dist.p() - 1) / dist.p();
+        const std::int64_t row_ceil = (t + dist.q() - 1) / dist.q();
+        EXPECT_LE(hi - lo, col_ceil + row_ceil)
+            << "grid " << dist.p() << "x" << dist.q() << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(DistributionProperty, ExplicitQ1RecoversTheOneDLayoutExactly) {
+  const predict::WorkloadModel wl = workload(4096, 256);
+  for (const int devices : {1, 3, 4, 8}) {
+    const BlockCyclic oned{devices};                   // default 1-D layout
+    const BlockCyclic grid{devices, devices, 1};       // explicit D x 1
+    for (int k = 0; k < wl.num_iterations(); ++k) {
+      for (int d = 0; d < devices; ++d) {
+        EXPECT_EQ(grid.owner(k), oned.owner(k));
+        EXPECT_EQ(grid.local_cols(wl, k, d), oned.local_cols(wl, k, d));
+        EXPECT_EQ(grid.local_blocks(wl, k, d), oned.local_blocks(wl, k, d));
+        EXPECT_EQ(grid.has_work(wl, k, d), oned.has_work(wl, k, d));
+        // Bitwise, not approximate: q = 1 must route through the same
+        // arithmetic, so the doubles are identical.
+        EXPECT_EQ(grid.share(wl, k, d), oned.share(wl, k, d));
+      }
+      EXPECT_EQ(grid.row_slice(wl, k, 0), oned.row_slice(wl, k, 0));
+    }
+  }
+}
+
+TEST(DistributionProperty, SharesAndRowSlicesPartitionUnityOnEveryGrid) {
+  const predict::WorkloadModel wl = workload(4096, 256);
+  for (const BlockCyclic& dist : all_grids(8)) {
+    for (int k = 0; k + 1 < wl.num_iterations(); ++k) {
+      double share_sum = 0.0;
+      for (int d = 0; d < dist.devices; ++d) share_sum += dist.share(wl, k, d);
+      EXPECT_NEAR(share_sum, 1.0, 1e-12)
+          << "grid " << dist.p() << "x" << dist.q() << " k=" << k;
+      double slice_sum = 0.0;
+      for (int rg = 0; rg < dist.q(); ++rg) {
+        const double s = dist.row_slice(wl, k, rg);
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+        slice_sum += s;
+      }
+      EXPECT_NEAR(slice_sum, 1.0, 1e-12)
+          << "grid " << dist.p() << "x" << dist.q() << " k=" << k;
+    }
+  }
+}
+
+TEST(DistributionProperty, EngineConservesFlopsUnderEveryGrid) {
+  // The distribution moves work between devices; it must never create or
+  // destroy it. Total useful flops (host panels + device updates) match the
+  // workload model under every grid shape of an 8-device rack.
+  RunConfig base;
+  base.n = 4096;
+  base.b = 256;
+  base.devices = 8;
+  base.cluster = "rack_8x8";
+  const predict::WorkloadModel wl = base.workload();
+  double expect = 0.0;
+  for (int k = 0; k < wl.num_iterations(); ++k) {
+    expect += wl.iteration(k).pd_flops + wl.iteration(k).gpu_flops();
+  }
+  for (const BlockCyclic& dist : all_grids(8)) {
+    RunConfig cfg = base;
+    cfg.grid_p = dist.p();
+    cfg.grid_q = dist.q();
+    const core::RunReport r = run(cfg);
+    double total = 0.0;
+    for (const DeviceUsage& d : r.device_usage) total += d.flops;
+    EXPECT_NEAR(total, expect, 1e-6 * expect)
+        << "grid " << dist.p() << "x" << dist.q();
+  }
+}
+
+TEST(DistributionProperty, ExplicitOneDGridMatchesDefaultRunBitForBit) {
+  // RunConfig-level corollary of the q = 1 recovery: an explicit devices x 1
+  // grid resolves to the same layout as the flat default, shares its
+  // fingerprint (one result-cache entry), and reproduces the same bytes.
+  RunConfig flat;
+  flat.n = 4096;
+  flat.b = 256;
+  flat.devices = 4;
+  RunConfig explicit_grid = flat;
+  explicit_grid.grid_p = 4;
+  explicit_grid.grid_q = 1;
+  explicit_grid.collective = "relay";
+  EXPECT_EQ(flat.fingerprint(), explicit_grid.fingerprint());
+  const core::RunReport a = run(flat);
+  const core::RunReport b = run(explicit_grid);
+  EXPECT_EQ(a.seconds(), b.seconds());
+  EXPECT_EQ(a.total_energy_j(), b.total_energy_j());
+}
+
+}  // namespace
+}  // namespace bsr::cluster

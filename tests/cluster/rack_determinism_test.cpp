@@ -1,0 +1,96 @@
+// Satellite (slow tier): determinism stress at full rack scale. A 64-device
+// rack_8x8 sweep under the hostile variability preset plus a Poisson fault
+// campaign exercises every stochastic stream the engine owns (efficiency
+// drift, transfer jitter, DVFS quantization, thermal budget, fault arrivals,
+// recovery rollbacks) on the largest event graph the registry can build —
+// and must still be bitwise identical across sweep thread counts for both
+// the ring and tree collectives, whose equal-time event ties are the exact
+// place a scheduling race would first show up.
+#include <gtest/gtest.h>
+
+#include "bsr/bsr.hpp"
+
+namespace bsr {
+namespace {
+
+Sweep rack_sweep(int threads) {
+  RunConfig base;
+  base.n = 8192;
+  base.b = 256;
+  base.devices = 64;
+  base.cluster = "rack_8x8";
+  base.variability = make_variability("hostile");
+  base.faults = make_faults("poisson");
+  Sweep sweep(base);
+  Axis schedule{"collective", {}};
+  for (const char* key : {"ring", "tree"}) {
+    schedule.points.push_back(
+        {key, [key](RunConfig& c) { c.collective = key; }});
+  }
+  sweep.over(trial_axis(2, /*root_seed=*/1234))
+      .over(schedule)
+      .over(strategy_axis({"original", "bsr"}))
+      .threads(threads);
+  return sweep;
+}
+
+TEST(RackDeterminism, HostileFaultySixtyFourDeviceSweepIsThreadInvariant) {
+  const SweepResult serial = rack_sweep(1).run();
+  const SweepResult parallel = rack_sweep(4).run();
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  ASSERT_EQ(serial.rows.size(), 8u);  // 2 trials x 2 schedules x 2 strategies
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    const SweepRow& a = serial.rows[i];
+    const SweepRow& b = parallel.rows[i];
+    EXPECT_EQ(a.coords, b.coords);
+    EXPECT_EQ(a.config.fingerprint(), b.config.fingerprint());
+    // Bitwise identity, not tolerance: any cross-thread leak (shared RNG,
+    // event-tie nondeterminism, rebalance state) breaks exact equality.
+    EXPECT_EQ(a.report->seconds(), b.report->seconds()) << "row " << i;
+    EXPECT_EQ(a.report->total_energy_j(), b.report->total_energy_j());
+    EXPECT_EQ(a.report->ed2p(), b.report->ed2p());
+    ASSERT_EQ(a.report->device_usage.size(), 65u);  // host + 64 accelerators
+    ASSERT_EQ(b.report->device_usage.size(), 65u);
+    for (std::size_t d = 0; d < a.report->device_usage.size(); ++d) {
+      EXPECT_EQ(a.report->device_usage[d].busy_s,
+                b.report->device_usage[d].busy_s)
+          << "row " << i << " lane " << d;
+      EXPECT_EQ(a.report->device_usage[d].energy_j,
+                b.report->device_usage[d].energy_j);
+      EXPECT_EQ(a.report->device_usage[d].iters_single,
+                b.report->device_usage[d].iters_single);
+      EXPECT_EQ(a.report->device_usage[d].iters_full,
+                b.report->device_usage[d].iters_full);
+      EXPECT_EQ(a.report->device_usage[d].final_mhz,
+                b.report->device_usage[d].final_mhz);
+    }
+  }
+  // The campaign genuinely ran: hostile variability + Poisson faults must
+  // perturb the runs away from the deterministic baseline, otherwise this
+  // stress proves nothing.
+  RunConfig quiet;
+  quiet.n = 8192;
+  quiet.b = 256;
+  quiet.devices = 64;
+  quiet.cluster = "rack_8x8";
+  quiet.collective = "ring";
+  quiet.strategy = "original";
+  EXPECT_NE(run(quiet).seconds(), serial.rows.front().report->seconds());
+}
+
+TEST(RackDeterminism, RerunOfTheFullRackSweepReproducesTheBytes) {
+  // Same sweep built twice from scratch (no shared cache): every row's
+  // numbers must come out identical — the cross-process reproducibility
+  // claim CI's sanitizer job re-executes under ASan+UBSan.
+  const SweepResult a = rack_sweep(0).run();
+  const SweepResult b = rack_sweep(0).run();
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].report->seconds(), b.rows[i].report->seconds());
+    EXPECT_EQ(a.rows[i].report->total_energy_j(),
+              b.rows[i].report->total_energy_j());
+  }
+}
+
+}  // namespace
+}  // namespace bsr

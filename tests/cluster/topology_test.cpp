@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 namespace bsr::cluster {
 namespace {
 
@@ -85,6 +88,71 @@ TEST(ClusterProfile, PaperScaleoutReplicatesAndNames) {
   EXPECT_NEAR(c.links.host_bus.bandwidth_gbs,
               2.0 * c.links.host_links[0].bandwidth_gbs, 1e-12);
   EXPECT_THROW(ClusterProfile::paper_scaleout(0), std::invalid_argument);
+}
+
+TEST(LinkTopology, HierarchyKeysOffShapeNotDeviceCount) {
+  // Flat topologies are non-hierarchical however many devices they hold;
+  // rack profiles are hierarchical from a single device up (the scheduling
+  // rules follow the profile's shape, so a rack's scaling curve is one
+  // consistent model across every point).
+  EXPECT_FALSE(ClusterProfile::paper_scaleout(8).links.hierarchical());
+  const ClusterProfile one = ClusterProfile::rack(1, 8, 8, "rack_8x8");
+  EXPECT_TRUE(one.links.hierarchical());
+  EXPECT_EQ(one.links.num_nodes(), 1);
+  const ClusterProfile rack = ClusterProfile::rack(20, 8, 8, "rack_8x8");
+  EXPECT_EQ(rack.links.num_nodes(), 3);  // 8 + 8 + 4 devices
+  EXPECT_EQ(rack.links.node(0), 0);
+  EXPECT_EQ(rack.links.node(7), 0);
+  EXPECT_EQ(rack.links.node(8), 1);
+  EXPECT_EQ(rack.links.node(19), 2);
+  // Flat topologies report node 0 for everything.
+  EXPECT_EQ(ClusterProfile::paper_scaleout(4).links.node(3), 0);
+}
+
+TEST(LinkTopology, RemoteNodeTransfersCrossTheInternodeSegment) {
+  LinkTopology t = two_device_topology();
+  t.node_of = {0, 1};  // device 1 sits on a remote node
+  t.node_bus = t.host_bus;
+  t.internode = {.bandwidth_gbs = 1.0, .latency = SimTime::from_micros(1.0)};
+  // Device 0 stays on the host's node: the slow fabric is not consulted.
+  EXPECT_NEAR(t.host_to_device(0, 10e9).seconds(), 1.0 + 10e-6, 1e-9);
+  // Device 1's transfer is pipelined through link, bus, fabric, and node
+  // bus; the 1 GB/s inter-node segment is the slowest and sets the time.
+  EXPECT_NEAR(t.host_to_device(1, 10e9).seconds(), 10.0 + 1e-6, 1e-9);
+}
+
+TEST(ClusterProfile, RackUpgradesLinksAndWiresIntraNodePeers) {
+  const ClusterProfile c = ClusterProfile::rack(16, 8, 4, "rack_4x8");
+  ASSERT_EQ(c.num_devices(), 16);
+  EXPECT_EQ(c.devices_per_node, 8);
+  // Gen4-class chassis: faster per-device links than the paper's gen3
+  // testbed, bus still sized for two concurrent streams.
+  const ClusterProfile paper = ClusterProfile::paper_scaleout(1);
+  EXPECT_GT(c.links.host_links[0].bandwidth_gbs,
+            paper.links.host_links[0].bandwidth_gbs);
+  EXPECT_NEAR(c.links.host_bus.bandwidth_gbs,
+              2.0 * c.links.host_links[0].bandwidth_gbs, 1e-12);
+  EXPECT_GT(c.links.internode.bandwidth_gbs, 0.0);
+  // All-to-all NVLink inside a node; chassis-crossing pairs stage through
+  // the hosts.
+  EXPECT_NE(c.links.peer(0, 7), nullptr);
+  EXPECT_NE(c.links.peer(9, 15), nullptr);
+  EXPECT_EQ(c.links.peer(7, 8), nullptr);
+  EXPECT_LT(c.links.device_to_device(0, 7, 1e9),
+            c.links.device_to_device(7, 8, 1e9));
+}
+
+TEST(ClusterProfile, RackCapacityFailsLoudlyWithProfileNameAndLimit) {
+  try {
+    (void)ClusterProfile::rack(33, 8, 4, "rack_4x8");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rack_4x8"), std::string::npos) << what;
+    EXPECT_NE(what.find("32"), std::string::npos) << what;
+    EXPECT_NE(what.find("33"), std::string::npos) << what;
+  }
+  EXPECT_NO_THROW((void)ClusterProfile::rack(32, 8, 4, "rack_4x8"));
 }
 
 TEST(ClusterProfile, NvlinkPairsAddsAdjacentPeerLinks) {

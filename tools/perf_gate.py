@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Regenerate and gate the committed throughput records.
 
-Two records, selected with --mode:
+Three records, selected with --mode:
 
   kernels (default) — BENCH_kernels.json. Distills `bench_kernels
       --benchmark_format=json` down to the fields that are stable across
@@ -17,6 +17,20 @@ Two records, selected with --mode:
       percentiles, kept as informational trajectory but never gated —
       wall-clock tails move with the host, order-of-magnitude QPS collapses
       do not.
+
+  scale — BENCH_scale.json. Distills `bench_fig14_scale --n 4096 --cluster
+      rack_8x8 --devices 1,2,4,8,16,32,64 --format=json` (the rack-scale
+      strong/weak scaling sweep) to one entry per (scaling, devices) cell:
+      simulated makespan and total GFLOP/s as informational trajectory, plus
+      a gated "speedup" counter — gflops_total(d) / gflops_total(1), which
+      for strong scaling is the classic speedup and for weak scaling the
+      scaled (Gustafson) speedup. Unlike the other two modes these numbers
+      come out of the deterministic simulator, so they are bitwise
+      reproducible across machines and the scale tolerance defaults to a
+      tight 1.05x. Two hard floors apply on top of the per-entry tolerance
+      (on --write as well as --check, so a regressed curve can never be
+      committed): strong scaling at 8 devices must reach 6.0x, and the
+      64-device weak-scaling point must exist.
 
 Usage:
     # Refresh a committed snapshot (run from the repo root):
@@ -55,7 +69,7 @@ import sys
 from pathlib import Path
 
 # Counters treated as higher-is-better throughput and therefore gated.
-RATE_COUNTERS = ("GFLOP/s", "cells/s", "runs/s", "qps")
+RATE_COUNTERS = ("GFLOP/s", "cells/s", "runs/s", "qps", "speedup")
 
 REGEN_COMMANDS = {
     "kernels":
@@ -63,8 +77,27 @@ REGEN_COMMANDS = {
     "serve":
         "python3 tools/perf_gate.py --mode serve "
         "--bench build/bench/bench_serve --write",
+    "scale":
+        "python3 tools/perf_gate.py --mode scale "
+        "--bench build/bench/bench_fig14_scale --write",
 }
-DEFAULT_RECORDS = {"kernels": "BENCH_kernels.json", "serve": "BENCH_serve.json"}
+DEFAULT_RECORDS = {
+    "kernels": "BENCH_kernels.json",
+    "serve": "BENCH_serve.json",
+    "scale": "BENCH_scale.json",
+}
+
+# The canonical scale sweep: the committed record and every CI check run the
+# same axes, so entries line up by name across refreshes.
+SCALE_ARGS = ("--n", "4096", "--cluster", "rack_8x8",
+              "--devices", "1,2,4,8,16,32,64", "--format=json")
+# Simulator results are deterministic, so the scale gate can be tight.
+SCALE_TOLERANCE = 1.05
+# ISSUE 9's headline acceptance bar: the 8-GPU strong-scaling point must
+# clear 6x (the pre-rack engine plateaued near 4x), and the weak-scaling
+# curve must extend to the full 64-device rack.
+SCALE_STRONG_FLOOR = ("scale/strong/devices=8", 6.0)
+SCALE_WEAK_REQUIRED = "scale/weak/devices=64"
 
 # Kept as the historical name: the kernels-mode regeneration command, still
 # referenced by the CI warning annotations.
@@ -83,6 +116,12 @@ def run_serve_bench(bench: Path) -> list:
     # bench_serve's own defaults ARE the gate scenario (requests, clients,
     # repeat ratios), so the record stays comparable across refreshes.
     proc = subprocess.run([str(bench), "--format=json"],
+                          stdout=subprocess.PIPE, check=True)
+    return json.loads(proc.stdout)
+
+
+def run_scale_bench(bench: Path) -> list:
+    proc = subprocess.run([str(bench), *SCALE_ARGS],
                           stdout=subprocess.PIPE, check=True)
     return json.loads(proc.stdout)
 
@@ -118,6 +157,54 @@ def distill_serve(rows: list) -> dict:
             "counters": {"qps": sig4(row["qps"])},
         })
     return {"command": REGEN_COMMANDS["serve"], "benchmarks": benches}
+
+
+def distill_scale(rows: list) -> dict:
+    # Per-device rows are trajectory detail for humans reading the raw bench;
+    # the record keeps only each cell's "total" row.
+    totals = [r for r in rows if r["device"] == "total"]
+    base = {r["scaling"]: r["gflops"] for r in totals if r["devices"] == 1}
+    benches = []
+    for row in totals:
+        ref = base.get(row["scaling"])
+        if not ref:
+            raise SystemExit(f"error: scale sweep has no devices=1 baseline "
+                             f"for {row['scaling']} scaling")
+        benches.append({
+            "name": f"scale/{row['scaling']}/devices={row['devices']}",
+            "n": row["n"],
+            "sim_time_s": sig4(row["time_s"]),
+            "gflops": sig4(row["gflops"]),
+            "counters": {"speedup": sig4(row["gflops"] / ref)},
+        })
+    return {"command": REGEN_COMMANDS["scale"], "benchmarks": benches}
+
+
+def validate_scale(record: dict) -> int:
+    """The two hard floors of the scale record; applied to every fresh sweep
+    (so --write can never commit a curve that fails them) and to --check."""
+    by_name = {b["name"]: b for b in record["benchmarks"]}
+    failures = 0
+    name, floor = SCALE_STRONG_FLOOR
+    entry = by_name.get(name)
+    if entry is None:
+        print(f"FAIL {name}: missing from scale sweep")
+        failures += 1
+    elif entry["counters"]["speedup"] < floor:
+        print(f"FAIL {name}: speedup {entry['counters']['speedup']:g} below "
+              f"the hard floor {floor:g}x")
+        failures += 1
+    else:
+        print(f"ok   {name}: speedup {entry['counters']['speedup']:g} "
+              f">= hard floor {floor:g}x")
+    if SCALE_WEAK_REQUIRED not in by_name:
+        print(f"FAIL {SCALE_WEAK_REQUIRED}: the weak-scaling curve must "
+              f"extend to the full 64-device rack")
+        failures += 1
+    else:
+        print(f"ok   {SCALE_WEAK_REQUIRED}: present "
+              f"(speedup {by_name[SCALE_WEAK_REQUIRED]['counters']['speedup']:g})")
+    return failures
 
 
 def check(committed: dict, fresh: dict, tolerance: float,
@@ -159,7 +246,7 @@ def check(committed: dict, fresh: dict, tolerance: float,
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--mode", choices=("kernels", "serve"),
+    parser.add_argument("--mode", choices=("kernels", "serve", "scale"),
                         default="kernels",
                         help="which bench/record pair to drive (default: "
                              "kernels)")
@@ -170,9 +257,11 @@ def main() -> int:
                              "BENCH_<mode>.json)")
     parser.add_argument("--filter", default="",
                         help="forwarded as --benchmark_filter")
-    parser.add_argument("--tolerance", type=float, default=3.0,
+    parser.add_argument("--tolerance", type=float, default=None,
                         help="allowed throughput drop factor for --check "
-                             "(default 3.0: cross-machine headroom)")
+                             "(default 3.0: cross-machine headroom; mode "
+                             "scale defaults to 1.05 because simulated "
+                             "speedups are deterministic)")
     parser.add_argument("--min-gated", type=int, default=1,
                         help="fail --check unless at least this many "
                              "throughput counters were actually compared "
@@ -188,18 +277,28 @@ def main() -> int:
     if args.record is None:
         args.record = (Path(__file__).resolve().parent.parent
                        / DEFAULT_RECORDS[args.mode])
+    if args.tolerance is None:
+        args.tolerance = SCALE_TOLERANCE if args.mode == "scale" else 3.0
     regen = REGEN_COMMANDS[args.mode]
 
     if not args.bench.exists():
         print(f"error: bench binary not found: {args.bench}", file=sys.stderr)
         return 2
 
+    if args.mode != "kernels" and args.filter:
+        print("error: --filter only applies to --mode kernels",
+              file=sys.stderr)
+        return 2
     if args.mode == "serve":
-        if args.filter:
-            print("error: --filter only applies to --mode kernels",
-                  file=sys.stderr)
-            return 2
         fresh = distill_serve(run_serve_bench(args.bench))
+    elif args.mode == "scale":
+        fresh = distill_scale(run_scale_bench(args.bench))
+        # The hard floors bind the fresh sweep in both directions: a --write
+        # that would commit a sub-6x curve fails instead of moving the goal.
+        if validate_scale(fresh):
+            print("\nscale hard floor(s) violated; record not "
+                  + ("written" if args.write else "accepted"))
+            return 1
     else:
         fresh = distill(run_bench(args.bench, args.filter))
 
